@@ -1,0 +1,132 @@
+//===-- bench/fig06_misspeculation.cpp - Fig. 6: random invalidation -------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// Reproduces Fig. 6 (§5.1): run the Ř main benchmark suite with randomly
+// invalidated assumptions (default 1 in 10k guard checks, the paper's
+// rate) and measure the speedup of deoptless over normal deoptimization,
+// per in-process iteration. Also reproduces the §5.1 memory experiment
+// (--memory): change in the live-heap high-water mark (our stand-in for
+// max RSS).
+//
+// Usage: fig06_misspeculation [--iters N] [--execs M] [--rate R]
+//                             [--warmup W] [--memory]
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/harness.h"
+#include "runtime/value.h"
+#include "support/stats.h"
+
+#include <cstdio>
+
+using namespace rjit;
+using namespace rjit::suite;
+
+namespace {
+
+struct RunResult {
+  std::vector<double> IterTimes; ///< averaged over executions
+  uint64_t PeakHeap = 0;
+  uint64_t Deopts = 0;
+  uint64_t Injected = 0;
+};
+
+RunResult runOne(const Program &P, TierStrategy S, uint64_t Rate, int Iters,
+                 int Execs, int Warmup) {
+  RunResult R;
+  R.IterTimes.assign(Iters, 0.0);
+  for (int E = 0; E < Execs; ++E) {
+    Vm::Config Cfg = benchConfig(S);
+    Cfg.InvalidationRate = Rate;
+    Cfg.InvalidationSeed = 1000003 * (E + 1); // same seeds across modes
+    Vm V(Cfg);
+    V.eval(P.Setup);
+    for (int K = 0; K < Warmup; ++K)
+      V.eval(P.Driver);
+    resetHeapPeak();
+    resetStats();
+    for (int K = 0; K < Iters; ++K)
+      R.IterTimes[K] += timeOnce(V, P.Driver) / Execs;
+    R.PeakHeap += heapStats().PeakBytes / Execs;
+    R.Deopts += stats().Deopts;
+    R.Injected += stats().InjectedFailures;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 10));
+  int Execs = static_cast<int>(argLong(Argc, Argv, "--execs", 2));
+  int Warmup = static_cast<int>(argLong(Argc, Argv, "--warmup", 3));
+  uint64_t Rate =
+      static_cast<uint64_t>(argLong(Argc, Argv, "--rate", 2000));
+  bool Memory = argFlag(Argc, Argv, "--memory");
+
+  printf("# Fig. 6 — deoptless speedup under random mis-speculation "
+         "(1 in %llu dynamic assumption checks invalidated; see EXPERIMENTS.md on the rate)\n",
+         static_cast<unsigned long long>(Rate));
+  printf("# %d iterations x %d executions, %d warmup iterations excluded "
+         "(paper: 30 x 3, 5 warmup)\n",
+         Iters, Execs, Warmup);
+  if (!Memory)
+    printf("%-26s %9s %9s | per-iteration speedups\n", "benchmark",
+           "speedup", "deopts");
+  else
+    printf("%-26s %14s %14s %9s\n", "benchmark", "peak-normal",
+           "peak-deoptless", "change");
+
+  size_t N;
+  const Program *Suite = mainSuite(N);
+  std::vector<double> Speedups;
+  std::vector<double> MemChanges;
+  for (size_t B = 0; B < N; ++B) {
+    const Program &P = Suite[B];
+    RunResult Normal =
+        runOne(P, TierStrategy::Normal, Rate, Iters, Execs, Warmup);
+    RunResult Dl =
+        runOne(P, TierStrategy::Deoptless, Rate, Iters, Execs, Warmup);
+
+    if (Memory) {
+      double Change = Normal.PeakHeap
+                          ? (static_cast<double>(Dl.PeakHeap) /
+                                 static_cast<double>(Normal.PeakHeap) -
+                             1.0) *
+                                100.0
+                          : 0.0;
+      MemChanges.push_back(Change);
+      printf("%-26s %14llu %14llu %+8.1f%%\n", P.Name,
+             static_cast<unsigned long long>(Normal.PeakHeap),
+             static_cast<unsigned long long>(Dl.PeakHeap), Change);
+      continue;
+    }
+
+    // Per-iteration speedups (normalized per iteration index, as in the
+    // paper's small dots); the large dot is the geometric mean.
+    std::vector<double> PerIter(Iters);
+    for (int K = 0; K < Iters; ++K)
+      PerIter[K] = Normal.IterTimes[K] / Dl.IterTimes[K];
+    double Mean = geomean(PerIter);
+    Speedups.push_back(Mean);
+    printf("%-26s %8.2fx %9llu |", P.Name, Mean,
+           static_cast<unsigned long long>(Normal.Deopts));
+    for (int K = 0; K < Iters; ++K)
+      printf(" %.2f", PerIter[K]);
+    printf("\n");
+  }
+
+  if (!Memory) {
+    printf("\n# overall geomean speedup: %.2fx (paper: 1x..9.1x, most "
+           "benchmarks > 1.9x)\n",
+           geomean(Speedups));
+  } else {
+    double Sum = 0;
+    for (double C : MemChanges)
+      Sum += C;
+    printf("\n# mean heap-peak change: %+.1f%% (paper: median -4%%)\n",
+           MemChanges.empty() ? 0.0 : Sum / MemChanges.size());
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+//===-- bench/micro_gbench.cpp - Micro ablations (google-benchmark) --------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// Ablation microbenchmarks backing the design discussions of the paper:
+//  * the tier gap (baseline interpreter vs optimized code) that makes
+//    tiering down painful in the first place;
+//  * speculative typed code vs generic optimized code (what a function
+//    degrades to after an over-generalizing recompile);
+//  * the cost of a true deoptimization vs a deoptless dispatch hit;
+//  * OSR-in compilation + entry cost;
+//  * guard overhead with speculation disabled (§4.1: explicit exits cost
+//    code size, not peak performance).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/harness.h"
+#include "support/stats.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rjit;
+using namespace rjit::suite;
+
+namespace {
+
+constexpr long SumN = 50000;
+
+const char *SumSetup = R"(
+sum_data <- function(data) {
+  total <- 0
+  for (i in 1:length(data)) total <- total + data[[i]])";
+// (closed below; split so the driver size is visible here)
+const char *SumSetupTail = R"(
+  total
+}
+)";
+
+std::string sumSetup() { return std::string(SumSetup) + SumSetupTail; }
+
+std::unique_ptr<Vm> makeVm(TierStrategy S, bool Speculate = true,
+                           uint64_t InvalidationRate = 0) {
+  Vm::Config C = benchConfig(S);
+  C.Speculate = Speculate;
+  C.InvalidationRate = InvalidationRate;
+  auto V = std::make_unique<Vm>(C);
+  V->eval(sumSetup());
+  V->eval("data <- as.numeric(1:" + std::to_string(SumN) + ")");
+  return V;
+}
+
+void warm(Vm &V, int N = 6) {
+  for (int K = 0; K < N; ++K)
+    V.eval("sum_data(data)");
+}
+
+void BM_BaselineInterpreter(benchmark::State &State) {
+  Vm::Config C = benchConfig(TierStrategy::BaselineOnly);
+  C.OsrIn = false;
+  Vm V(C);
+  V.eval(sumSetup());
+  V.eval("data <- as.numeric(1:" + std::to_string(SumN) + ")");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V.eval("sum_data(data)"));
+  State.SetItemsProcessed(State.iterations() * SumN);
+}
+BENCHMARK(BM_BaselineInterpreter);
+
+void BM_OptimizedSpeculative(benchmark::State &State) {
+  auto V = makeVm(TierStrategy::Normal);
+  warm(*V);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V->eval("sum_data(data)"));
+  State.SetItemsProcessed(State.iterations() * SumN);
+}
+BENCHMARK(BM_OptimizedSpeculative);
+
+void BM_OptimizedGeneric(benchmark::State &State) {
+  // Speculation disabled: the shape a function converges to after
+  // over-generalizing recompiles.
+  auto V = makeVm(TierStrategy::Normal, /*Speculate=*/false);
+  warm(*V);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V->eval("sum_data(data)"));
+  State.SetItemsProcessed(State.iterations() * SumN);
+}
+BENCHMARK(BM_OptimizedGeneric);
+
+void BM_TrueDeoptimization(benchmark::State &State) {
+  // Every iteration warms the function, then flips the data type to force
+  // one deoptimization; measures the full OSR-out + interpreter-remainder
+  // cost (amortized over one sum).
+  auto V = makeVm(TierStrategy::Normal);
+  warm(*V);
+  V->eval("ints <- 1:1000");
+  V->eval("reals <- as.numeric(1:1000)");
+  for (auto _ : State) {
+    State.PauseTiming();
+    // Re-train on ints so the next real triggers a deopt.
+    for (int K = 0; K < 6; ++K)
+      V->eval("sum_data(ints)");
+    resetStats();
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(V->eval("sum_data(reals)"));
+  }
+}
+BENCHMARK(BM_TrueDeoptimization)->Iterations(50);
+
+void BM_DeoptlessDispatchHit(benchmark::State &State) {
+  // Same phase flip, but after the continuation exists: measures the
+  // dispatch overhead of deoptless (context computation + table scan +
+  // continuation call).
+  auto V = makeVm(TierStrategy::Deoptless);
+  V->eval("ints <- 1:1000");
+  V->eval("reals <- as.numeric(1:1000)");
+  for (int K = 0; K < 8; ++K)
+    V->eval("sum_data(ints)");
+  V->eval("sum_data(reals)"); // compile the continuation
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V->eval("sum_data(reals)"));
+}
+BENCHMARK(BM_DeoptlessDispatchHit);
+
+void BM_OsrInCompileAndEnter(benchmark::State &State) {
+  // A single long-running call: the loop tiers up mid-activation.
+  for (auto _ : State) {
+    State.PauseTiming();
+    Vm::Config C = benchConfig(TierStrategy::Normal);
+    C.OsrThreshold = 200;
+    Vm V(C);
+    V.eval(sumSetup());
+    V.eval("data <- as.numeric(1:" + std::to_string(SumN) + ")");
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(V.eval("sum_data(data)"));
+  }
+  State.SetItemsProcessed(State.iterations() * SumN);
+}
+BENCHMARK(BM_OsrInCompileAndEnter)->Iterations(50);
+
+void BM_ContinuationCompile(benchmark::State &State) {
+  // Cost of compiling a deoptless continuation (the one-iteration bump in
+  // Fig. 4): fresh VM per measurement, first real-typed call after an
+  // int-trained optimized version.
+  for (auto _ : State) {
+    State.PauseTiming();
+    Vm::Config C = benchConfig(TierStrategy::Deoptless);
+    C.OsrIn = false;
+    Vm V(C);
+    V.eval(sumSetup());
+    V.eval("ints <- 1:200");
+    V.eval("reals <- as.numeric(1:200)");
+    for (int K = 0; K < 6; ++K)
+      V.eval("sum_data(ints)");
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(V.eval("sum_data(reals)"));
+  }
+}
+BENCHMARK(BM_ContinuationCompile)->Iterations(50);
+
+void BM_GuardChecksOnly(benchmark::State &State) {
+  // Peak-performance effect of the explicit guards (paper §4.1 reports no
+  // measurable effect; the cost shows up as code size, which we report as
+  // a counter).
+  auto V = makeVm(TierStrategy::Normal);
+  warm(*V);
+  uint64_t Before = stats().AssumeChecks;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V->eval("sum_data(data)"));
+  State.counters["guard_checks_per_iter"] = benchmark::Counter(
+      static_cast<double>(stats().AssumeChecks - Before) /
+      State.iterations());
+}
+BENCHMARK(BM_GuardChecksOnly);
+
+void BM_CleanupAblation(benchmark::State &State) {
+  // The §4.3 feedback cleanup pass, ablated: without it, continuations
+  // compile against stale profiles, mis-speculate, and deopt for good —
+  // the float-phase call becomes a true deoptimization every time.
+  bool Cleanup = State.range(0) != 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Vm::Config C = benchConfig(TierStrategy::Deoptless);
+    C.OsrIn = false;
+    C.FeedbackCleanup = Cleanup;
+    Vm V(C);
+    V.eval(sumSetup());
+    V.eval("ints <- 1:2000");
+    V.eval("reals <- as.numeric(1:2000)");
+    for (int K = 0; K < 6; ++K)
+      V.eval("sum_data(ints)");
+    V.eval("sum_data(reals)"); // first continuation
+    resetStats();
+    State.ResumeTiming();
+    // Steady-state float calls: with cleanup these are dispatch hits;
+    // without it they degrade.
+    for (int K = 0; K < 10; ++K)
+      benchmark::DoNotOptimize(V.eval("sum_data(reals)"));
+    State.PauseTiming();
+    State.counters["true_deopts"] = benchmark::Counter(
+        static_cast<double>(stats().Deopts), benchmark::Counter::kAvgIterations);
+    State.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CleanupAblation)->Arg(1)->Arg(0)->Iterations(30);
+
+} // namespace
+
+BENCHMARK_MAIN();

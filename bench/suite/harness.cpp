@@ -1,0 +1,67 @@
+//===-- bench/suite/harness.cpp - Benchmark harness helpers ---------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/harness.h"
+#include "support/timer.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace rjit;
+using namespace rjit::suite;
+
+Vm::Config rjit::suite::benchConfig(TierStrategy S) {
+  Vm::Config C;
+  C.Strategy = S;
+  C.CompileThreshold = 3;
+  C.OsrThreshold = 100000;
+  return C;
+}
+
+double rjit::suite::timeOnce(Vm &V, const std::string &Source) {
+  Timer T;
+  V.eval(Source);
+  return T.elapsedSeconds();
+}
+
+std::vector<double>
+rjit::suite::runIterations(const Program &P, Vm::Config Cfg, int Iterations,
+                           const std::vector<std::string> &PerPhase) {
+  Vm V(Cfg);
+  V.eval(P.Setup);
+  std::vector<double> Times;
+  Times.reserve(Iterations);
+  for (int K = 0; K < Iterations; ++K) {
+    if (!PerPhase.empty())
+      V.eval(PerPhase[K % PerPhase.size()]);
+    Times.push_back(timeOnce(V, P.Driver));
+  }
+  return Times;
+}
+
+double rjit::suite::geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double S = 0;
+  for (double X : Xs)
+    S += std::log(X);
+  return std::exp(S / static_cast<double>(Xs.size()));
+}
+
+long rjit::suite::argLong(int Argc, char **Argv, const std::string &Name,
+                          long Def) {
+  for (int K = 1; K + 1 < Argc; ++K)
+    if (Name == Argv[K])
+      return std::strtol(Argv[K + 1], nullptr, 10);
+  return Def;
+}
+
+bool rjit::suite::argFlag(int Argc, char **Argv, const std::string &Name) {
+  for (int K = 1; K < Argc; ++K)
+    if (Name == Argv[K])
+      return true;
+  return false;
+}

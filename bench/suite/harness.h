@@ -1,0 +1,48 @@
+//===-- bench/suite/harness.h - Benchmark harness helpers --------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the figure benches: strategy configuration,
+/// iteration timing, and the paper's measurement protocol (N in-process
+/// iterations times M executions, per-iteration normalization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_BENCH_SUITE_HARNESS_H
+#define RJIT_BENCH_SUITE_HARNESS_H
+
+#include "suite/programs.h"
+#include "vm/vm.h"
+
+#include <string>
+#include <vector>
+
+namespace rjit::suite {
+
+/// Builds the Vm configuration for a strategy with bench-wide defaults.
+Vm::Config benchConfig(TierStrategy S);
+
+/// Seconds per in-process iteration of one program under one strategy.
+/// Creates a fresh Vm, evaluates Setup, then times \p Iterations runs of
+/// Driver. \p Mutate (optional) runs between iterations (phase changes).
+std::vector<double> runIterations(const Program &P, Vm::Config Cfg,
+                                  int Iterations,
+                                  const std::vector<std::string> &PerPhase =
+                                      {});
+
+/// Runs \p Source once in \p V and returns elapsed seconds.
+double timeOnce(Vm &V, const std::string &Source);
+
+/// Geometric mean of positive values.
+double geomean(const std::vector<double> &Xs);
+
+/// Simple argv flag lookup: `--name value`; returns Def when absent.
+long argLong(int Argc, char **Argv, const std::string &Name, long Def);
+bool argFlag(int Argc, char **Argv, const std::string &Name);
+
+} // namespace rjit::suite
+
+#endif // RJIT_BENCH_SUITE_HARNESS_H

@@ -1,0 +1,92 @@
+//===-- examples/phases.cpp - Observing tier transitions -------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// Reenacts the paper's motivating scenario (Fig. 4) interactively: a data
+// analysis function runs through type phases while we watch what each VM
+// strategy does — warmup, optimization, deoptimization, recompilation,
+// continuation dispatch — with per-phase timings and event counts.
+//
+//   ./build/examples/phases [--n <elements>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/stats.h"
+#include "support/timer.h"
+#include "vm/vm.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace rjit;
+
+namespace {
+
+void runStrategy(const char *Name, TierStrategy S, long N) {
+  printf("=== strategy: %s ===\n", Name);
+  Vm::Config Config;
+  Config.Strategy = S;
+  Config.CompileThreshold = 3;
+  Vm V(Config);
+
+  V.eval(R"(
+    analyze <- function(series) {
+      peak <- series[[1]]
+      avg <- 0
+      for (i in 1:length(series)) {
+        v <- series[[i]]
+        if (v > peak) peak <- v
+        avg <- avg + v
+      }
+      peak + avg / length(series)
+    }
+  )");
+
+  struct Phase {
+    const char *Label;
+    std::string Data;
+  } Phases[] = {
+      {"integers ", "series <- 1:" + std::to_string(N)},
+      {"doubles  ", "series <- as.numeric(1:" + std::to_string(N) + ")"},
+      {"integers2", "series <- 1:" + std::to_string(N)},
+  };
+
+  for (const auto &P : Phases) {
+    V.eval(P.Data);
+    VmStats Before = stats();
+    double Total = 0;
+    for (int K = 0; K < 6; ++K) {
+      Timer T;
+      V.eval("analyze(series)");
+      Total += T.elapsedSeconds();
+    }
+    VmStats Delta = stats() - Before;
+    printf("  %s  %8.2f ms/iter   compiles=%llu deopts=%llu "
+           "continuations=%llu hits=%llu\n",
+           P.Label, Total / 6 * 1000,
+           static_cast<unsigned long long>(Delta.Compilations),
+           static_cast<unsigned long long>(Delta.Deopts),
+           static_cast<unsigned long long>(Delta.DeoptlessCompiles),
+           static_cast<unsigned long long>(Delta.DeoptlessHits));
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long N = 200000;
+  for (int K = 1; K + 1 < Argc; ++K)
+    if (!strcmp(Argv[K], "--n"))
+      N = strtol(Argv[K + 1], nullptr, 10);
+
+  runStrategy("baseline only (never optimize)", TierStrategy::BaselineOnly,
+              N);
+  runStrategy("normal (deopt + generic recompile)", TierStrategy::Normal, N);
+  runStrategy("deoptless (dispatched continuations)",
+              TierStrategy::Deoptless, N);
+  printf("\nCompare the doubles and integers2 rows: the normal strategy "
+         "pays a deopt,\nre-warms, and converges to generic code; deoptless "
+         "keeps both specializations.\n");
+  return 0;
+}

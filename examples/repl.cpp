@@ -1,0 +1,105 @@
+//===-- examples/repl.cpp - Interactive mini-R shell -----------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// A line-oriented REPL over the VM, with `:`-commands to inspect the JIT:
+//
+//   > f <- function(x) x + 1
+//   > f(1L)
+//   [1] 2L
+//   > :stats          event counters (compiles, deopts, dispatches)
+//   > :strategy deoptless | normal | baseline     restart with a strategy
+//   > :quit
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/stats.h"
+#include "vm/vm.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace rjit;
+
+namespace {
+
+std::unique_ptr<Vm> makeVm(TierStrategy S) {
+  Vm::Config Config;
+  Config.Strategy = S;
+  Config.CompileThreshold = 3;
+  return std::make_unique<Vm>(Config);
+}
+
+void printStats() {
+  const VmStats &St = stats();
+  printf("compilations=%llu osr-in=%llu deopts=%llu deoptless: "
+         "compiles=%llu hits=%llu rejected=%llu | guard checks=%llu\n",
+         static_cast<unsigned long long>(St.Compilations),
+         static_cast<unsigned long long>(St.OsrInEntries),
+         static_cast<unsigned long long>(St.Deopts),
+         static_cast<unsigned long long>(St.DeoptlessCompiles),
+         static_cast<unsigned long long>(St.DeoptlessHits),
+         static_cast<unsigned long long>(St.DeoptlessRejected),
+         static_cast<unsigned long long>(St.AssumeChecks));
+}
+
+} // namespace
+
+int main() {
+  std::unique_ptr<Vm> V = makeVm(TierStrategy::Deoptless);
+  printf("mini-R JIT (deoptless reproduction). :help for commands.\n");
+
+  std::string Line;
+  char Buf[4096];
+  while (true) {
+    printf("> ");
+    fflush(stdout);
+    if (!fgets(Buf, sizeof(Buf), stdin))
+      break;
+    Line.assign(Buf);
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+
+    if (Line[0] == ':') {
+      if (Line == ":quit" || Line == ":q")
+        break;
+      if (Line == ":stats") {
+        printStats();
+        continue;
+      }
+      if (Line.rfind(":strategy", 0) == 0) {
+        std::string Which = Line.substr(Line.find(' ') + 1);
+        V.reset(); // only one Vm may be active
+        if (Which == "normal")
+          V = makeVm(TierStrategy::Normal);
+        else if (Which == "baseline")
+          V = makeVm(TierStrategy::BaselineOnly);
+        else
+          V = makeVm(TierStrategy::Deoptless);
+        printf("restarted with strategy %s (globals cleared)\n",
+               Which.c_str());
+        continue;
+      }
+      printf(":stats | :strategy <deoptless|normal|baseline> | :quit\n");
+      continue;
+    }
+
+    Value Result;
+    std::string Error;
+    try {
+      if (!V->eval(Line, Result, Error)) {
+        printf("error: %s\n", Error.c_str());
+        continue;
+      }
+      if (!Result.isNull())
+        printf("[1] %s\n", Result.show().c_str());
+    } catch (const RError &E) {
+      printf("runtime error: %s\n", E.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===-- examples/volcano.cpp - The volcano ray tracer ----------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// The paper's end-to-end application (Figs. 7/8): a terrain ray marcher
+// whose interpolation function the "user" switches at run time — each
+// switch is a call-target mis-speculation. Renders a small ASCII
+// lightmap so you can see the program actually computes something, and
+// prints how the VM coped with the interaction.
+//
+//   ./build/examples/volcano [--n <heightmap-size>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/stats.h"
+#include "support/timer.h"
+#include "vm/vm.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace rjit;
+
+namespace {
+
+const char *RayTracer = R"(
+interp_bilinear <- function(h, n, fx, fy) {
+  x0 <- floor(fx)
+  y0 <- floor(fy)
+  x1 <- min(x0 + 1, n - 1)
+  y1 <- min(y0 + 1, n - 1)
+  tx <- fx - x0
+  ty <- fy - y0
+  h00 <- h[[y0 * n + x0 + 1L]]
+  h10 <- h[[y0 * n + x1 + 1L]]
+  h01 <- h[[y1 * n + x0 + 1L]]
+  h11 <- h[[y1 * n + x1 + 1L]]
+  top <- h00 * (1 - tx) + h10 * tx
+  bot <- h01 * (1 - tx) + h11 * tx
+  top * (1 - ty) + bot * ty
+}
+interp_nearest <- function(h, n, fx, fy) {
+  x0 <- floor(fx + 0.5)
+  y0 <- floor(fy + 0.5)
+  if (x0 > n - 1) x0 <- n - 1
+  if (y0 > n - 1) y0 <- n - 1
+  h[[y0 * n + x0 + 1L]]
+}
+make_volcano <- function(n) {
+  h <- numeric(n * n)
+  for (y in 1:n) {
+    for (x in 1:n) {
+      dx <- (x - n / 2) / n
+      dy <- (y - n / 2) / n
+      r <- dx * dx + dy * dy
+      h[[(y - 1L) * n + x]] <- 40 * exp(-8 * r) - 25 * exp(-60 * r)
+    }
+  }
+  h
+}
+shade_row <- function(h, n, interp, ry, sunx, suny) {
+  row <- integer(n - 2L)
+  for (rx in 1:(n - 2L)) {
+    z <- interp(h, n, rx, ry) + 0.5
+    fx <- rx + 0
+    fy <- ry + 0
+    lit <- 1L
+    for (step in 1:8) {
+      fx <- fx + sunx
+      fy <- fy + suny
+      z <- z + 0.8
+      if (fx < 0 || fy < 0 || fx > n - 2 || fy > n - 2) break
+      if (interp(h, n, fx, fy) > z) {
+        lit <- 0L
+        break
+      }
+    }
+    row[[rx]] <- lit
+  }
+  row
+}
+)";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long N = 26;
+  for (int K = 1; K + 1 < Argc; ++K)
+    if (!strcmp(Argv[K], "--n"))
+      N = strtol(Argv[K + 1], nullptr, 10);
+
+  Vm::Config Config;
+  Config.Strategy = TierStrategy::Deoptless;
+  Config.CompileThreshold = 2;
+  Vm V(Config);
+  V.eval(RayTracer);
+  V.eval("hm <- make_volcano(" + std::to_string(N) + "L)");
+  V.eval("sel <- interp_bilinear");
+
+  // An "interactive session": the user drags the sun and occasionally
+  // flips the interpolation selector (the deopt-triggering action).
+  const char *Interp[] = {"interp_bilinear", "interp_nearest"};
+  for (int Click = 0; Click < 6; ++Click) {
+    if (Click == 2 || Click == 4) {
+      V.eval(std::string("sel <- ") + Interp[Click == 2 ? 1 : 0]);
+      printf("-- user switches interpolation to %s --\n",
+             Interp[Click == 2 ? 1 : 0]);
+    }
+    double SunX = 0.4 + 0.1 * Click, SunY = 0.6 - 0.05 * Click;
+    Timer T;
+    printf("frame %d (sun %.2f,%.2f):\n", Click + 1, SunX, SunY);
+    for (long Ry = 1; Ry + 2 <= N; Ry += 2) {
+      Value Row = V.eval("shade_row(hm, " + std::to_string(N) + "L, sel, " +
+                         std::to_string(Ry) + "L, " + std::to_string(SunX) +
+                         ", " + std::to_string(SunY) + ")");
+      printf("  ");
+      for (int64_t X = 1; X <= Row.length(); ++X)
+        putchar(extract2(Row, X).asIntUnchecked() ? '#' : '.');
+      putchar('\n');
+    }
+    printf("  [%.1f ms; deopts=%llu continuations=%llu hits=%llu]\n",
+           T.elapsedSeconds() * 1000,
+           static_cast<unsigned long long>(stats().Deopts),
+           static_cast<unsigned long long>(stats().DeoptlessCompiles),
+           static_cast<unsigned long long>(stats().DeoptlessHits));
+  }
+  return 0;
+}

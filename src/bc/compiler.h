@@ -1,0 +1,40 @@
+//===-- bc/compiler.h - AST to bytecode compiler -----------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the mini-R AST to baseline bytecode. Variables stay name-based
+/// (environments are first class and the interpreter profiles them); the
+/// optimizer later elides environments for code it can prove local, as Ř
+/// does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_BC_COMPILER_H
+#define RJIT_BC_COMPILER_H
+
+#include "bc/bytecode.h"
+#include "lang/ast.h"
+
+#include <memory>
+#include <string>
+
+namespace rjit {
+
+/// Result of bytecode compilation: a module or an error message.
+struct BcResult {
+  std::unique_ptr<Module> Mod;
+  std::string Error;
+
+  bool ok() const { return Mod != nullptr; }
+};
+
+/// Compiles a parsed program (BlockNode) into a bytecode module whose Top
+/// function evaluates the program's statements.
+BcResult compileToBc(const Node &Program);
+
+} // namespace rjit
+
+#endif // RJIT_BC_COMPILER_H

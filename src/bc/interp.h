@@ -1,0 +1,66 @@
+//===-- bc/interp.h - Baseline bytecode interpreter --------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling baseline interpreter: the lower tier of the two-tier
+/// architecture. It records type/call/branch feedback on every execution,
+/// counts loop backedges to trigger OSR-in, and supports resuming at an
+/// arbitrary pc with a given operand stack — the entry point used by
+/// OSR-out (deoptimization, paper Listing 4).
+///
+/// Tier-up decisions live in the VM layer and reach the interpreter through
+/// InterpHooks, keeping this library independent of the JIT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_BC_INTERP_H
+#define RJIT_BC_INTERP_H
+
+#include "bc/bytecode.h"
+#include "runtime/env.h"
+
+#include <vector>
+
+namespace rjit {
+
+/// Callbacks the VM layer installs to drive tiering from the interpreter.
+struct InterpHooks {
+  /// Invoked for every closure call; the VM dispatches to an optimized
+  /// version or back into the interpreter. Null means: always baseline.
+  Value (*CallClosure)(ClosObj *Clos, std::vector<Value> &&Args) = nullptr;
+
+  /// Invoked when a loop backedge becomes hot (paper Listing 5). If it
+  /// returns true, \p Result is the value of the rest of the activation
+  /// (the OSR-in continuation ran to completion) and the interpreter
+  /// returns it immediately.
+  bool (*OsrIn)(Function *Fn, Env *E, std::vector<Value> &Stack, int32_t Pc,
+                Value &Result) = nullptr;
+
+  /// Backedge count after which OsrIn fires.
+  uint32_t OsrThreshold = 200;
+};
+
+/// The process-wide hook registry.
+InterpHooks &interpHooks();
+
+/// Executes \p Fn from the beginning in environment \p E.
+Value interpret(Function *Fn, Env *E);
+
+/// Resumes \p Fn at bytecode \p Pc with operand stack \p Stack — the
+/// deoptimization entry point.
+Value interpretResume(Function *Fn, Env *E, std::vector<Value> &&Stack,
+                      int32_t Pc);
+
+/// Default closure invocation: bind parameters, interpret the body.
+/// Raises RError on arity mismatch.
+Value callClosureBaseline(ClosObj *Clos, std::vector<Value> &&Args);
+
+/// Invokes any callable value (closure via hooks, builtin directly).
+Value callValue(const Value &Callee, std::vector<Value> &&Args);
+
+} // namespace rjit
+
+#endif // RJIT_BC_INTERP_H

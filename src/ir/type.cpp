@@ -1,0 +1,25 @@
+//===-- ir/type.cpp - Optimizer type lattice --------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/type.h"
+
+using namespace rjit;
+
+std::string RType::str() const {
+  if (isNone())
+    return "none";
+  if (isAny())
+    return "any";
+  std::string S;
+  for (unsigned B = 0; B < NumTags; ++B) {
+    if (!(Mask & (1u << B)))
+      continue;
+    if (!S.empty())
+      S += "|";
+    S += tagName(static_cast<Tag>(B));
+  }
+  return S;
+}

@@ -1,0 +1,141 @@
+//===-- ir/verifier.cpp - IR structural checks --------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/instr.h"
+
+#include <unordered_set>
+
+using namespace rjit;
+
+namespace {
+
+size_t expectedArity(const Instr &I) {
+  switch (I.Op) {
+  case IrOp::Const:
+  case IrOp::Param:
+  case IrOp::Undef:
+  case IrOp::LdVarEnv:
+  case IrOp::MkClosureIr:
+  case IrOp::Jump:
+    return 0;
+  case IrOp::CoerceNum:
+    return 1;
+  case IrOp::StVarEnv:
+  case IrOp::StVarSuperEnv:
+  case IrOp::NegGen:
+  case IrOp::NotGen:
+  case IrOp::AsCond:
+  case IrOp::LengthIr:
+  case IrOp::CastType:
+  case IrOp::IsTagIr:
+  case IrOp::IsFunIr:
+  case IrOp::IsBuiltinIr:
+  case IrOp::CheckpointIr:
+  case IrOp::BranchIr:
+  case IrOp::Ret:
+    return 1;
+  case IrOp::BinGen:
+  case IrOp::BinTyped:
+  case IrOp::Extract2Gen:
+  case IrOp::Extract1Gen:
+  case IrOp::Extract2Typed:
+  case IrOp::SetIdx2Env:
+  case IrOp::SetIdx1Env:
+  case IrOp::AssumeIr:
+    return 2;
+  case IrOp::SetElem2Gen:
+  case IrOp::SetElem2Typed:
+    return 3;
+  default:
+    return static_cast<size_t>(-1); // variable arity
+  }
+}
+
+} // namespace
+
+std::string rjit::verify(const IrCode &C) {
+  std::string Err;
+  auto Fail = [&](const std::string &M) {
+    if (Err.empty())
+      Err = M;
+  };
+
+  if (!C.Entry)
+    return "no entry block";
+
+  // Collect all instruction identities for operand validity checks.
+  std::unordered_set<const Instr *> Known;
+  for (auto &B : C.Blocks)
+    for (auto &I : B->Instrs)
+      Known.insert(I.get());
+
+  for (auto &B : C.Blocks) {
+    bool SeenTerm = false;
+    for (auto &IP : B->Instrs) {
+      Instr &I = *IP;
+      if (I.Parent != B.get())
+        Fail("instr %" + std::to_string(I.Id) + " has wrong parent");
+      if (SeenTerm)
+        Fail("instr %" + std::to_string(I.Id) + " after terminator");
+      if (I.isTerminator())
+        SeenTerm = true;
+
+      size_t Want = expectedArity(I);
+      if (Want != static_cast<size_t>(-1) && I.Ops.size() != Want)
+        Fail(std::string(irOpName(I.Op)) + " %" + std::to_string(I.Id) +
+             ": expected " + std::to_string(Want) + " operands, has " +
+             std::to_string(I.Ops.size()));
+
+      for (Instr *Op : I.Ops) {
+        if (!Op || !Known.count(Op))
+          Fail("instr %" + std::to_string(I.Id) + " has dangling operand");
+      }
+
+      if (I.Op == IrOp::Phi) {
+        if (I.Ops.size() != I.Incoming.size())
+          Fail("phi %" + std::to_string(I.Id) +
+               ": operand/incoming mismatch");
+        if (I.Ops.size() != B->Preds.size())
+          Fail("phi %" + std::to_string(I.Id) + ": expected " +
+               std::to_string(B->Preds.size()) + " incoming, has " +
+               std::to_string(I.Ops.size()));
+      }
+      if (I.Op == IrOp::FrameStateIr) {
+        if (I.Ops.size() != I.StackCount + I.EnvSyms.size())
+          Fail("framestate %" + std::to_string(I.Id) + ": shape mismatch");
+        if (I.BcPc < 0)
+          Fail("framestate %" + std::to_string(I.Id) + ": missing pc");
+      }
+      if (I.Op == IrOp::AssumeIr) {
+        if (I.Ops.size() == 2 && I.Ops[1]->Op != IrOp::CheckpointIr)
+          Fail("assume %" + std::to_string(I.Id) +
+               ": second operand must be a checkpoint");
+      }
+      if (I.Op == IrOp::CheckpointIr) {
+        if (I.Ops.size() == 1 && I.Ops[0]->Op != IrOp::FrameStateIr)
+          Fail("checkpoint %" + std::to_string(I.Id) +
+               ": operand must be a framestate");
+      }
+    }
+
+    // Reachable, non-empty blocks must be terminated.
+    bool Reachable = false;
+    for (BB *R : C.rpo())
+      if (R == B.get())
+        Reachable = true;
+    if (Reachable && !B->terminated())
+      Fail("BB" + std::to_string(B->Id) + " not terminated");
+
+    Instr *T = B->terminator();
+    if (T && T->Op == IrOp::BranchIr && (!B->Succs[0] || !B->Succs[1]))
+      Fail("BB" + std::to_string(B->Id) + ": branch needs two successors");
+    if (T && T->Op == IrOp::Jump && (!B->Succs[0] || B->Succs[1]))
+      Fail("BB" + std::to_string(B->Id) + ": jump needs one successor");
+    if (T && T->Op == IrOp::Ret && (B->Succs[0] || B->Succs[1]))
+      Fail("BB" + std::to_string(B->Id) + ": ret must not have successors");
+  }
+  return Err;
+}

@@ -1,0 +1,135 @@
+//===-- lang/ast.cpp - Mini-R abstract syntax trees -------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ast.h"
+
+using namespace rjit;
+
+namespace {
+
+void dep(const Node &N, std::string &S) {
+  switch (N.kind()) {
+  case NodeKind::Literal:
+    S += static_cast<const LiteralNode &>(N).Val.show();
+    return;
+  case NodeKind::Var:
+    S += symbolName(static_cast<const VarNode &>(N).Name);
+    return;
+  case NodeKind::Block: {
+    auto &B = static_cast<const BlockNode &>(N);
+    S += "{ ";
+    for (const auto &St : B.Stmts) {
+      dep(*St, S);
+      S += "; ";
+    }
+    S += "}";
+    return;
+  }
+  case NodeKind::Call: {
+    auto &C = static_cast<const CallNode &>(N);
+    dep(*C.Callee, S);
+    S += "(";
+    for (size_t I = 0; I < C.Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      dep(*C.Args[I], S);
+    }
+    S += ")";
+    return;
+  }
+  case NodeKind::Binary: {
+    auto &B = static_cast<const BinaryNode &>(N);
+    S += "(";
+    dep(*B.Lhs, S);
+    S += " ";
+    S += binOpName(B.Op);
+    S += " ";
+    dep(*B.Rhs, S);
+    S += ")";
+    return;
+  }
+  case NodeKind::Unary: {
+    auto &U = static_cast<const UnaryNode &>(N);
+    S += U.Op == UnOp::Neg ? "-" : "!";
+    dep(*U.Operand, S);
+    return;
+  }
+  case NodeKind::Index: {
+    auto &I = static_cast<const IndexNode &>(N);
+    dep(*I.Obj, S);
+    S += I.Sub == 2 ? "[[" : "[";
+    dep(*I.Idx, S);
+    S += I.Sub == 2 ? "]]" : "]";
+    return;
+  }
+  case NodeKind::Assign: {
+    auto &A = static_cast<const AssignNode &>(N);
+    dep(*A.Target, S);
+    S += A.Super ? " <<- " : " <- ";
+    dep(*A.Val, S);
+    return;
+  }
+  case NodeKind::FunDef: {
+    auto &F = static_cast<const FunDefNode &>(N);
+    S += "function(";
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += symbolName(F.Params[I]);
+    }
+    S += ") ";
+    dep(*F.Body, S);
+    return;
+  }
+  case NodeKind::If: {
+    auto &I = static_cast<const IfNode &>(N);
+    S += "if (";
+    dep(*I.Cond, S);
+    S += ") ";
+    dep(*I.Then, S);
+    if (I.Else) {
+      S += " else ";
+      dep(*I.Else, S);
+    }
+    return;
+  }
+  case NodeKind::For: {
+    auto &F = static_cast<const ForNode &>(N);
+    S += "for (" + symbolName(F.Var) + " in ";
+    dep(*F.Seq, S);
+    S += ") ";
+    dep(*F.Body, S);
+    return;
+  }
+  case NodeKind::While: {
+    auto &W = static_cast<const WhileNode &>(N);
+    S += "while (";
+    dep(*W.Cond, S);
+    S += ") ";
+    dep(*W.Body, S);
+    return;
+  }
+  case NodeKind::Repeat: {
+    S += "repeat ";
+    dep(*static_cast<const RepeatNode &>(N).Body, S);
+    return;
+  }
+  case NodeKind::Break:
+    S += "break";
+    return;
+  case NodeKind::Next:
+    S += "next";
+    return;
+  }
+}
+
+} // namespace
+
+std::string rjit::deparse(const Node &N) {
+  std::string S;
+  dep(N, S);
+  return S;
+}

@@ -1,0 +1,189 @@
+//===-- lang/ast.h - Mini-R abstract syntax trees ----------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the R subset. Nodes form a single class hierarchy discriminated
+/// by NodeKind (LLVM-style hand-rolled RTTI via kind checks); ownership is
+/// unique_ptr-based and strictly tree shaped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_LANG_AST_H
+#define RJIT_LANG_AST_H
+
+#include "runtime/value.h"
+#include "support/interner.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rjit {
+
+enum class NodeKind : uint8_t {
+  Literal,  ///< numeric/string/logical/NULL constant
+  Var,      ///< identifier reference
+  Block,    ///< { e1; e2; ... }
+  Call,     ///< f(a, b)
+  Binary,   ///< a + b, a:b, comparisons
+  Unary,    ///< -a, !a
+  Index,    ///< a[i] (Sub=1) or a[[i]] (Sub=2)
+  Assign,   ///< x <- v, x[[i]] <- v, x[i] <- v; Super for <<-
+  FunDef,   ///< function(p1, p2) body
+  If,       ///< if (c) t else e
+  For,      ///< for (v in seq) body
+  While,    ///< while (c) body
+  Repeat,   ///< repeat body
+  Break,
+  Next,
+};
+
+/// Base AST node.
+class Node {
+public:
+  explicit Node(NodeKind K, int Line) : Kind(K), Line(Line) {}
+  virtual ~Node() = default;
+
+  NodeKind kind() const { return Kind; }
+  int line() const { return Line; }
+
+private:
+  const NodeKind Kind;
+  const int Line;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+class LiteralNode : public Node {
+public:
+  LiteralNode(Value V, int Line)
+      : Node(NodeKind::Literal, Line), Val(std::move(V)) {}
+  Value Val;
+};
+
+class VarNode : public Node {
+public:
+  VarNode(Symbol Name, int Line) : Node(NodeKind::Var, Line), Name(Name) {}
+  Symbol Name;
+};
+
+class BlockNode : public Node {
+public:
+  BlockNode(std::vector<NodePtr> Stmts, int Line)
+      : Node(NodeKind::Block, Line), Stmts(std::move(Stmts)) {}
+  std::vector<NodePtr> Stmts;
+};
+
+class CallNode : public Node {
+public:
+  CallNode(NodePtr Callee, std::vector<NodePtr> Args, int Line)
+      : Node(NodeKind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  NodePtr Callee;
+  std::vector<NodePtr> Args;
+};
+
+class BinaryNode : public Node {
+public:
+  BinaryNode(BinOp Op, NodePtr L, NodePtr R, int Line)
+      : Node(NodeKind::Binary, Line), Op(Op), Lhs(std::move(L)),
+        Rhs(std::move(R)) {}
+  BinOp Op;
+  NodePtr Lhs, Rhs;
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+class UnaryNode : public Node {
+public:
+  UnaryNode(UnOp Op, NodePtr E, int Line)
+      : Node(NodeKind::Unary, Line), Op(Op), Operand(std::move(E)) {}
+  UnOp Op;
+  NodePtr Operand;
+};
+
+class IndexNode : public Node {
+public:
+  IndexNode(NodePtr Obj, NodePtr Idx, int Sub, int Line)
+      : Node(NodeKind::Index, Line), Obj(std::move(Obj)), Idx(std::move(Idx)),
+        Sub(Sub) {
+    assert(Sub == 1 || Sub == 2);
+  }
+  NodePtr Obj;
+  NodePtr Idx;
+  int Sub; ///< 1 for a[i], 2 for a[[i]]
+};
+
+class AssignNode : public Node {
+public:
+  AssignNode(NodePtr Target, NodePtr Val, bool Super, int Line)
+      : Node(NodeKind::Assign, Line), Target(std::move(Target)),
+        Val(std::move(Val)), Super(Super) {}
+  /// VarNode or IndexNode (nested indexing targets are rejected by the
+  /// parser for simplicity; none of the workloads use them).
+  NodePtr Target;
+  NodePtr Val;
+  bool Super;
+};
+
+class FunDefNode : public Node {
+public:
+  FunDefNode(std::vector<Symbol> Params, NodePtr Body, int Line)
+      : Node(NodeKind::FunDef, Line), Params(std::move(Params)),
+        Body(std::move(Body)) {}
+  std::vector<Symbol> Params;
+  NodePtr Body;
+};
+
+class IfNode : public Node {
+public:
+  IfNode(NodePtr Cond, NodePtr Then, NodePtr Else, int Line)
+      : Node(NodeKind::If, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  NodePtr Cond, Then, Else; ///< Else may be null
+};
+
+class ForNode : public Node {
+public:
+  ForNode(Symbol Var, NodePtr Seq, NodePtr Body, int Line)
+      : Node(NodeKind::For, Line), Var(Var), Seq(std::move(Seq)),
+        Body(std::move(Body)) {}
+  Symbol Var;
+  NodePtr Seq, Body;
+};
+
+class WhileNode : public Node {
+public:
+  WhileNode(NodePtr Cond, NodePtr Body, int Line)
+      : Node(NodeKind::While, Line), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  NodePtr Cond, Body;
+};
+
+class RepeatNode : public Node {
+public:
+  RepeatNode(NodePtr Body, int Line)
+      : Node(NodeKind::Repeat, Line), Body(std::move(Body)) {}
+  NodePtr Body;
+};
+
+class BreakNode : public Node {
+public:
+  explicit BreakNode(int Line) : Node(NodeKind::Break, Line) {}
+};
+
+class NextNode : public Node {
+public:
+  explicit NextNode(int Line) : Node(NodeKind::Next, Line) {}
+};
+
+/// Renders \p N back to (approximately) R syntax; used by tests and debug
+/// dumps.
+std::string deparse(const Node &N);
+
+} // namespace rjit
+
+#endif // RJIT_LANG_AST_H

@@ -1,0 +1,446 @@
+//===-- lang/lexer.cpp - Mini-R lexer --------------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace rjit;
+
+const char *rjit::tokName(Tok T) {
+  switch (T) {
+  case Tok::End:
+    return "<end>";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::RealLit:
+    return "numeric literal";
+  case Tok::CplxLit:
+    return "complex literal";
+  case Tok::StrLit:
+    return "string literal";
+  case Tok::KwIf:
+    return "if";
+  case Tok::KwElse:
+    return "else";
+  case Tok::KwFor:
+    return "for";
+  case Tok::KwWhile:
+    return "while";
+  case Tok::KwRepeat:
+    return "repeat";
+  case Tok::KwFunction:
+    return "function";
+  case Tok::KwBreak:
+    return "break";
+  case Tok::KwNext:
+    return "next";
+  case Tok::KwIn:
+    return "in";
+  case Tok::KwTrue:
+    return "TRUE";
+  case Tok::KwFalse:
+    return "FALSE";
+  case Tok::KwNull:
+    return "NULL";
+  case Tok::LParen:
+    return "(";
+  case Tok::RParen:
+    return ")";
+  case Tok::LBrace:
+    return "{";
+  case Tok::RBrace:
+    return "}";
+  case Tok::LBracket:
+    return "[";
+  case Tok::RBracket:
+    return "]";
+  case Tok::LDblBracket:
+    return "[[";
+  case Tok::RDblBracket:
+    return "]]";
+  case Tok::Comma:
+    return ",";
+  case Tok::Semi:
+    return ";";
+  case Tok::Assign:
+    return "<-";
+  case Tok::SuperAssign:
+    return "<<-";
+  case Tok::EqAssign:
+    return "=";
+  case Tok::RightAssign:
+    return "->";
+  case Tok::Plus:
+    return "+";
+  case Tok::Minus:
+    return "-";
+  case Tok::Star:
+    return "*";
+  case Tok::Slash:
+    return "/";
+  case Tok::Caret:
+    return "^";
+  case Tok::Percent:
+    return "%%";
+  case Tok::PercentDiv:
+    return "%/%";
+  case Tok::EqEq:
+    return "==";
+  case Tok::NotEq:
+    return "!=";
+  case Tok::Lt:
+    return "<";
+  case Tok::Le:
+    return "<=";
+  case Tok::Gt:
+    return ">";
+  case Tok::Ge:
+    return ">=";
+  case Tok::AndAnd:
+    return "&&";
+  case Tok::OrOr:
+    return "||";
+  case Tok::Not:
+    return "!";
+  case Tok::Colon:
+    return ":";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '.' || C == '_';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '.' || C == '_';
+}
+
+struct Lexer {
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+  bool SawNewline = true; // first token starts a line
+  int Depth = 0;          // ( [ [[ nesting; newlines are ignored inside
+  std::string Error;
+
+  char peek(size_t Off = 0) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+  char take() { return Src[Pos++]; }
+
+  bool fail(const std::string &Msg) {
+    Error = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  void skipTrivia() {
+    while (Pos < Src.size()) {
+      char C = peek();
+      if (C == '\n') {
+        ++Line;
+        if (Depth == 0)
+          SawNewline = true;
+        ++Pos;
+      } else if (C == ' ' || C == '\t' || C == '\r') {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < Src.size() && peek() != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool lexNumber(Token &T) {
+    size_t Start = Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        Pos = Save;
+      else
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          ++Pos;
+    }
+    std::string Spelling(Src.substr(Start, Pos - Start));
+    T.Num = std::strtod(Spelling.c_str(), nullptr);
+    if (peek() == 'L') {
+      ++Pos;
+      T.Kind = Tok::IntLit;
+    } else if (peek() == 'i') {
+      ++Pos;
+      T.Kind = Tok::CplxLit;
+    } else {
+      T.Kind = Tok::RealLit;
+    }
+    return true;
+  }
+
+  bool lexString(Token &T) {
+    char Quote = take();
+    std::string S;
+    while (true) {
+      if (Pos >= Src.size())
+        return fail("unterminated string literal");
+      char C = take();
+      if (C == Quote)
+        break;
+      if (C == '\n')
+        ++Line;
+      if (C == '\\') {
+        if (Pos >= Src.size())
+          return fail("unterminated escape");
+        char E = take();
+        switch (E) {
+        case 'n':
+          S += '\n';
+          break;
+        case 't':
+          S += '\t';
+          break;
+        case '\\':
+          S += '\\';
+          break;
+        case '"':
+          S += '"';
+          break;
+        case '\'':
+          S += '\'';
+          break;
+        case '0':
+          S += '\0';
+          break;
+        default:
+          return fail(std::string("unknown escape \\") + E);
+        }
+      } else {
+        S += C;
+      }
+    }
+    T.Kind = Tok::StrLit;
+    T.Text = std::move(S);
+    return true;
+  }
+
+  Tok keywordOrIdent(const std::string &S) {
+    if (S == "if")
+      return Tok::KwIf;
+    if (S == "else")
+      return Tok::KwElse;
+    if (S == "for")
+      return Tok::KwFor;
+    if (S == "while")
+      return Tok::KwWhile;
+    if (S == "repeat")
+      return Tok::KwRepeat;
+    if (S == "function")
+      return Tok::KwFunction;
+    if (S == "break")
+      return Tok::KwBreak;
+    if (S == "next")
+      return Tok::KwNext;
+    if (S == "in")
+      return Tok::KwIn;
+    if (S == "TRUE")
+      return Tok::KwTrue;
+    if (S == "FALSE")
+      return Tok::KwFalse;
+    if (S == "NULL")
+      return Tok::KwNull;
+    return Tok::Ident;
+  }
+
+  bool next(Token &T) {
+    skipTrivia();
+    T = Token();
+    T.Line = Line;
+    T.AfterNewline = SawNewline;
+    SawNewline = false;
+    if (Pos >= Src.size()) {
+      T.Kind = Tok::End;
+      return true;
+    }
+
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+      return lexNumber(T);
+    if (C == '"' || C == '\'')
+      return lexString(T);
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (isIdentCont(peek()))
+        ++Pos;
+      T.Text = std::string(Src.substr(Start, Pos - Start));
+      T.Kind = keywordOrIdent(T.Text);
+      return true;
+    }
+
+    ++Pos;
+    switch (C) {
+    case '(':
+      ++Depth;
+      T.Kind = Tok::LParen;
+      return true;
+    case ')':
+      --Depth;
+      T.Kind = Tok::RParen;
+      return true;
+    case '{':
+      T.Kind = Tok::LBrace;
+      return true;
+    case '}':
+      T.Kind = Tok::RBrace;
+      return true;
+    case '[':
+      if (peek() == '[') {
+        ++Pos;
+        Depth += 2;
+        T.Kind = Tok::LDblBracket;
+      } else {
+        ++Depth;
+        T.Kind = Tok::LBracket;
+      }
+      return true;
+    case ']':
+      if (peek() == ']') {
+        ++Pos;
+        Depth -= 2;
+        T.Kind = Tok::RDblBracket;
+      } else {
+        --Depth;
+        T.Kind = Tok::RBracket;
+      }
+      return true;
+    case ',':
+      T.Kind = Tok::Comma;
+      return true;
+    case ';':
+      T.Kind = Tok::Semi;
+      return true;
+    case '+':
+      T.Kind = Tok::Plus;
+      return true;
+    case '-':
+      if (peek() == '>') {
+        ++Pos;
+        T.Kind = Tok::RightAssign;
+      } else {
+        T.Kind = Tok::Minus;
+      }
+      return true;
+    case '*':
+      T.Kind = Tok::Star;
+      return true;
+    case '/':
+      T.Kind = Tok::Slash;
+      return true;
+    case '^':
+      T.Kind = Tok::Caret;
+      return true;
+    case '%':
+      if (peek() == '%') {
+        ++Pos;
+        T.Kind = Tok::Percent;
+        return true;
+      }
+      if (peek() == '/' && peek(1) == '%') {
+        Pos += 2;
+        T.Kind = Tok::PercentDiv;
+        return true;
+      }
+      return fail("unknown %-operator");
+    case '=':
+      if (peek() == '=') {
+        ++Pos;
+        T.Kind = Tok::EqEq;
+      } else {
+        T.Kind = Tok::EqAssign;
+      }
+      return true;
+    case '!':
+      if (peek() == '=') {
+        ++Pos;
+        T.Kind = Tok::NotEq;
+      } else {
+        T.Kind = Tok::Not;
+      }
+      return true;
+    case '<':
+      if (peek() == '-') {
+        ++Pos;
+        T.Kind = Tok::Assign;
+      } else if (peek() == '<' && peek(1) == '-') {
+        Pos += 2;
+        T.Kind = Tok::SuperAssign;
+      } else if (peek() == '=') {
+        ++Pos;
+        T.Kind = Tok::Le;
+      } else {
+        T.Kind = Tok::Lt;
+      }
+      return true;
+    case '>':
+      if (peek() == '=') {
+        ++Pos;
+        T.Kind = Tok::Ge;
+      } else {
+        T.Kind = Tok::Gt;
+      }
+      return true;
+    case '&':
+      if (peek() == '&')
+        ++Pos;
+      T.Kind = Tok::AndAnd;
+      return true;
+    case '|':
+      if (peek() == '|')
+        ++Pos;
+      T.Kind = Tok::OrOr;
+      return true;
+    case ':':
+      T.Kind = Tok::Colon;
+      return true;
+    default:
+      return fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+};
+
+} // namespace
+
+bool rjit::tokenize(std::string_view Source, std::vector<Token> &Out,
+                    std::string &Error) {
+  Lexer L;
+  L.Src = Source;
+  Out.clear();
+  while (true) {
+    Token T;
+    if (!L.next(T)) {
+      Error = L.Error;
+      return false;
+    }
+    Out.push_back(T);
+    if (T.Kind == Tok::End)
+      return true;
+  }
+}

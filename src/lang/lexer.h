@@ -1,0 +1,97 @@
+//===-- lang/lexer.h - Mini-R lexer ------------------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the R subset. R's newline sensitivity is handled by
+/// flagging tokens that follow a line break; the lexer suppresses the flag
+/// inside parentheses and brackets, mirroring R's rule that expressions
+/// continue across lines inside delimiters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_LANG_LEXER_H
+#define RJIT_LANG_LEXER_H
+
+#include "runtime/value.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rjit {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  IntLit,   ///< 123L
+  RealLit,  ///< 1.5, 1e3, 2 (no L suffix)
+  CplxLit,  ///< 2i, 1.5i
+  StrLit,
+  // Keywords.
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwRepeat,
+  KwFunction,
+  KwBreak,
+  KwNext,
+  KwIn,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  // Punctuation & operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,       ///< [
+  RBracket,       ///< ]
+  LDblBracket,    ///< [[
+  RDblBracket,    ///< ]]
+  Comma,
+  Semi,
+  Assign,         ///< <-
+  SuperAssign,    ///< <<-
+  EqAssign,       ///< =
+  RightAssign,    ///< ->
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+  Percent,        ///< %%
+  PercentDiv,     ///< %/%
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,         ///< && (and &, treated identically)
+  OrOr,           ///< || (and |)
+  Not,
+  Colon,
+};
+
+const char *tokName(Tok T);
+
+/// A single token with source position.
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;    ///< identifier / string spelling
+  double Num = 0;      ///< numeric payload for literals
+  int Line = 0;
+  bool AfterNewline = false; ///< token begins a new source line
+};
+
+/// Tokenizes \p Source. On a lexical error returns false and fills \p Error.
+bool tokenize(std::string_view Source, std::vector<Token> &Out,
+              std::string &Error);
+
+} // namespace rjit
+
+#endif // RJIT_LANG_LEXER_H

@@ -1,0 +1,41 @@
+//===-- lang/parser.h - Mini-R parser ----------------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent / Pratt parser for the R subset, following R's
+/// operator precedence table (^ above unary minus above : above %% above
+/// * / above + - above comparisons above ! above && above ||, with
+/// assignment lowest and right-associative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_LANG_PARSER_H
+#define RJIT_LANG_PARSER_H
+
+#include "lang/ast.h"
+
+#include <string>
+#include <string_view>
+
+namespace rjit {
+
+/// Outcome of a parse: either a non-null AST or an error message.
+struct ParseResult {
+  NodePtr Ast;
+  std::string Error;
+
+  bool ok() const { return Ast != nullptr; }
+};
+
+/// Parses a whole program (a sequence of statements) into a BlockNode.
+ParseResult parseProgram(std::string_view Source);
+
+/// Parses a single expression (used by tests).
+ParseResult parseExpression(std::string_view Source);
+
+} // namespace rjit
+
+#endif // RJIT_LANG_PARSER_H

@@ -1,0 +1,587 @@
+//===-- lowcode/exec.cpp - LowCode execution engine -----------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowcode/exec.h"
+#include "bc/interp.h"
+#include "runtime/builtins.h"
+#include "support/stats.h"
+
+#include <cmath>
+
+using namespace rjit;
+
+LowHooks &rjit::lowHooks() {
+  static LowHooks Hooks;
+  return Hooks;
+}
+
+// Threaded (computed-goto) dispatch on GNU-compatible compilers; plain
+// switch dispatch otherwise. Define RJIT_NO_CGOTO to force the fallback.
+#if defined(__GNUC__) && !defined(RJIT_NO_CGOTO)
+#define RJIT_CGOTO 1
+#else
+#define RJIT_CGOTO 0
+#endif
+
+#if RJIT_CGOTO
+#define VMCASE(op) L_##op:
+#define VMSTEP()                                                             \
+  do {                                                                       \
+    IP = &F.Code[Pc];                                                        \
+    goto *Table[static_cast<uint8_t>(IP->Op)];                               \
+  } while (0)
+#else
+#define VMCASE(op) case LowOp::op:
+#define VMSTEP() break
+#endif
+
+namespace {
+
+Value coerceValue(const Value &V, Tag Target) {
+  switch (Target) {
+  case Tag::Lgl:
+    return Value::lgl(V.asCondition());
+  case Tag::Int:
+    return Value::integer(V.toInt());
+  case Tag::Real:
+    return Value::real(V.toReal());
+  case Tag::Cplx:
+    return Value::cplx(V.toCplx());
+  default:
+    rerror("invalid coercion target");
+  }
+}
+
+void superAssignFrom(Env *Start, Symbol Sym, Value V) {
+  for (Env *E = Start; E; E = E->parent()) {
+    if (Value *Slot = E->findLocal(Sym)) {
+      *Slot = std::move(V);
+      return;
+    }
+  }
+  Env *Outer = Start;
+  while (Outer && Outer->parent())
+    Outer = Outer->parent();
+  if (!Outer)
+    rerror("superassignment without an environment");
+  Outer->set(Sym, std::move(V));
+}
+
+/// COW + grow-on-assign element store into a typed vector container.
+template <typename ObjT, typename ElemT>
+Value setTypedElem(Value Obj, Tag VecTag, int64_t Idx, ElemT Elem) {
+  if (Idx < 1)
+    rerror("invalid subscript in assignment");
+  if (!Obj.unshared())
+    Obj = Value::adopt(VecTag,
+                       new ObjT(static_cast<ObjT *>(Obj.object())->D));
+  auto &D = static_cast<ObjT *>(Obj.object())->D;
+  if (static_cast<size_t>(Idx) > D.size())
+    D.resize(Idx, ElemT{});
+  D[Idx - 1] = Elem;
+  return Obj;
+}
+
+/// Complex ring ops and (in)equality (boxed operands).
+Value cplxArith(BinOp Op, Complex X, Complex Y) {
+  switch (Op) {
+  case BinOp::Add:
+    return Value::cplx(X + Y);
+  case BinOp::Sub:
+    return Value::cplx(X - Y);
+  case BinOp::Mul:
+    return Value::cplx(X * Y);
+  case BinOp::Div:
+    return Value::cplx(X / Y);
+  case BinOp::Eq:
+    return Value::lgl(X == Y);
+  case BinOp::Ne:
+    return Value::lgl(!(X == Y));
+  default:
+    rerror("invalid complex operation");
+  }
+}
+
+bool isCmpOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+template <typename T> bool cmpApply(BinOp Op, T X, T Y) {
+  switch (Op) {
+  case BinOp::Eq:
+    return X == Y;
+  case BinOp::Ne:
+    return X != Y;
+  case BinOp::Lt:
+    return X < Y;
+  case BinOp::Le:
+    return X <= Y;
+  case BinOp::Gt:
+    return X > Y;
+  default:
+    return X >= Y;
+  }
+}
+
+int32_t intArithApply(BinOp Op, int32_t X, int32_t Y) {
+  switch (Op) {
+  case BinOp::Add:
+    return X + Y;
+  case BinOp::Sub:
+    return X - Y;
+  case BinOp::Mul:
+    return X * Y;
+  case BinOp::Mod: {
+    if (Y == 0)
+      rerror("integer modulo by zero");
+    int32_t R = X % Y;
+    if (R != 0 && ((R < 0) != (Y < 0)))
+      R += Y;
+    return R;
+  }
+  case BinOp::IDiv: {
+    if (Y == 0)
+      rerror("integer division by zero");
+    int32_t Q = X / Y;
+    if ((X % Y != 0) && ((X < 0) != (Y < 0)))
+      --Q;
+    return Q;
+  }
+  default:
+    assert(false && "not an int arithmetic op");
+    return 0;
+  }
+}
+
+double realArithApply(BinOp Op, double X, double Y) {
+  switch (Op) {
+  case BinOp::Add:
+    return X + Y;
+  case BinOp::Sub:
+    return X - Y;
+  case BinOp::Mul:
+    return X * Y;
+  case BinOp::Div:
+    return X / Y;
+  case BinOp::Pow:
+    return std::pow(X, Y);
+  case BinOp::Mod: {
+    double R = std::fmod(X, Y);
+    if (R != 0 && ((R < 0) != (Y < 0)))
+      R += Y;
+    return R;
+  }
+  case BinOp::IDiv:
+    return std::floor(X / Y);
+  default:
+    assert(false && "not a real arithmetic op");
+    return 0;
+  }
+}
+
+} // namespace
+
+Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
+                   Env *CurEnv, Env *ParentEnv) {
+  assert(Args.size() == F.NumParams && "argument count mismatch");
+  std::vector<Value> S(F.NumSlots);
+  std::vector<double> D(F.NumSlotsD);
+  std::vector<int32_t> Iv(F.NumSlotsI);
+
+  // Incoming arguments land in their class home; raw homes are unboxed
+  // here (their types were guaranteed by the caller/context).
+  for (size_t K = 0; K < Args.size(); ++K) {
+    switch (F.ParamClasses[K]) {
+    case SlotClass::Boxed:
+      S[F.ParamSlots[K]] = std::move(Args[K]);
+      break;
+    case SlotClass::RawReal:
+      D[F.ParamSlots[K]] = Args[K].asRealUnchecked();
+      break;
+    case SlotClass::RawInt:
+      Iv[F.ParamSlots[K]] = Args[K].asIntUnchecked();
+      break;
+    }
+  }
+
+  LowHooks &H = lowHooks();
+  Env *ReadEnv = CurEnv ? CurEnv : ParentEnv;
+  int32_t Pc = 0;
+
+#if RJIT_CGOTO
+  static const void *Table[] = {
+      &&L_LoadConst,     &&L_Move,          &&L_Box,
+      &&L_Unbox,         &&L_Coerce,        &&L_LdEnv,
+      &&L_StEnv,         &&L_StEnvSuper,    &&L_MkClosLow,
+      &&L_CallValLow,    &&L_CallBiLow,     &&L_CallStaticLow,
+      &&L_ArithTyped,    &&L_BinGenLow,     &&L_NegLow,
+      &&L_NotLow,        &&L_AsCondLow,     &&L_Extract2Low,
+      &&L_Extract1Low,   &&L_Extract2Typed, &&L_SetElem2Low,
+      &&L_SetElem2Typed, &&L_SetIdx2EnvLow, &&L_SetIdx1EnvLow,
+      &&L_LengthLow,     &&L_GuardCond,     &&L_JumpLow,
+      &&L_BranchFalseLow, &&L_BranchTrueLow, &&L_CmpBranch,
+      &&L_RetLow,
+  };
+  const LowInstr *IP = &F.Code[0];
+#define I (*IP)
+  goto *Table[static_cast<uint8_t>(IP->Op)];
+#else
+  const int32_t N = static_cast<int32_t>(F.Code.size());
+  while (Pc < N) {
+#endif
+#if RJIT_CGOTO
+  {
+#else
+    const LowInstr &I = F.Code[Pc];
+    switch (I.Op) {
+#endif
+    VMCASE(LoadConst) {
+      const Value &V = F.Consts[I.Imm];
+      switch (static_cast<SlotClass>(I.B)) {
+      case SlotClass::Boxed:
+        S[I.Dst] = V;
+        break;
+      case SlotClass::RawReal:
+        D[I.Dst] = V.asRealUnchecked();
+        break;
+      case SlotClass::RawInt:
+        Iv[I.Dst] = V.asIntUnchecked();
+        break;
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Move) {
+      switch (static_cast<SlotClass>(I.B)) {
+      case SlotClass::Boxed:
+        if (I.C)
+          S[I.Dst] = std::move(S[I.A]); // source slot is dead
+        else
+          S[I.Dst] = S[I.A];
+        break;
+      case SlotClass::RawReal:
+        D[I.Dst] = D[I.A];
+        break;
+      case SlotClass::RawInt:
+        Iv[I.Dst] = Iv[I.A];
+        break;
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Box) {
+      S[I.Dst] = static_cast<SlotClass>(I.C) == SlotClass::RawReal
+                     ? Value::real(D[I.A])
+                     : Value::integer(Iv[I.A]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Unbox) {
+      if (static_cast<SlotClass>(I.C) == SlotClass::RawReal)
+        D[I.Dst] = S[I.A].asRealUnchecked();
+      else
+        Iv[I.Dst] = S[I.A].asIntUnchecked();
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Coerce) {
+      Tag Target = static_cast<Tag>(I.C & 0xFF);
+      SlotClass SrcK = static_cast<SlotClass>(I.C >> 8);
+      SlotClass DstK = static_cast<SlotClass>(I.B);
+      if (DstK == SlotClass::RawReal) {
+        D[I.Dst] = SrcK == SlotClass::RawReal  ? D[I.A]
+                   : SrcK == SlotClass::RawInt ? static_cast<double>(Iv[I.A])
+                                               : S[I.A].toReal();
+      } else if (DstK == SlotClass::RawInt) {
+        Iv[I.Dst] = SrcK == SlotClass::RawInt ? Iv[I.A]
+                    : SrcK == SlotClass::RawReal
+                        ? static_cast<int32_t>(D[I.A])
+                        : S[I.A].toInt();
+      } else {
+        Value Src = SrcK == SlotClass::RawReal  ? Value::real(D[I.A])
+                    : SrcK == SlotClass::RawInt ? Value::integer(Iv[I.A])
+                                                : S[I.A];
+        S[I.Dst] = coerceValue(Src, Target);
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(LdEnv) {
+      if (!ReadEnv)
+        rerror("unbound variable (no environment)");
+      S[I.Dst] = ReadEnv->get(static_cast<Symbol>(I.Imm));
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(StEnv) {
+      assert(CurEnv && "store requires a real environment");
+      CurEnv->set(static_cast<Symbol>(I.Imm), S[I.A]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(StEnvSuper) {
+      if (CurEnv)
+        CurEnv->setSuper(static_cast<Symbol>(I.Imm), S[I.A]);
+      else
+        superAssignFrom(ParentEnv, static_cast<Symbol>(I.Imm), S[I.A]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(MkClosLow) {
+      assert(CurEnv && "closures capture a real environment");
+      S[I.Dst] = Value::closure(F.Origin->InnerFns[I.Imm], CurEnv);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(CallValLow)
+    VMCASE(CallStaticLow) {
+      std::vector<Value> CallArgs(I.Imm);
+      for (int32_t K = 0; K < I.Imm; ++K)
+        CallArgs[K] = std::move(S[I.B + K]);
+      S[I.Dst] = callValue(S[I.A], std::move(CallArgs));
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(CallBiLow) {
+      S[I.Dst] = callBuiltin(static_cast<BuiltinId>(I.C), &S[I.B],
+                             static_cast<size_t>(I.Imm));
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(ArithTyped) {
+      BinOp Op = static_cast<BinOp>(I.C >> 2);
+      int Rank = I.C & 3;
+      if (Rank == 2) {
+        if (isCmpOp(Op))
+          S[I.Dst] = Value::lgl(cmpApply(Op, D[I.A], D[I.B]));
+        else
+          D[I.Dst] = realArithApply(Op, D[I.A], D[I.B]);
+      } else if (Rank == 1) {
+        if (isCmpOp(Op))
+          S[I.Dst] = Value::lgl(cmpApply(Op, Iv[I.A], Iv[I.B]));
+        else
+          Iv[I.Dst] = intArithApply(Op, Iv[I.A], Iv[I.B]);
+      } else {
+        S[I.Dst] = cplxArith(Op, S[I.A].asCplxUnchecked(),
+                             S[I.B].asCplxUnchecked());
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(BinGenLow) {
+      S[I.Dst] = genericBinary(static_cast<BinOp>(I.C), S[I.A], S[I.B]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(NegLow) {
+      S[I.Dst] = genericNeg(S[I.A]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(NotLow) {
+      S[I.Dst] = genericNot(S[I.A]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(AsCondLow) {
+      S[I.Dst] = Value::lgl(S[I.A].asCondition());
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Extract2Low) {
+      S[I.Dst] = extract2(S[I.A], S[I.B].toInt());
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Extract1Low) {
+      S[I.Dst] = extract1(S[I.A], S[I.B]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(Extract2Typed) {
+      const Value &Obj = S[I.A];
+      int64_t Idx = Iv[I.B];
+      switch (static_cast<Tag>(I.C)) {
+      case Tag::Real: {
+        const auto &Dd = Obj.realVecObj()->D;
+        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+          rerror("subscript out of bounds: " + std::to_string(Idx));
+        D[I.Dst] = Dd[Idx - 1];
+        break;
+      }
+      case Tag::Int: {
+        const auto &Dd = Obj.intVecObj()->D;
+        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+          rerror("subscript out of bounds: " + std::to_string(Idx));
+        Iv[I.Dst] = Dd[Idx - 1];
+        break;
+      }
+      case Tag::Cplx: {
+        const auto &Dd = Obj.cplxVecObj()->D;
+        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+          rerror("subscript out of bounds: " + std::to_string(Idx));
+        S[I.Dst] = Value::cplx(Dd[Idx - 1]);
+        break;
+      }
+      default: {
+        const auto &Dd = Obj.lglVecObj()->D;
+        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+          rerror("subscript out of bounds: " + std::to_string(Idx));
+        S[I.Dst] = Value::lgl(Dd[Idx - 1] != 0);
+        break;
+      }
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(SetElem2Low) {
+      bool Steal = I.C & 0x100;
+      Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
+      S[I.Dst] = assign2(std::move(Obj), S[I.B].toInt(), S[I.Imm]);
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(SetElem2Typed) {
+      bool Steal = I.C & 0x100;
+      Tag Kind = static_cast<Tag>(I.C & 0xFF);
+      Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
+      int64_t Idx = Iv[I.B];
+      switch (Kind) {
+      case Tag::Real:
+        S[I.Dst] = setTypedElem<RealVecObj, double>(
+            std::move(Obj), Tag::RealVec, Idx, D[I.Imm]);
+        break;
+      case Tag::Int:
+        S[I.Dst] = setTypedElem<IntVecObj, int32_t>(
+            std::move(Obj), Tag::IntVec, Idx, Iv[I.Imm]);
+        break;
+      case Tag::Cplx:
+        S[I.Dst] = setTypedElem<CplxVecObj, Complex>(
+            std::move(Obj), Tag::CplxVec, Idx, S[I.Imm].asCplxUnchecked());
+        break;
+      default:
+        S[I.Dst] = setTypedElem<LglVecObj, int8_t>(
+            std::move(Obj), Tag::LglVec, Idx,
+            static_cast<int8_t>(S[I.Imm].asLglUnchecked() ? 1 : 0));
+        break;
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(SetIdx2EnvLow)
+    VMCASE(SetIdx1EnvLow) {
+      assert(CurEnv && "env-indexed store requires an environment");
+      Symbol Sym = static_cast<Symbol>(I.Imm2);
+      Value *Slot = CurEnv->findLocal(Sym);
+      if (!Slot) {
+        CurEnv->set(Sym, CurEnv->get(Sym));
+        Slot = CurEnv->findLocal(Sym);
+      }
+      *Slot = assign2(std::move(*Slot), S[I.A].toInt(), S[I.B]);
+      S[I.Dst] = S[I.B];
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(LengthLow) {
+      Iv[I.Dst] = static_cast<int32_t>(S[I.A].length());
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(GuardCond) {
+      const DeoptMeta &M = F.Deopts[I.Imm];
+      bool Ok;
+      switch (I.C) {
+      case 0:
+        Ok = S[I.A].tag() == M.ExpectedTag;
+        break;
+      case 1:
+        Ok = S[I.A].tag() == Tag::Clos &&
+             S[I.A].closObj()->Fn == M.ExpectedFun;
+        break;
+      case 2:
+        Ok = S[I.A].tag() == Tag::Builtin &&
+             S[I.A].builtinId() == M.ExpectedBuiltin;
+        break;
+      default:
+        Ok = S[I.A].tag() == Tag::Lgl && S[I.A].asLglUnchecked();
+        break;
+      }
+      ++stats().AssumeChecks;
+      bool Injected = false;
+      // Builtin-stability guards (C == 2) model what Ř implements as a
+      // watchpoint-invalidated global assumption, not a per-execution
+      // check; the random-invalidation test mode therefore only targets
+      // the genuinely dynamic guards (see EXPERIMENTS.md).
+      if (Ok && I.C != 2 && H.InvalidationCountdown &&
+          --H.InvalidationCountdown == 0) {
+        H.rearmInvalidation();
+        Ok = false;
+        Injected = true;
+        ++stats().InjectedFailures;
+      }
+      if (!Ok) {
+        ++stats().AssumeFailures;
+        if (!H.Deopt)
+          rerror("speculation failed and no deoptimization handler is "
+                 "installed");
+        // The paper's Listing 3: the deopt primitive is (tail-)called and
+        // its result is the result of this activation.
+        return H.Deopt(F, S, I.Imm, CurEnv, ParentEnv, Injected);
+      }
+      ++Pc;
+      VMSTEP();
+    }
+    VMCASE(JumpLow) {
+      Pc = I.Imm;
+      VMSTEP();
+    }
+    VMCASE(BranchFalseLow) {
+      Pc = S[I.A].asCondition() ? Pc + 1 : I.Imm;
+      VMSTEP();
+    }
+    VMCASE(BranchTrueLow) {
+      Pc = S[I.A].asCondition() ? I.Imm : Pc + 1;
+      VMSTEP();
+    }
+    VMCASE(CmpBranch) {
+      bool SenseTrue = I.C & 0x8000;
+      uint16_t Packed = I.C & 0x7FFF;
+      BinOp Op = static_cast<BinOp>(Packed >> 2);
+      int Rank = Packed & 3;
+      bool Cond;
+      if (Rank == 2)
+        Cond = cmpApply(Op, D[I.A], D[I.B]);
+      else if (Rank == 1)
+        Cond = cmpApply(Op, Iv[I.A], Iv[I.B]);
+      else
+        Cond = cplxArith(Op, S[I.A].asCplxUnchecked(),
+                         S[I.B].asCplxUnchecked())
+                   .asLglUnchecked();
+      Pc = (Cond == SenseTrue) ? I.Imm : Pc + 1;
+      VMSTEP();
+    }
+    VMCASE(RetLow)
+      return std::move(S[I.A]);
+#if RJIT_CGOTO
+  }
+#undef I
+#else
+    }
+  }
+#endif
+  assert(false && "fell off the end of LowCode");
+  rerror("internal: malformed LowCode");
+}

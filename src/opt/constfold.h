@@ -1,0 +1,25 @@
+//===-- opt/constfold.h - Constant folding & branch pruning ------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds operations on constants and prunes branches with constant
+/// conditions (fixing predecessor lists and phis of the dead edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OPT_CONSTFOLD_H
+#define RJIT_OPT_CONSTFOLD_H
+
+#include "ir/instr.h"
+
+namespace rjit {
+
+/// Runs folding in place; returns true on any change.
+bool foldConstants(IrCode &C);
+
+} // namespace rjit
+
+#endif // RJIT_OPT_CONSTFOLD_H

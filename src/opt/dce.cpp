@@ -1,0 +1,57 @@
+//===-- opt/dce.cpp - Dead code & trivial phi elimination ----------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/dce.h"
+
+using namespace rjit;
+
+namespace {
+
+/// phi(v, v, ..., v) or phi(v, phi, v) where phi is the instruction itself
+/// reduces to v.
+bool simplifyTrivialPhis(IrCode &C) {
+  bool Changed = false;
+  bool Again = true;
+  while (Again) {
+    Again = false;
+    // Count uses so already-detached phis are skipped.
+    std::vector<uint32_t> UseCount(C.NextInstrId, 0);
+    C.eachInstr([&](Instr *I) {
+      for (Instr *Op : I->Ops)
+        ++UseCount[Op->Id];
+    });
+    C.eachInstr([&](Instr *I) {
+      if (I->Op != IrOp::Phi || I->PhiCoerces || UseCount[I->Id] == 0)
+        return;
+      Instr *Unique = nullptr;
+      bool Trivial = true;
+      for (Instr *Op : I->Ops) {
+        if (Op == I)
+          continue;
+        if (Unique && Op != Unique) {
+          Trivial = false;
+          break;
+        }
+        Unique = Op;
+      }
+      if (!Trivial || !Unique || Unique == I)
+        return;
+      // Replace the phi by its unique source everywhere; the now-unused
+      // phi is swept by sweepDead.
+      C.replaceAllUses(I, Unique);
+      Changed = Again = true;
+    });
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool rjit::deadCodeElim(IrCode &C) {
+  bool Changed = simplifyTrivialPhis(C);
+  Changed |= C.sweepDead();
+  return Changed;
+}

@@ -1,0 +1,22 @@
+//===-- opt/dce.h - Dead code & trivial phi elimination ----------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OPT_DCE_H
+#define RJIT_OPT_DCE_H
+
+#include "ir/instr.h"
+
+namespace rjit {
+
+/// Eliminates trivial phis (all operands identical, possibly including the
+/// phi itself) and unused pure instructions — including Checkpoints no
+/// Assume refers to, together with their FrameStates. Returns true on any
+/// change.
+bool deadCodeElim(IrCode &C);
+
+} // namespace rjit
+
+#endif // RJIT_OPT_DCE_H

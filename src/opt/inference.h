@@ -1,0 +1,35 @@
+//===-- opt/inference.h - Optimistic type inference --------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recomputes instruction types to a fixpoint (optimistic: derived types
+/// start at bottom and only grow). Also performs numeric phi promotion:
+/// a phi joining different numeric scalar kinds (e.g. Int from the entry
+/// context and Real from the loop body — the exact situation in a
+/// deoptless continuation after an int->float phase change) is promoted to
+/// the widest kind, with the backend coercing incoming values on each
+/// edge. This implements the "infer new feedback ... and update the
+/// expected type" step of the paper's feedback-inference pass at the type
+/// level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OPT_INFERENCE_H
+#define RJIT_OPT_INFERENCE_H
+
+#include "ir/instr.h"
+
+namespace rjit {
+
+/// Runs inference in place. Returns true if any type changed.
+bool inferTypes(IrCode &C);
+
+/// Static result type of a known builtin call given argument types.
+RType builtinResultType(BuiltinId Id, const std::vector<RType> &Args);
+
+} // namespace rjit
+
+#endif // RJIT_OPT_INFERENCE_H

@@ -1,0 +1,90 @@
+//===-- opt/pipeline.cpp - Optimization pipeline -------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/pipeline.h"
+#include "opt/constfold.h"
+#include "opt/dce.h"
+#include "opt/inference.h"
+#include "opt/lowertyped.h"
+
+#include <cstdio>
+
+using namespace rjit;
+
+namespace {
+
+/// Finds Assume guards that can never pass per the (sound) inferred types:
+/// these arise from stale type feedback (e.g. an accumulator that was an
+/// int in the profile but is provably a double on the continuation's
+/// path). Repairs the corresponding feedback slot with the inferred type
+/// so a recompile speculates correctly — the paper's §4.3 "run [type
+/// inference] on the type feedback and use the result to update the
+/// expected type". Returns true when any slot was repaired.
+bool repairContradictedFeedback(IrCode &C, Function *Fn) {
+  bool Repaired = false;
+  C.eachInstr([&](Instr *I) {
+    if (I->Op != IrOp::AssumeIr || I->Ops.empty())
+      return;
+    Instr *Cond = I->op(0);
+    if (Cond->Op != IrOp::IsTagIr)
+      return;
+    RType Have = Cond->op(0)->Type;
+    if (Have.isNone() || Have.isAny())
+      return;
+    if (!Have.meet(RType::of(Cond->TagArg)).isNone())
+      return; // the guard can pass
+    int32_t SlotIdx = I->Idx;
+    if (SlotIdx < 0 ||
+        SlotIdx >= static_cast<int32_t>(Fn->Feedback.Types.size()))
+      return;
+    TypeFeedback &FB = Fn->Feedback.Types[SlotIdx];
+    if (Have.precise())
+      FB.reset(Have.uniqueTag());
+    else
+      FB.clear();
+    Repaired = true;
+  });
+  return Repaired;
+}
+
+} // namespace
+
+std::unique_ptr<IrCode> rjit::optimizeToIr(Function *Fn, CallConv Conv,
+                                           const EntryState &Entry,
+                                           const OptOptions &Opts) {
+  std::unique_ptr<IrCode> C;
+  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    C = translate(Fn, Conv, Entry, Opts);
+    if (!C)
+      return nullptr;
+
+    bool Changed = true;
+    int Rounds = 0;
+    while (Changed && Rounds++ < 8) {
+      Changed = false;
+      Changed |= inferTypes(*C);
+      if (Opts.TypedOps)
+        Changed |= lowerTypedOps(*C);
+      if (Opts.FoldConstants)
+        Changed |= foldConstants(*C);
+      Changed |= deadCodeElim(*C);
+    }
+
+    if (!Opts.Speculate || !repairContradictedFeedback(*C, Fn))
+      break; // no stale guards left
+  }
+
+  std::string Err = verify(*C);
+  if (!Err.empty()) {
+    // A verifier failure is a compiler bug; be loud in debug builds and
+    // fail the compilation (keeping the baseline correct) in release.
+    fprintf(stderr, "rjit: IR verification failed for '%s': %s\n",
+            symbolName(Fn->Name).c_str(), Err.c_str());
+    assert(false && "IR verification failed");
+    return nullptr;
+  }
+  return C;
+}

@@ -1,0 +1,69 @@
+//===-- opt/translate.h - Bytecode to IR translation -------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates baseline bytecode to optimizer IR by abstract interpretation
+/// of the operand stack (Ř's rir2pir equivalent). Key properties the rest
+/// of the system relies on:
+///
+///  * translation can start at any bytecode pc, pre-seeding the abstract
+///    stack — this is how OSR-in and deoptless continuations are compiled
+///    (paper §4.2: "the only difference is that we choose the current
+///    program counter value as an entry point");
+///  * speculation is inserted inline from type/call feedback: every Assume
+///    refers to a Checkpoint carrying a FrameState that describes the
+///    interpreter state at that pc (paper Listing 2);
+///  * environments are elided for functions that provably keep their
+///    locals private (no closures created, no read-first writes); locals
+///    then live in SSA and only exist in FrameStates, to be materialized
+///    on deoptimization (the deferred MkEnv of paper §4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OPT_TRANSLATE_H
+#define RJIT_OPT_TRANSLATE_H
+
+#include "bc/bytecode.h"
+#include "ir/instr.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace rjit {
+
+/// Description of the entry state for continuation compilation.
+struct EntryState {
+  int32_t Pc = 0;
+  /// Types of the operand-stack values at entry (bottom first).
+  std::vector<RType> StackTypes;
+  /// Types of the local bindings passed in (Deoptless) or loaded from the
+  /// environment at entry (OsrIn).
+  std::vector<std::pair<Symbol, RType>> EnvTypes;
+};
+
+/// Translation/optimization knobs.
+struct OptOptions {
+  bool Speculate = true;       ///< insert Assume guards from feedback
+  bool ElideEnv = true;        ///< allow environment elision
+  bool TypedOps = true;        ///< strength-reduce generic ops
+  bool FoldConstants = true;
+};
+
+/// Result of checking whether a function's environment can be elided.
+bool envIsElidable(const Function &Fn);
+
+/// Translates \p Fn to IR. \p Conv selects the calling convention; for
+/// OsrIn/Deoptless the \p Entry state must describe pc/stack/locals.
+/// Returns null when translation is not possible (e.g. a Deoptless
+/// continuation for a function whose environment cannot be elided).
+std::unique_ptr<IrCode> translate(Function *Fn, CallConv Conv,
+                                  const EntryState &Entry,
+                                  const OptOptions &Opts);
+
+} // namespace rjit
+
+#endif // RJIT_OPT_TRANSLATE_H

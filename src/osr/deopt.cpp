@@ -1,0 +1,76 @@
+//===-- osr/deopt.cpp - The deopt primitive (OSR-out) ---------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "osr/deopt.h"
+#include "bc/interp.h"
+#include "osr/deoptless.h"
+#include "support/stats.h"
+
+using namespace rjit;
+
+namespace {
+
+DeoptListener TheListener = nullptr;
+
+} // namespace
+
+void rjit::setDeoptListener(DeoptListener L) { TheListener = L; }
+
+Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
+                            const DeoptMeta &Meta, Env *CurEnv,
+                            Env *ParentEnv) {
+  ++stats().Deopts;
+
+  // Materialize the environment. Real-env code resumes with its live
+  // environment; elided code materializes one from the framestate — the
+  // deferred MkEnv of paper Listing 2.
+  Env *E = CurEnv;
+  bool Fresh = false;
+  if (!E) {
+    E = new Env(ParentEnv);
+    E->retain();
+    Fresh = true;
+    for (const auto &[Sym, SlotIdx] : Meta.EnvSlots)
+      E->set(Sym, Slots[SlotIdx]);
+  }
+
+  // Reconstruct the operand stack.
+  std::vector<Value> Stack;
+  Stack.reserve(Meta.StackSlots.size());
+  for (uint16_t SlotIdx : Meta.StackSlots)
+    Stack.push_back(Slots[SlotIdx]);
+
+  Value Result;
+  try {
+    Result = interpretResume(F.Origin, E, std::move(Stack), Meta.BcPc);
+  } catch (...) {
+    if (Fresh)
+      E->release();
+    throw;
+  }
+  if (Fresh)
+    E->release();
+  return Result;
+}
+
+Value rjit::deoptHandler(const LowFunction &F, std::vector<Value> &Slots,
+                         int32_t MetaIdx, Env *CurEnv, Env *ParentEnv,
+                         bool Injected) {
+  const DeoptMeta &Meta = F.Deopts[MetaIdx];
+
+  // Paper Listing 6: try deoptless first.
+  if (!CurEnv) {
+    Value Result;
+    if (tryDeoptless(F, Slots, Meta, ParentEnv, Injected, Result))
+      return Result;
+  }
+
+  if (TheListener)
+    TheListener(F.Origin, Meta, Injected);
+  return deoptToBaseline(F, Slots, Meta, CurEnv, ParentEnv);
+}
+
+void rjit::installOsrRuntime() { lowHooks().Deopt = deoptHandler; }

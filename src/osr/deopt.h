@@ -1,0 +1,48 @@
+//===-- osr/deopt.h - The deopt primitive (OSR-out) --------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deopt primitive of paper Listing 4/6: invoked (conceptually
+/// tail-called) by optimized code when a guard fails. With deoptless
+/// enabled it first attempts an optimized-to-optimized transfer; otherwise
+/// it extracts the interpreter-level state from the DeoptMeta, materializes
+/// the environment (the deferred MkEnv), pushes the operand stack, and
+/// resumes the baseline interpreter at the deopt pc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OSR_DEOPT_H
+#define RJIT_OSR_DEOPT_H
+
+#include "lowcode/exec.h"
+
+namespace rjit {
+
+/// Notification callback invoked on every true deoptimization; the VM
+/// layer installs one to implement per-strategy policies (discarding the
+/// optimized version, re-profiling, blacklisting).
+using DeoptListener = void (*)(Function *Fn, const DeoptMeta &Meta,
+                               bool Injected);
+
+/// Registers the VM's listener (single listener; null to clear).
+void setDeoptListener(DeoptListener L);
+
+/// The handler to install into lowHooks().Deopt.
+Value deoptHandler(const LowFunction &F, std::vector<Value> &Slots,
+                   int32_t MetaIdx, Env *CurEnv, Env *ParentEnv,
+                   bool Injected);
+
+/// Performs a true deoptimization (no deoptless): materializes the state
+/// and resumes the interpreter. Exposed for tests and the OSR-in runtime.
+Value deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
+                      const DeoptMeta &Meta, Env *CurEnv, Env *ParentEnv);
+
+/// Installs the OSR runtime into the LowCode engine hooks.
+void installOsrRuntime();
+
+} // namespace rjit
+
+#endif // RJIT_OSR_DEOPT_H

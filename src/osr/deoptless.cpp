@@ -1,0 +1,220 @@
+//===-- osr/deoptless.cpp - Dispatched specialized continuations ---------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "osr/deoptless.h"
+#include "lowcode/exec.h"
+#include "lowcode/lower.h"
+#include "opt/cleanup.h"
+#include "opt/pipeline.h"
+#include "support/stats.h"
+
+#include <map>
+
+using namespace rjit;
+
+DeoptlessConfig &rjit::deoptlessConfig() {
+  static DeoptlessConfig Cfg;
+  return Cfg;
+}
+
+namespace {
+
+std::map<Function *, DeoptlessTable> &tables() {
+  static std::map<Function *, DeoptlessTable> T;
+  return T;
+}
+
+/// Call depths at which a deoptless continuation is currently running.
+/// A guard failing at the same depth is *recursive* deoptless (paper
+/// §4.3) and must fall back to a true deoptimization; callees (deeper
+/// depths) may still use deoptless.
+std::vector<int64_t> &continuationDepths() {
+  static std::vector<int64_t> Depths;
+  return Depths;
+}
+
+bool inRecursiveDeoptless() {
+  return !continuationDepths().empty() &&
+         continuationDepths().back() == lowHooks().CallDepth;
+}
+
+/// Computes the current optimization context from the live guard state.
+bool computeContext(const LowFunction &F, std::vector<Value> &Slots,
+                    const DeoptMeta &Meta, bool Injected, DeoptContext &Ctx) {
+  if (Meta.StackSlots.size() > MaxCtxStack ||
+      Meta.EnvSlots.size() > MaxCtxEnv)
+    return false; // states with bigger contexts are skipped (paper §4.3)
+
+  Ctx.Pc = Meta.BcPc;
+  Ctx.Reason.Kind = Injected ? DeoptReasonKind::Injected : Meta.RKind;
+  Ctx.Reason.ReasonPc = Meta.ReasonPc;
+  Ctx.Reason.FailedSlot = Meta.FailedFeedbackSlot;
+  if (Meta.HasValueSlot) {
+    const Value &V = Slots[Meta.ValueSlot];
+    Ctx.Reason.ActualTag = V.tag();
+    if (V.tag() == Tag::Clos)
+      Ctx.Reason.ActualFn = V.closObj()->Fn;
+  }
+  Ctx.StackSize = static_cast<uint16_t>(Meta.StackSlots.size());
+  for (size_t K = 0; K < Meta.StackSlots.size(); ++K)
+    Ctx.StackTags[K] = Slots[Meta.StackSlots[K]].tag();
+  Ctx.EnvSize = static_cast<uint16_t>(Meta.EnvSlots.size());
+  for (size_t K = 0; K < Meta.EnvSlots.size(); ++K)
+    Ctx.EnvEntries[K] = {Meta.EnvSlots[K].first,
+                         Slots[Meta.EnvSlots[K].second].tag()};
+  return true;
+}
+
+/// The paper's deoptlessCondition.
+bool deoptlessCondition(const LowFunction &F, const DeoptMeta &Meta,
+                        Env *CurEnv, bool Injected) {
+  if (!deoptlessConfig().Enabled)
+    return false;
+  if (inRecursiveDeoptless())
+    return false; // no recursive deoptless
+  if (CurEnv)
+    return false; // leaked/materialized environment: give up (paper §4.3)
+  // A real builtin redefinition is a changed global assumption: the code
+  // is permanently invalid and must actually deoptimize. Injected test
+  // failures leave the fact intact.
+  if (Meta.RKind == DeoptReasonKind::BuiltinGuard && !Injected)
+    return false;
+  return true;
+}
+
+/// Compiles a continuation for \p Ctx (with repaired feedback).
+std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
+                                                 const DeoptContext &Ctx) {
+  // Repair the profile first (paper §4.3 "Incomplete Profile Data").
+  DeoptSnapshot Snap;
+  Snap.Pc = Ctx.Reason.ReasonPc;
+  Snap.Kind = Ctx.Reason.Kind == DeoptReasonKind::Injected
+                  ? DeoptReasonKind::Typecheck
+                  : Ctx.Reason.Kind;
+  Snap.FailedSlot = Ctx.Reason.FailedSlot;
+  Snap.ActualTag = Ctx.Reason.ActualTag;
+  for (unsigned K = 0; K < Ctx.EnvSize; ++K)
+    Snap.EnvTags.push_back(Ctx.EnvEntries[K]);
+  // Injected failures have nothing to repair: the guarded fact holds.
+  bool Repair = deoptlessConfig().FeedbackCleanup &&
+                Ctx.Reason.Kind != DeoptReasonKind::Injected;
+  FeedbackTable Repaired = cleanupFeedback(*Fn, Snap, Repair);
+
+  EntryState Entry;
+  Entry.Pc = Ctx.Pc;
+  for (unsigned K = 0; K < Ctx.StackSize; ++K)
+    Entry.StackTypes.push_back(RType::of(Ctx.StackTags[K]));
+  for (unsigned K = 0; K < Ctx.EnvSize; ++K)
+    Entry.EnvTypes.push_back(
+        {Ctx.EnvEntries[K].first, RType::of(Ctx.EnvEntries[K].second)});
+
+  // Compile against the repaired profile.
+  std::swap(Fn->Feedback, Repaired);
+  OptOptions Opts;
+  std::unique_ptr<IrCode> Ir =
+      optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
+  std::swap(Fn->Feedback, Repaired);
+  if (!Ir)
+    return nullptr;
+  return lowerToLow(*Ir);
+}
+
+} // namespace
+
+Continuation *DeoptlessTable::dispatch(const DeoptContext &Ctx) {
+  // The table is kept sorted most-specialized-first; take the first
+  // compatible entry (paper §4.3).
+  for (auto &E : Entries)
+    if (Ctx <= E->Ctx)
+      return E.get();
+  return nullptr;
+}
+
+bool DeoptlessTable::full() const {
+  return Entries.size() >= deoptlessConfig().MaxContinuations;
+}
+
+bool DeoptlessTable::insert(DeoptContext Ctx,
+                            std::unique_ptr<LowFunction> Code) {
+  if (full())
+    return false;
+  auto E = std::make_unique<Continuation>();
+  E->Ctx = Ctx;
+  E->Code = std::move(Code);
+  // Linearize the partial order: more specialized entries first.
+  size_t Pos = 0;
+  while (Pos < Entries.size() && !(Ctx <= Entries[Pos]->Ctx))
+    ++Pos;
+  Entries.insert(Entries.begin() + Pos, std::move(E));
+  return true;
+}
+
+DeoptlessTable &rjit::deoptlessTableFor(Function *Fn) {
+  return tables()[Fn];
+}
+
+void rjit::clearDeoptlessTables() { tables().clear(); }
+
+bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
+                        const DeoptMeta &Meta, Env *ParentEnv, bool Injected,
+                        Value &Result) {
+  if (!deoptlessCondition(F, Meta, /*CurEnv=*/nullptr, Injected))
+    return false;
+  ++stats().DeoptlessAttempts;
+
+  DeoptContext Ctx;
+  if (!computeContext(F, Slots, Meta, Injected, Ctx)) {
+    ++stats().DeoptlessRejected;
+    return false;
+  }
+
+  Function *Fn = F.Origin;
+  DeoptlessTable &Table = deoptlessTableFor(Fn);
+  Continuation *Cont = Table.dispatch(Ctx);
+
+  // Recompile heuristic: a hit that is strictly more generic than the
+  // current context is replaced by a fresh specialization while the table
+  // has room.
+  bool TooGeneric = Cont && deoptlessConfig().RecompileHeuristic &&
+                    !(Cont->Ctx <= Ctx) && !Table.full();
+  if (!Cont || TooGeneric) {
+    std::unique_ptr<LowFunction> Code = compileContinuation(Fn, Ctx);
+    if (!Code || Table.full()) {
+      ++stats().DeoptlessRejected;
+      return false;
+    }
+    ++stats().DeoptlessCompiles;
+    Table.insert(Ctx, std::move(Code));
+    Cont = Table.dispatch(Ctx);
+    if (!Cont) {
+      ++stats().DeoptlessRejected;
+      return false;
+    }
+  } else {
+    ++stats().DeoptlessHits;
+  }
+  ++Cont->Hits;
+
+  // Invoke the continuation directly with the live state: stack values
+  // first, then the captured locals (the continuation's parameter order).
+  std::vector<Value> Args;
+  Args.reserve(Meta.StackSlots.size() + Meta.EnvSlots.size());
+  for (uint16_t SlotIdx : Meta.StackSlots)
+    Args.push_back(Slots[SlotIdx]);
+  for (auto &[Sym, SlotIdx] : Meta.EnvSlots)
+    Args.push_back(Slots[SlotIdx]);
+
+  continuationDepths().push_back(lowHooks().CallDepth);
+  try {
+    Result = runLow(*Cont->Code, std::move(Args), /*CurEnv=*/nullptr,
+                    ParentEnv);
+  } catch (...) {
+    continuationDepths().pop_back();
+    throw;
+  }
+  continuationDepths().pop_back();
+  return true;
+}

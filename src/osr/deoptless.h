@@ -1,0 +1,83 @@
+//===-- osr/deoptless.h - Dispatched specialized continuations ---*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution: deoptimization points become
+/// assumption-polymorphic dispatch sites over specialized optimized
+/// continuations. Each function owns a bounded dispatch table of
+/// continuations keyed by DeoptContext; on a failing guard the handler
+/// computes the current context, dispatches (first entry whose context is
+/// >= the current one in the partial order), possibly compiles a new
+/// continuation (with repaired feedback, see opt/cleanup), and invokes it
+/// directly with the live state — never leaving optimized code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OSR_DEOPTLESS_H
+#define RJIT_OSR_DEOPTLESS_H
+
+#include "osr/reason.h"
+
+#include <memory>
+#include <vector>
+
+namespace rjit {
+
+/// One compiled continuation with its compilation context.
+struct Continuation {
+  DeoptContext Ctx;
+  std::unique_ptr<LowFunction> Code;
+  uint32_t Hits = 0;
+};
+
+/// Per-function dispatch table (paper §4.3: at most 5 entries; the table
+/// is kept sorted from most to least specialized and scanned for the first
+/// compatible entry).
+class DeoptlessTable {
+public:
+  /// First continuation callable from \p Ctx, or null.
+  Continuation *dispatch(const DeoptContext &Ctx);
+
+  /// Inserts \p Code for \p Ctx; returns false when the table is full.
+  bool insert(DeoptContext Ctx, std::unique_ptr<LowFunction> Code);
+
+  size_t size() const { return Entries.size(); }
+  bool full() const;
+  const std::vector<std::unique_ptr<Continuation>> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<std::unique_ptr<Continuation>> Entries;
+};
+
+/// Deoptless tuning knobs (paper defaults).
+struct DeoptlessConfig {
+  bool Enabled = false;
+  bool FeedbackCleanup = true; ///< the §4.3 cleanup pass (ablation toggle)
+  uint32_t MaxContinuations = 5;
+  bool RecompileHeuristic = true; ///< recompile when a match is too generic
+};
+
+DeoptlessConfig &deoptlessConfig();
+
+/// Side table: per-function dispatch tables (owned here so lower layers
+/// need no knowledge of the VM's tier bookkeeping).
+DeoptlessTable &deoptlessTableFor(Function *Fn);
+
+/// Drops all dispatch tables (benchmark harness phase resets).
+void clearDeoptlessTables();
+
+/// Attempts the deoptless path for a failing guard. Returns true and sets
+/// \p Result when a continuation handled the rest of the activation;
+/// returns false when the caller must perform a true deoptimization.
+bool tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
+                  const DeoptMeta &Meta, Env *ParentEnv, bool Injected,
+                  Value &Result);
+
+} // namespace rjit
+
+#endif // RJIT_OSR_DEOPTLESS_H

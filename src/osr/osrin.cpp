@@ -1,0 +1,73 @@
+//===-- osr/osrin.cpp - OSR-in (tiering up) -------------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "osr/osrin.h"
+#include "lowcode/exec.h"
+#include "lowcode/lower.h"
+#include "opt/pipeline.h"
+#include "support/stats.h"
+
+#include <set>
+
+using namespace rjit;
+
+OsrInConfig &rjit::osrInConfig() {
+  static OsrInConfig Cfg;
+  return Cfg;
+}
+
+namespace {
+
+/// Functions where OSR-in compilation failed; don't retry every backedge.
+std::set<Function *> &blacklist() {
+  static std::set<Function *> B;
+  return B;
+}
+
+} // namespace
+
+bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
+                     int32_t Pc, Value &Result) {
+  if (!osrInConfig().Enabled || blacklist().count(Fn))
+    return false;
+
+  // The entry state is exact: the interpreter hands us concrete values.
+  EntryState Entry;
+  Entry.Pc = Pc;
+  for (const Value &V : Stack)
+    Entry.StackTypes.push_back(V.isNull() ? RType::of(Tag::Null)
+                                          : RType::of(V.tag()));
+  bool Elidable = envIsElidable(*Fn);
+  if (Elidable) {
+    for (const auto &[Sym, V] : E->bindings())
+      Entry.EnvTypes.push_back(
+          {Sym, V.isNull() ? RType::of(Tag::Null) : RType::of(V.tag())});
+  }
+
+  OptOptions Opts;
+  std::unique_ptr<IrCode> Ir = optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
+  if (!Ir) {
+    blacklist().insert(Fn);
+    return false;
+  }
+  std::unique_ptr<LowFunction> Low = lowerToLow(*Ir);
+  ++stats().OsrInCompilations;
+
+  // The interpreter's live values become arguments: stack first, then (for
+  // elided code) the environment bindings in the entry order.
+  std::vector<Value> Args;
+  Args.reserve(Stack.size() + Entry.EnvTypes.size());
+  for (Value &V : Stack)
+    Args.push_back(V);
+  if (!Low->NeedsEnv)
+    for (const auto &[Sym, T] : Entry.EnvTypes)
+      Args.push_back(E->get(Sym));
+
+  ++stats().OsrInEntries;
+  Result = runLow(*Low, std::move(Args),
+                  Low->NeedsEnv ? E : nullptr, E->parent());
+  return true;
+}

@@ -1,0 +1,37 @@
+//===-- osr/osrin.h - OSR-in (tiering up) ------------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OSR-in (paper §4.2): when a loop in the baseline interpreter becomes
+/// hot, compile a one-shot continuation from the current bytecode pc — the
+/// interpreter's operand stack values become call arguments — run it to
+/// completion, and return its result as the activation's result. The next
+/// invocation of the function is compiled from the beginning by the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OSR_OSRIN_H
+#define RJIT_OSR_OSRIN_H
+
+#include "bc/interp.h"
+#include "runtime/env.h"
+
+namespace rjit {
+
+/// OSR-in knobs.
+struct OsrInConfig {
+  bool Enabled = false;
+};
+
+OsrInConfig &osrInConfig();
+
+/// The hook to install into interpHooks().OsrIn.
+bool osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack, int32_t Pc,
+               Value &Result);
+
+} // namespace rjit
+
+#endif // RJIT_OSR_OSRIN_H

@@ -1,0 +1,67 @@
+//===-- osr/reason.cpp - Deopt reasons & contexts -------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "osr/reason.h"
+
+using namespace rjit;
+
+bool DeoptContext::operator<=(const DeoptContext &O) const {
+  // Contexts are only comparable for the same deoptimization target, the
+  // same operand stack height, the same local names, and a compatible
+  // reason (paper §3.1).
+  if (Pc != O.Pc || StackSize != O.StackSize || EnvSize != O.EnvSize)
+    return false;
+  if (Reason.Kind != O.Reason.Kind || Reason.ReasonPc != O.Reason.ReasonPc)
+    return false;
+  switch (Reason.Kind) {
+  case DeoptReasonKind::Typecheck:
+    if (!tagCompatible(Reason.ActualTag, O.Reason.ActualTag))
+      return false;
+    break;
+  case DeoptReasonKind::CallTarget:
+    if (Reason.ActualFn != O.Reason.ActualFn)
+      return false;
+    break;
+  case DeoptReasonKind::BuiltinGuard:
+    return false; // global redefinitions invalidate for good
+  case DeoptReasonKind::Injected:
+    break; // the guarded fact still holds; any injected context matches
+  }
+  for (unsigned K = 0; K < StackSize; ++K)
+    if (!tagCompatible(StackTags[K], O.StackTags[K]))
+      return false;
+  for (unsigned K = 0; K < EnvSize; ++K) {
+    if (EnvEntries[K].first != O.EnvEntries[K].first)
+      return false;
+    if (!tagCompatible(EnvEntries[K].second, O.EnvEntries[K].second))
+      return false;
+  }
+  return true;
+}
+
+std::string DeoptContext::str() const {
+  std::string S = "ctx pc=" + std::to_string(Pc) + " reason=";
+  S += deoptReasonName(Reason.Kind);
+  S += "@" + std::to_string(Reason.ReasonPc);
+  if (Reason.Kind == DeoptReasonKind::Typecheck ||
+      Reason.Kind == DeoptReasonKind::Injected)
+    S += std::string("(") + tagName(Reason.ActualTag) + ")";
+  S += " stack=[";
+  for (unsigned K = 0; K < StackSize; ++K) {
+    if (K)
+      S += ",";
+    S += tagName(StackTags[K]);
+  }
+  S += "] env={";
+  for (unsigned K = 0; K < EnvSize; ++K) {
+    if (K)
+      S += ",";
+    S += symbolName(EnvEntries[K].first) + std::string(":") +
+         tagName(EnvEntries[K].second);
+  }
+  S += "}";
+  return S;
+}

@@ -1,0 +1,71 @@
+//===-- runtime/env.cpp - First-class environments -------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/env.h"
+
+using namespace rjit;
+
+Env::Env(Env *Parent) : Parent(Parent) {
+  if (Parent)
+    Parent->retain();
+  trackAlloc(64);
+}
+
+Env::~Env() {
+  if (Parent)
+    Parent->release();
+}
+
+const Value &Env::get(Symbol S) const {
+  for (const Env *E = this; E; E = E->Parent)
+    if (const Value *V = E->findLocal(S))
+      return *V;
+  rerror("object '" + symbolName(S) + "' not found");
+}
+
+Value *Env::findLocal(Symbol S) {
+  for (auto &B : Bindings)
+    if (B.first == S)
+      return &B.second;
+  return nullptr;
+}
+
+const Value *Env::findLocal(Symbol S) const {
+  for (const auto &B : Bindings)
+    if (B.first == S)
+      return &B.second;
+  return nullptr;
+}
+
+Value *Env::findRecursive(Symbol S) {
+  for (Env *E = this; E; E = E->Parent)
+    if (Value *V = E->findLocal(S))
+      return V;
+  return nullptr;
+}
+
+void Env::set(Symbol S, Value V) {
+  if (Value *Slot = findLocal(S)) {
+    *Slot = std::move(V);
+    return;
+  }
+  Bindings.emplace_back(S, std::move(V));
+}
+
+void Env::setSuper(Symbol S, Value V) {
+  for (Env *E = Parent; E; E = E->Parent) {
+    if (Value *Slot = E->findLocal(S)) {
+      *Slot = std::move(V);
+      return;
+    }
+  }
+  // Unbound anywhere: define in the outermost environment, like R's
+  // assignment into globalenv().
+  Env *Outer = this;
+  while (Outer->Parent)
+    Outer = Outer->Parent;
+  Outer->set(S, std::move(V));
+}

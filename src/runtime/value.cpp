@@ -1,0 +1,1042 @@
+//===-- runtime/value.cpp - Tagged R values --------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/value.h"
+#include "runtime/env.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rjit;
+
+void rjit::rerror(const std::string &Msg) { throw RError(Msg); }
+
+//===----------------------------------------------------------------------===//
+// Tags
+//===----------------------------------------------------------------------===//
+
+const char *rjit::tagName(Tag T) {
+  switch (T) {
+  case Tag::Null:
+    return "NULL";
+  case Tag::Lgl:
+    return "logical";
+  case Tag::Int:
+    return "integer";
+  case Tag::Real:
+    return "double";
+  case Tag::Cplx:
+    return "complex";
+  case Tag::LglVec:
+    return "logical[]";
+  case Tag::IntVec:
+    return "integer[]";
+  case Tag::RealVec:
+    return "double[]";
+  case Tag::CplxVec:
+    return "complex[]";
+  case Tag::Str:
+    return "character";
+  case Tag::StrVec:
+    return "character[]";
+  case Tag::List:
+    return "list";
+  case Tag::Clos:
+    return "closure";
+  case Tag::Builtin:
+    return "builtin";
+  case Tag::EnvTag:
+    return "environment";
+  }
+  return "?";
+}
+
+Tag rjit::scalarTagOf(Tag VecTag) {
+  switch (VecTag) {
+  case Tag::LglVec:
+    return Tag::Lgl;
+  case Tag::IntVec:
+    return Tag::Int;
+  case Tag::RealVec:
+    return Tag::Real;
+  case Tag::CplxVec:
+    return Tag::Cplx;
+  default:
+    return VecTag;
+  }
+}
+
+Tag rjit::vectorTagOf(Tag ScalarTag) {
+  switch (ScalarTag) {
+  case Tag::Lgl:
+    return Tag::LglVec;
+  case Tag::Int:
+    return Tag::IntVec;
+  case Tag::Real:
+    return Tag::RealVec;
+  case Tag::Cplx:
+    return Tag::CplxVec;
+  default:
+    return ScalarTag;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Heap accounting
+//===----------------------------------------------------------------------===//
+
+static HeapStats TheHeapStats;
+
+HeapStats &rjit::heapStats() { return TheHeapStats; }
+
+void rjit::resetHeapPeak() {
+  TheHeapStats.PeakBytes = TheHeapStats.LiveBytes;
+  TheHeapStats.TotalAllocated = 0;
+  TheHeapStats.Allocations = 0;
+}
+
+GcObject::~GcObject() { trackFree(); }
+
+void GcObject::trackAlloc(uint64_t Bytes) {
+  TrackedBytes += Bytes;
+  TheHeapStats.LiveBytes += Bytes;
+  TheHeapStats.TotalAllocated += Bytes;
+  ++TheHeapStats.Allocations;
+  if (TheHeapStats.LiveBytes > TheHeapStats.PeakBytes)
+    TheHeapStats.PeakBytes = TheHeapStats.LiveBytes;
+}
+
+void GcObject::trackFree() {
+  assert(TheHeapStats.LiveBytes >= TrackedBytes && "heap accounting skew");
+  TheHeapStats.LiveBytes -= TrackedBytes;
+  TrackedBytes = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Closures
+//===----------------------------------------------------------------------===//
+
+ClosObj::ClosObj(Function *Fn, Env *Enclosing) : Fn(Fn), Enclosing(Enclosing) {
+  assert(Fn && "closure without code");
+  if (Enclosing)
+    Enclosing->retain();
+  trackAlloc(32);
+}
+
+ClosObj::~ClosObj() {
+  if (Enclosing)
+    Enclosing->release();
+}
+
+//===----------------------------------------------------------------------===//
+// Value constructors / accessors
+//===----------------------------------------------------------------------===//
+
+Value Value::str(std::string S) {
+  return adopt(Tag::Str, new StrObj(std::move(S)));
+}
+
+Value Value::closure(Function *Fn, Env *Enclosing) {
+  return adopt(Tag::Clos, new ClosObj(Fn, Enclosing));
+}
+
+Value Value::environment(Env *E) { return obj(Tag::EnvTag, E); }
+
+Value Value::list(std::vector<Value> V) {
+  return adopt(Tag::List, new ListObj(std::move(V)));
+}
+
+int64_t Value::length() const {
+  switch (T) {
+  case Tag::Null:
+    return 0;
+  case Tag::Lgl:
+  case Tag::Int:
+  case Tag::Real:
+  case Tag::Cplx:
+  case Tag::Str:
+  case Tag::Clos:
+  case Tag::Builtin:
+  case Tag::EnvTag:
+    return 1;
+  case Tag::LglVec:
+    return static_cast<int64_t>(lglVecObj()->D.size());
+  case Tag::IntVec:
+    return static_cast<int64_t>(intVecObj()->D.size());
+  case Tag::RealVec:
+    return static_cast<int64_t>(realVecObj()->D.size());
+  case Tag::CplxVec:
+    return static_cast<int64_t>(cplxVecObj()->D.size());
+  case Tag::StrVec:
+    return static_cast<int64_t>(strVecObj()->D.size());
+  case Tag::List:
+    return static_cast<int64_t>(listObj()->D.size());
+  }
+  return 0;
+}
+
+double Value::toReal() const {
+  switch (T) {
+  case Tag::Lgl:
+    return I ? 1.0 : 0.0;
+  case Tag::Int:
+    return static_cast<double>(I);
+  case Tag::Real:
+    return D;
+  default:
+    break;
+  }
+  if (length() == 1 && isNumVecTag(T))
+    return extract2(*this, 1).toReal();
+  rerror(std::string("cannot coerce ") + tagName(T) + " to double");
+}
+
+int32_t Value::toInt() const {
+  switch (T) {
+  case Tag::Lgl:
+    return I ? 1 : 0;
+  case Tag::Int:
+    return I;
+  case Tag::Real:
+    return static_cast<int32_t>(D);
+  default:
+    break;
+  }
+  if (length() == 1 && isNumVecTag(T))
+    return extract2(*this, 1).toInt();
+  rerror(std::string("cannot coerce ") + tagName(T) + " to integer");
+}
+
+Complex Value::toCplx() const {
+  switch (T) {
+  case Tag::Lgl:
+    return {I ? 1.0 : 0.0, 0};
+  case Tag::Int:
+    return {static_cast<double>(I), 0};
+  case Tag::Real:
+    return {D, 0};
+  case Tag::Cplx:
+    return C;
+  default:
+    break;
+  }
+  if (length() == 1 && isNumVecTag(T))
+    return extract2(*this, 1).toCplx();
+  rerror(std::string("cannot coerce ") + tagName(T) + " to complex");
+}
+
+bool Value::asCondition() const {
+  switch (T) {
+  case Tag::Lgl:
+    return I != 0;
+  case Tag::Int:
+    return I != 0;
+  case Tag::Real:
+    return D != 0;
+  default:
+    break;
+  }
+  if (length() == 1 && isNumVecTag(T))
+    return extract2(*this, 1).asCondition();
+  rerror(std::string("argument of type ") + tagName(T) +
+         " is not interpretable as logical");
+}
+
+bool Value::equals(const Value &O) const {
+  if (T != O.T) {
+    // Scalar vs length-1 vector compare equal if contents match, matching
+    // R's identical() on our representation choices closely enough for
+    // tests.
+    if (length() == 1 && O.length() == 1 && isNumVecTag(T) == false &&
+        isNumVecTag(O.T) == false)
+      return false;
+    if (length() != O.length())
+      return false;
+    for (int64_t Idx = 1; Idx <= length(); ++Idx)
+      if (!extract2(*this, Idx).equals(extract2(O, Idx)))
+        return false;
+    return true;
+  }
+  switch (T) {
+  case Tag::Null:
+    return true;
+  case Tag::Lgl:
+    return (I != 0) == (O.I != 0);
+  case Tag::Int:
+    return I == O.I;
+  case Tag::Real:
+    return D == O.D;
+  case Tag::Cplx:
+    return C == O.C;
+  case Tag::Str:
+    return strObj()->D == O.strObj()->D;
+  case Tag::LglVec:
+    return lglVecObj()->D == O.lglVecObj()->D;
+  case Tag::IntVec:
+    return intVecObj()->D == O.intVecObj()->D;
+  case Tag::RealVec:
+    return realVecObj()->D == O.realVecObj()->D;
+  case Tag::CplxVec: {
+    auto &A = cplxVecObj()->D, &B = O.cplxVecObj()->D;
+    if (A.size() != B.size())
+      return false;
+    for (size_t Idx = 0; Idx < A.size(); ++Idx)
+      if (!(A[Idx] == B[Idx]))
+        return false;
+    return true;
+  }
+  case Tag::StrVec:
+    return strVecObj()->D == O.strVecObj()->D;
+  case Tag::List: {
+    auto &A = listObj()->D, &B = O.listObj()->D;
+    if (A.size() != B.size())
+      return false;
+    for (size_t Idx = 0; Idx < A.size(); ++Idx)
+      if (!A[Idx].equals(B[Idx]))
+        return false;
+    return true;
+  }
+  case Tag::Clos:
+  case Tag::EnvTag:
+    return P == O.P;
+  case Tag::Builtin:
+    return I == O.I;
+  }
+  return false;
+}
+
+static std::string showReal(double D) {
+  if (D == static_cast<int64_t>(D) && std::abs(D) < 1e15) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(D));
+    return Buf;
+  }
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%g", D);
+  return Buf;
+}
+
+static std::string showCplx(Complex C) {
+  return showReal(C.Re) + (C.Im < 0 ? "-" : "+") + showReal(std::abs(C.Im)) +
+         "i";
+}
+
+std::string Value::show() const {
+  switch (T) {
+  case Tag::Null:
+    return "NULL";
+  case Tag::Lgl:
+    return I ? "TRUE" : "FALSE";
+  case Tag::Int:
+    return std::to_string(I) + "L";
+  case Tag::Real:
+    return showReal(D);
+  case Tag::Cplx:
+    return showCplx(C);
+  case Tag::Str:
+    return "\"" + strObj()->D + "\"";
+  case Tag::Clos:
+    return "<closure>";
+  case Tag::Builtin:
+    return "<builtin>";
+  case Tag::EnvTag:
+    return "<environment>";
+  default:
+    break;
+  }
+  std::string S = "c(";
+  int64_t N = length();
+  for (int64_t Idx = 1; Idx <= N; ++Idx) {
+    if (Idx > 1)
+      S += ", ";
+    if (Idx > 20) {
+      S += "...";
+      break;
+    }
+    S += extract2(*this, Idx).show();
+  }
+  return S + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Generic operations
+//===----------------------------------------------------------------------===//
+
+const char *rjit::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Pow:
+    return "^";
+  case BinOp::Mod:
+    return "%%";
+  case BinOp::IDiv:
+    return "%/%";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  case BinOp::Colon:
+    return ":";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Numeric coercion ladder.
+enum class NumKind : uint8_t { Lgl, Int, Real, Cplx };
+
+NumKind numKindOfTag(Tag T) {
+  switch (T) {
+  case Tag::Lgl:
+  case Tag::LglVec:
+    return NumKind::Lgl;
+  case Tag::Int:
+  case Tag::IntVec:
+    return NumKind::Int;
+  case Tag::Real:
+  case Tag::RealVec:
+    return NumKind::Real;
+  case Tag::Cplx:
+  case Tag::CplxVec:
+    return NumKind::Cplx;
+  default:
+    rerror(std::string("non-numeric argument (") + tagName(T) +
+           ") to binary operator");
+  }
+}
+
+/// Uniform elementwise view of a numeric value.
+struct NumView {
+  const Value &V;
+  int64_t Len;
+
+  explicit NumView(const Value &V) : V(V), Len(V.length()) {}
+
+  int32_t getInt(int64_t Idx0) const {
+    switch (V.tag()) {
+    case Tag::Lgl:
+      return V.asLglUnchecked() ? 1 : 0;
+    case Tag::Int:
+      return V.asIntUnchecked();
+    case Tag::Real:
+      return static_cast<int32_t>(V.asRealUnchecked());
+    case Tag::LglVec:
+      return V.lglVecObj()->D[Idx0];
+    case Tag::IntVec:
+      return V.intVecObj()->D[Idx0];
+    case Tag::RealVec:
+      return static_cast<int32_t>(V.realVecObj()->D[Idx0]);
+    default:
+      rerror("cannot view as integer");
+    }
+  }
+  double getReal(int64_t Idx0) const {
+    switch (V.tag()) {
+    case Tag::Lgl:
+      return V.asLglUnchecked() ? 1 : 0;
+    case Tag::Int:
+      return V.asIntUnchecked();
+    case Tag::Real:
+      return V.asRealUnchecked();
+    case Tag::LglVec:
+      return V.lglVecObj()->D[Idx0];
+    case Tag::IntVec:
+      return V.intVecObj()->D[Idx0];
+    case Tag::RealVec:
+      return V.realVecObj()->D[Idx0];
+    default:
+      rerror("cannot view as double");
+    }
+  }
+  Complex getCplx(int64_t Idx0) const {
+    if (V.tag() == Tag::Cplx)
+      return V.asCplxUnchecked();
+    if (V.tag() == Tag::CplxVec)
+      return V.cplxVecObj()->D[Idx0];
+    return {getReal(Idx0), 0};
+  }
+};
+
+int32_t intArith(BinOp Op, int32_t A, int32_t B) {
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::Mod: {
+    if (B == 0)
+      rerror("integer modulo by zero");
+    int32_t R = A % B;
+    if (R != 0 && ((R < 0) != (B < 0)))
+      R += B; // R's %% has the sign of the divisor.
+    return R;
+  }
+  case BinOp::IDiv: {
+    if (B == 0)
+      rerror("integer division by zero");
+    int32_t Q = A / B;
+    if ((A % B != 0) && ((A < 0) != (B < 0)))
+      --Q;
+    return Q;
+  }
+  default:
+    assert(false && "not an int-preserving op");
+    return 0;
+  }
+}
+
+double realArith(BinOp Op, double A, double B) {
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::Div:
+    return A / B;
+  case BinOp::Pow:
+    return std::pow(A, B);
+  case BinOp::Mod: {
+    double R = std::fmod(A, B);
+    if (R != 0 && ((R < 0) != (B < 0)))
+      R += B;
+    return R;
+  }
+  case BinOp::IDiv:
+    return std::floor(A / B);
+  default:
+    assert(false && "not a real arithmetic op");
+    return 0;
+  }
+}
+
+Complex cplxArith(BinOp Op, Complex A, Complex B) {
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::Div:
+    return A / B;
+  default:
+    rerror("invalid operation on complex values");
+  }
+}
+
+bool isComparison(BinOp Op) {
+  switch (Op) {
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool realCompare(BinOp Op, double A, double B) {
+  switch (Op) {
+  case BinOp::Eq:
+    return A == B;
+  case BinOp::Ne:
+    return A != B;
+  case BinOp::Lt:
+    return A < B;
+  case BinOp::Le:
+    return A <= B;
+  case BinOp::Gt:
+    return A > B;
+  case BinOp::Ge:
+    return A >= B;
+  default:
+    assert(false && "not a comparison");
+    return false;
+  }
+}
+
+} // namespace
+
+Value rjit::genericBinary(BinOp Op, const Value &A, const Value &B) {
+  // Logical && / || are scalar-only control operators.
+  if (Op == BinOp::And)
+    return Value::lgl(A.asCondition() && B.asCondition());
+  if (Op == BinOp::Or)
+    return Value::lgl(A.asCondition() || B.asCondition());
+  if (Op == BinOp::Colon)
+    return colonSeq(A, B);
+
+  // String equality.
+  if (A.tag() == Tag::Str && B.tag() == Tag::Str) {
+    if (Op == BinOp::Eq)
+      return Value::lgl(A.strObj()->D == B.strObj()->D);
+    if (Op == BinOp::Ne)
+      return Value::lgl(A.strObj()->D != B.strObj()->D);
+    if (Op == BinOp::Add) // paste0-style concatenation convenience
+      return Value::str(A.strObj()->D + B.strObj()->D);
+    rerror("invalid string operation");
+  }
+
+  NumKind KA = numKindOfTag(A.tag());
+  NumKind KB = numKindOfTag(B.tag());
+  NumKind K = KA > KB ? KA : KB;
+
+  NumView VA(A), VB(B);
+  int64_t LenA = VA.Len, LenB = VB.Len;
+  if (LenA == 0 || LenB == 0)
+    rerror("zero-length operand");
+  int64_t Len = LenA > LenB ? LenA : LenB;
+  if (LenA != LenB && LenA != 1 && LenB != 1)
+    rerror("operand lengths do not match");
+  auto IdxA = [&](int64_t Idx) { return LenA == 1 ? 0 : Idx; };
+  auto IdxB = [&](int64_t Idx) { return LenB == 1 ? 0 : Idx; };
+
+  if (isComparison(Op)) {
+    if (K == NumKind::Cplx) {
+      if (Op != BinOp::Eq && Op != BinOp::Ne)
+        rerror("invalid comparison with complex values");
+      if (Len == 1) {
+        bool E = VA.getCplx(0) == VB.getCplx(0);
+        return Value::lgl(Op == BinOp::Eq ? E : !E);
+      }
+      std::vector<int8_t> R(Len);
+      for (int64_t Idx = 0; Idx < Len; ++Idx) {
+        bool E = VA.getCplx(IdxA(Idx)) == VB.getCplx(IdxB(Idx));
+        R[Idx] = (Op == BinOp::Eq ? E : !E) ? 1 : 0;
+      }
+      return Value::lglVec(std::move(R));
+    }
+    if (Len == 1)
+      return Value::lgl(realCompare(Op, VA.getReal(0), VB.getReal(0)));
+    std::vector<int8_t> R(Len);
+    for (int64_t Idx = 0; Idx < Len; ++Idx)
+      R[Idx] =
+          realCompare(Op, VA.getReal(IdxA(Idx)), VB.getReal(IdxB(Idx))) ? 1
+                                                                        : 0;
+    return Value::lglVec(std::move(R));
+  }
+
+  // Arithmetic: logical operands behave as integers; / ^ always produce
+  // doubles (except on complex).
+  bool IntResult = (K == NumKind::Lgl || K == NumKind::Int) &&
+                   (Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::Mul ||
+                    Op == BinOp::Mod || Op == BinOp::IDiv);
+
+  if (K == NumKind::Cplx) {
+    if (Len == 1)
+      return Value::cplx(cplxArith(Op, VA.getCplx(0), VB.getCplx(0)));
+    std::vector<Complex> R(Len);
+    for (int64_t Idx = 0; Idx < Len; ++Idx)
+      R[Idx] = cplxArith(Op, VA.getCplx(IdxA(Idx)), VB.getCplx(IdxB(Idx)));
+    return Value::cplxVec(std::move(R));
+  }
+
+  if (IntResult) {
+    if (Len == 1)
+      return Value::integer(intArith(Op, VA.getInt(0), VB.getInt(0)));
+    std::vector<int32_t> R(Len);
+    for (int64_t Idx = 0; Idx < Len; ++Idx)
+      R[Idx] = intArith(Op, VA.getInt(IdxA(Idx)), VB.getInt(IdxB(Idx)));
+    return Value::intVec(std::move(R));
+  }
+
+  if (Len == 1)
+    return Value::real(realArith(Op, VA.getReal(0), VB.getReal(0)));
+  std::vector<double> R(Len);
+  for (int64_t Idx = 0; Idx < Len; ++Idx)
+    R[Idx] = realArith(Op, VA.getReal(IdxA(Idx)), VB.getReal(IdxB(Idx)));
+  return Value::realVec(std::move(R));
+}
+
+Value rjit::genericNeg(const Value &A) {
+  switch (A.tag()) {
+  case Tag::Lgl:
+    return Value::integer(A.asLglUnchecked() ? -1 : 0);
+  case Tag::Int:
+    return Value::integer(-A.asIntUnchecked());
+  case Tag::Real:
+    return Value::real(-A.asRealUnchecked());
+  case Tag::Cplx: {
+    Complex C = A.asCplxUnchecked();
+    return Value::cplx(-C.Re, -C.Im);
+  }
+  case Tag::IntVec: {
+    std::vector<int32_t> R = A.intVecObj()->D;
+    for (auto &X : R)
+      X = -X;
+    return Value::intVec(std::move(R));
+  }
+  case Tag::RealVec: {
+    std::vector<double> R = A.realVecObj()->D;
+    for (auto &X : R)
+      X = -X;
+    return Value::realVec(std::move(R));
+  }
+  case Tag::CplxVec: {
+    std::vector<Complex> R = A.cplxVecObj()->D;
+    for (auto &X : R)
+      X = {-X.Re, -X.Im};
+    return Value::cplxVec(std::move(R));
+  }
+  default:
+    rerror(std::string("invalid argument to unary minus: ") +
+           tagName(A.tag()));
+  }
+}
+
+Value rjit::genericNot(const Value &A) {
+  if (A.length() == 1)
+    return Value::lgl(!A.asCondition());
+  if (A.tag() == Tag::LglVec) {
+    std::vector<int8_t> R = A.lglVecObj()->D;
+    for (auto &X : R)
+      X = X ? 0 : 1;
+    return Value::lglVec(std::move(R));
+  }
+  rerror("invalid argument to !");
+}
+
+Value rjit::extract2(const Value &X, int64_t Idx) {
+  int64_t N = X.length();
+  if (Idx < 1 || Idx > N)
+    rerror("subscript out of bounds: " + std::to_string(Idx));
+  switch (X.tag()) {
+  case Tag::Lgl:
+  case Tag::Int:
+  case Tag::Real:
+  case Tag::Cplx:
+  case Tag::Str:
+    return X; // length-one value, index must be 1
+  case Tag::LglVec:
+    return Value::lgl(X.lglVecObj()->D[Idx - 1] != 0);
+  case Tag::IntVec:
+    return Value::integer(X.intVecObj()->D[Idx - 1]);
+  case Tag::RealVec:
+    return Value::real(X.realVecObj()->D[Idx - 1]);
+  case Tag::CplxVec:
+    return Value::cplx(X.cplxVecObj()->D[Idx - 1]);
+  case Tag::StrVec:
+    return Value::str(X.strVecObj()->D[Idx - 1]);
+  case Tag::List:
+    return X.listObj()->D[Idx - 1];
+  default:
+    rerror(std::string("cannot subscript ") + tagName(X.tag()));
+  }
+}
+
+Value rjit::extract1(const Value &X, const Value &Idx) {
+  // Scalar index: like [[ ]] but a list yields a length-one list.
+  if (Idx.length() == 1 && Idx.tag() != Tag::IntVec &&
+      Idx.tag() != Tag::RealVec) {
+    int64_t I = Idx.toInt();
+    if (X.tag() == Tag::List)
+      return Value::list({extract2(X, I)});
+    return extract2(X, I);
+  }
+  // Vector index: build a sub-vector.
+  int64_t M = Idx.length();
+  std::vector<int64_t> Is(M);
+  for (int64_t K = 0; K < M; ++K)
+    Is[K] = extract2(Idx, K + 1).toInt();
+  switch (X.tag()) {
+  case Tag::IntVec:
+  case Tag::Int: {
+    std::vector<int32_t> R(M);
+    for (int64_t K = 0; K < M; ++K)
+      R[K] = extract2(X, Is[K]).toInt();
+    return Value::intVec(std::move(R));
+  }
+  case Tag::RealVec:
+  case Tag::Real: {
+    std::vector<double> R(M);
+    for (int64_t K = 0; K < M; ++K)
+      R[K] = extract2(X, Is[K]).toReal();
+    return Value::realVec(std::move(R));
+  }
+  case Tag::CplxVec:
+  case Tag::Cplx: {
+    std::vector<Complex> R(M);
+    for (int64_t K = 0; K < M; ++K)
+      R[K] = extract2(X, Is[K]).toCplx();
+    return Value::cplxVec(std::move(R));
+  }
+  case Tag::List: {
+    std::vector<Value> R(M);
+    for (int64_t K = 0; K < M; ++K)
+      R[K] = extract2(X, Is[K]);
+    return Value::list(std::move(R));
+  }
+  default:
+    rerror(std::string("cannot vector-subscript ") + tagName(X.tag()));
+  }
+}
+
+namespace {
+
+/// Widens a container so an element of numeric kind \p K fits.
+/// Scalars are first boxed into one-element vectors.
+Value widenFor(Value X, Tag ElemTag) {
+  Tag T = X.tag();
+  // Box scalars.
+  if (isScalarTag(T) || T == Tag::Str) {
+    switch (T) {
+    case Tag::Lgl:
+      X = Value::lglVec({static_cast<int8_t>(X.asLglUnchecked() ? 1 : 0)});
+      break;
+    case Tag::Int:
+      X = Value::intVec({X.asIntUnchecked()});
+      break;
+    case Tag::Real:
+      X = Value::realVec({X.asRealUnchecked()});
+      break;
+    case Tag::Cplx:
+      X = Value::cplxVec({X.asCplxUnchecked()});
+      break;
+    case Tag::Str:
+      X = Value::strVec({X.strObj()->D});
+      break;
+    default:
+      break;
+    }
+    T = X.tag();
+  }
+
+  if (X.isNull()) {
+    // NULL grows into a fresh container of the element's kind.
+    switch (ElemTag) {
+    case Tag::Lgl:
+      return Value::lglVec({});
+    case Tag::Int:
+      return Value::intVec({});
+    case Tag::Real:
+      return Value::realVec({});
+    case Tag::Cplx:
+      return Value::cplxVec({});
+    case Tag::Str:
+      return Value::strVec({});
+    default:
+      return Value::list({});
+    }
+  }
+
+  auto Rank = [](Tag T) -> int {
+    switch (T) {
+    case Tag::LglVec:
+      return 0;
+    case Tag::IntVec:
+      return 1;
+    case Tag::RealVec:
+      return 2;
+    case Tag::CplxVec:
+      return 3;
+    case Tag::StrVec:
+      return 4;
+    case Tag::List:
+      return 5;
+    default:
+      return -1;
+    }
+  };
+  Tag Want;
+  switch (ElemTag) {
+  case Tag::Lgl:
+    Want = Tag::LglVec;
+    break;
+  case Tag::Int:
+    Want = Tag::IntVec;
+    break;
+  case Tag::Real:
+    Want = Tag::RealVec;
+    break;
+  case Tag::Cplx:
+    Want = Tag::CplxVec;
+    break;
+  case Tag::Str:
+    Want = Tag::StrVec;
+    break;
+  default:
+    Want = Tag::List;
+    break;
+  }
+  if (Rank(T) < 0)
+    rerror(std::string("cannot assign into ") + tagName(T));
+  if (Rank(T) >= Rank(Want))
+    return X;
+
+  // Promote container to Want.
+  int64_t N = X.length();
+  switch (Want) {
+  case Tag::IntVec: {
+    std::vector<int32_t> R(N);
+    for (int64_t K = 0; K < N; ++K)
+      R[K] = extract2(X, K + 1).toInt();
+    return Value::intVec(std::move(R));
+  }
+  case Tag::RealVec: {
+    std::vector<double> R(N);
+    for (int64_t K = 0; K < N; ++K)
+      R[K] = extract2(X, K + 1).toReal();
+    return Value::realVec(std::move(R));
+  }
+  case Tag::CplxVec: {
+    std::vector<Complex> R(N);
+    for (int64_t K = 0; K < N; ++K)
+      R[K] = extract2(X, K + 1).toCplx();
+    return Value::cplxVec(std::move(R));
+  }
+  case Tag::StrVec:
+  case Tag::List: {
+    std::vector<Value> R(N);
+    for (int64_t K = 0; K < N; ++K)
+      R[K] = extract2(X, K + 1);
+    return Value::list(std::move(R));
+  }
+  default:
+    return X;
+  }
+}
+
+/// Ensures the container payload is unshared, cloning when needed (COW).
+template <typename ObjT>
+Value cowClone(const Value &X, Tag T) {
+  auto *Obj = static_cast<ObjT *>(X.object());
+  return Value::adopt(T, new ObjT(Obj->D));
+}
+
+} // namespace
+
+Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
+  if (Idx < 1)
+    rerror("invalid subscript in assignment");
+
+  Tag ElemTag = V.tag();
+  if (!isScalarTag(ElemTag) && ElemTag != Tag::Str) {
+    // Assigning a non-scalar element forces a generic list container,
+    // except length-1 vectors which behave like their scalar.
+    if (isNumVecTag(ElemTag) && V.length() == 1)
+      ElemTag = scalarTagOf(ElemTag);
+    else
+      ElemTag = Tag::List;
+  }
+
+  X = widenFor(std::move(X), ElemTag);
+  int64_t N = X.length();
+  if (Idx > N + 1024 * 1024)
+    rerror("assignment index too far past the end");
+
+  switch (X.tag()) {
+  case Tag::LglVec: {
+    if (!X.unshared())
+      X = cowClone<LglVecObj>(X, Tag::LglVec);
+    auto &D = X.lglVecObj()->D;
+    if (Idx > N)
+      D.resize(Idx, 0);
+    D[Idx - 1] = V.asCondition() ? 1 : 0;
+    return X;
+  }
+  case Tag::IntVec: {
+    if (!X.unshared())
+      X = cowClone<IntVecObj>(X, Tag::IntVec);
+    auto &D = X.intVecObj()->D;
+    if (Idx > N)
+      D.resize(Idx, 0);
+    D[Idx - 1] = V.toInt();
+    return X;
+  }
+  case Tag::RealVec: {
+    if (!X.unshared())
+      X = cowClone<RealVecObj>(X, Tag::RealVec);
+    auto &D = X.realVecObj()->D;
+    if (Idx > N)
+      D.resize(Idx, 0);
+    D[Idx - 1] = V.toReal();
+    return X;
+  }
+  case Tag::CplxVec: {
+    if (!X.unshared())
+      X = cowClone<CplxVecObj>(X, Tag::CplxVec);
+    auto &D = X.cplxVecObj()->D;
+    if (Idx > N)
+      D.resize(Idx, Complex{0, 0});
+    D[Idx - 1] = V.toCplx();
+    return X;
+  }
+  case Tag::StrVec: {
+    if (!X.unshared())
+      X = cowClone<StrVecObj>(X, Tag::StrVec);
+    auto &D = X.strVecObj()->D;
+    if (Idx > N)
+      D.resize(Idx);
+    if (V.tag() != Tag::Str)
+      rerror("assigning non-string into character vector");
+    D[Idx - 1] = V.strObj()->D;
+    return X;
+  }
+  case Tag::List: {
+    if (!X.unshared())
+      X = cowClone<ListObj>(X, Tag::List);
+    auto &D = X.listObj()->D;
+    if (Idx > N)
+      D.resize(Idx);
+    D[Idx - 1] = V;
+    return X;
+  }
+  default:
+    rerror(std::string("cannot assign into ") + tagName(X.tag()));
+  }
+}
+
+Value rjit::colonSeq(const Value &A, const Value &B) {
+  double From = A.toReal(), To = B.toReal();
+  bool IsInt = (A.tag() == Tag::Int || A.tag() == Tag::Lgl) &&
+               From == std::floor(From);
+  // R's `:` yields integers whenever `from` is integral and the range fits.
+  if ((A.tag() == Tag::Real && From == std::floor(From)))
+    IsInt = true;
+  int64_t N = static_cast<int64_t>(std::abs(To - From)) + 1;
+  if (N > (1 << 28))
+    rerror("sequence too long");
+  int64_t Step = To >= From ? 1 : -1;
+  if (IsInt) {
+    std::vector<int32_t> R(N);
+    int64_t X = static_cast<int64_t>(From);
+    for (int64_t K = 0; K < N; ++K, X += Step)
+      R[K] = static_cast<int32_t>(X);
+    return Value::intVec(std::move(R));
+  }
+  std::vector<double> R(N);
+  double X = From;
+  for (int64_t K = 0; K < N; ++K, X += Step)
+    R[K] = X;
+  return Value::realVec(std::move(R));
+}

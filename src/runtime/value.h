@@ -1,0 +1,493 @@
+//===-- runtime/value.h - Tagged R values -----------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value representation of the mini-R runtime. Mirrors the aspects of
+/// GNU R / Ř semantics the paper's experiments depend on:
+///
+///  * everything is a vector; scalars are length-one vectors, but the VM
+///    keeps length-one logical/integer/real/complex values immediate
+///    (unboxed in the Value struct) — the same distinction Ř's type system
+///    tracks and the optimizer exploits for unboxing;
+///  * vectors have copy-on-write value semantics (refcount == 1 writes in
+///    place, shared vectors are copied), which is where R's memory appetite
+///    comes from (§5.1's memory discussion);
+///  * arithmetic follows the R coercion ladder
+///    logical < integer < real < complex.
+///
+/// Heap objects are intrusively refcounted; allocation volume and the live
+/// high-water mark are tracked for the Fig. 6 memory experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_RUNTIME_VALUE_H
+#define RJIT_RUNTIME_VALUE_H
+
+#include "support/interner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rjit {
+
+class Env;
+class Function; // Defined by the bytecode layer; opaque here.
+
+/// Run-time error raised by mini-R programs (type errors, bad subscripts).
+/// This is the documented substitution for GNU R's longjmp-based condition
+/// system; it never crosses the public VM API.
+class RError : public std::runtime_error {
+public:
+  explicit RError(const std::string &Msg) : std::runtime_error(Msg) {}
+};
+
+[[noreturn]] void rerror(const std::string &Msg);
+
+/// Complex number; a trivial aggregate so it packs into Value's union.
+struct Complex {
+  double Re, Im;
+
+  friend Complex operator+(Complex A, Complex B) {
+    return {A.Re + B.Re, A.Im + B.Im};
+  }
+  friend Complex operator-(Complex A, Complex B) {
+    return {A.Re - B.Re, A.Im - B.Im};
+  }
+  friend Complex operator*(Complex A, Complex B) {
+    return {A.Re * B.Re - A.Im * B.Im, A.Re * B.Im + A.Im * B.Re};
+  }
+  friend Complex operator/(Complex A, Complex B) {
+    double D = B.Re * B.Re + B.Im * B.Im;
+    return {(A.Re * B.Re + A.Im * B.Im) / D,
+            (A.Im * B.Re - A.Re * B.Im) / D};
+  }
+  friend bool operator==(Complex A, Complex B) {
+    return A.Re == B.Re && A.Im == B.Im;
+  }
+  double mod2() const { return Re * Re + Im * Im; }
+};
+
+/// Dynamic tag of a Value. The feedback vectors, the optimizer's type
+/// lattice and the DeoptContext all speak in terms of these tags.
+enum class Tag : uint8_t {
+  Null,
+  // Immediate scalars.
+  Lgl,
+  Int,
+  Real,
+  Cplx,
+  // Heap vectors (length != 1 or explicitly boxed).
+  LglVec,
+  IntVec,
+  RealVec,
+  CplxVec,
+  Str,    ///< single string (heap)
+  StrVec, ///< vector of strings
+  List,   ///< generic vector ("list"), elements are arbitrary Values
+  Clos,   ///< closure (function + environment)
+  Builtin,///< builtin function id
+  EnvTag, ///< first-class environment
+};
+
+/// Number of distinct tags (used to size feedback tables).
+inline constexpr unsigned NumTags = static_cast<unsigned>(Tag::EnvTag) + 1;
+
+const char *tagName(Tag T);
+
+/// True for the four immediate numeric scalar tags.
+inline bool isScalarTag(Tag T) {
+  return T == Tag::Lgl || T == Tag::Int || T == Tag::Real || T == Tag::Cplx;
+}
+
+/// True for the heap numeric vector tags.
+inline bool isNumVecTag(Tag T) {
+  return T == Tag::LglVec || T == Tag::IntVec || T == Tag::RealVec ||
+         T == Tag::CplxVec;
+}
+
+/// Scalar tag corresponding to a numeric vector tag (IntVec -> Int, ...).
+Tag scalarTagOf(Tag VecTag);
+/// Vector tag corresponding to a numeric scalar tag (Int -> IntVec, ...).
+Tag vectorTagOf(Tag ScalarTag);
+
+//===----------------------------------------------------------------------===//
+// Heap objects
+//===----------------------------------------------------------------------===//
+
+/// Heap accounting: live bytes and the high-water mark, reported by the
+/// Fig. 6 memory experiment as a stand-in for max resident set size.
+struct HeapStats {
+  uint64_t LiveBytes = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t TotalAllocated = 0;
+  uint64_t Allocations = 0;
+};
+HeapStats &heapStats();
+/// Resets the peak/total counters (live bytes are left untouched).
+void resetHeapPeak();
+
+/// Base class for refcounted heap objects.
+class GcObject {
+public:
+  GcObject() = default;
+  GcObject(const GcObject &) = delete;
+  GcObject &operator=(const GcObject &) = delete;
+  virtual ~GcObject();
+
+  void retain() const { ++RefCount; }
+  void release() const {
+    assert(RefCount > 0 && "over-release");
+    if (--RefCount == 0)
+      delete this;
+  }
+  uint32_t refCount() const { return RefCount; }
+
+protected:
+  /// Derived constructors report their payload size for heap accounting.
+  void trackAlloc(uint64_t Bytes);
+  void trackFree();
+
+private:
+  mutable uint32_t RefCount = 0;
+  uint64_t TrackedBytes = 0;
+};
+
+/// A heap-allocated vector of \p T.
+template <typename T> class VecObj : public GcObject {
+public:
+  explicit VecObj(size_t N = 0) : D(N) { trackAlloc(sizeof(T) * N + 32); }
+  explicit VecObj(std::vector<T> V) : D(std::move(V)) {
+    trackAlloc(sizeof(T) * D.size() + 32);
+  }
+  ~VecObj() override = default;
+
+  std::vector<T> D;
+};
+
+class Value; // fwd
+
+using LglVecObj = VecObj<int8_t>;
+using IntVecObj = VecObj<int32_t>;
+using RealVecObj = VecObj<double>;
+using CplxVecObj = VecObj<Complex>;
+using StrVecObj = VecObj<std::string>;
+
+/// Single heap string.
+class StrObj : public GcObject {
+public:
+  explicit StrObj(std::string S) : D(std::move(S)) {
+    trackAlloc(D.size() + 32);
+  }
+  std::string D;
+};
+
+/// A closure: a compiled function plus its defining environment.
+/// \c Fn is owned by the VM's module, not by the closure.
+class ClosObj : public GcObject {
+public:
+  ClosObj(Function *Fn, Env *Enclosing);
+  ~ClosObj() override;
+
+  Function *Fn;
+  Env *Enclosing; ///< retained
+};
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+/// Builtin function identifier; the table lives in runtime/builtins.h.
+enum class BuiltinId : uint16_t;
+
+/// A tagged mini-R value: 24 bytes, immediate numeric scalars, refcounted
+/// pointer otherwise.
+class Value {
+public:
+  Value() : T(Tag::Null) { P = nullptr; }
+  ~Value() { releasePayload(); }
+
+  Value(const Value &O) {
+    rawCopyFrom(O);
+    retainPayload();
+  }
+  Value(Value &&O) noexcept {
+    rawCopyFrom(O);
+    O.T = Tag::Null;
+    O.P = nullptr;
+  }
+  Value &operator=(const Value &O) {
+    if (this == &O)
+      return *this;
+    O.retainPayload();
+    releasePayload();
+    rawCopyFrom(O);
+    return *this;
+  }
+  Value &operator=(Value &&O) noexcept {
+    if (this == &O)
+      return *this;
+    releasePayload();
+    rawCopyFrom(O);
+    O.T = Tag::Null;
+    O.P = nullptr;
+    return *this;
+  }
+
+  Tag tag() const { return T; }
+  bool isNull() const { return T == Tag::Null; }
+
+  //===-- Constructors ----------------------------------------------------//
+
+  static Value nil() { return Value(); }
+  static Value lgl(bool B) {
+    Value V;
+    V.T = Tag::Lgl;
+    V.I = B ? 1 : 0;
+    return V;
+  }
+  static Value integer(int32_t X) {
+    Value V;
+    V.T = Tag::Int;
+    V.I = X;
+    return V;
+  }
+  static Value real(double X) {
+    Value V;
+    V.T = Tag::Real;
+    V.D = X;
+    return V;
+  }
+  static Value cplx(Complex X) {
+    Value V;
+    V.T = Tag::Cplx;
+    V.C = X;
+    return V;
+  }
+  static Value cplx(double Re, double Im) { return cplx(Complex{Re, Im}); }
+  static Value str(std::string S);
+  static Value builtin(BuiltinId Id) {
+    Value V;
+    V.T = Tag::Builtin;
+    V.I = static_cast<int32_t>(Id);
+    return V;
+  }
+  static Value closure(Function *Fn, Env *Enclosing);
+  static Value environment(Env *E);
+
+  /// Wraps an existing heap object (takes a +1 reference).
+  static Value obj(Tag T, GcObject *O) {
+    assert(O && "null heap object");
+    Value V;
+    V.T = T;
+    V.P = O;
+    O->retain();
+    return V;
+  }
+  /// Wraps a freshly allocated heap object (adopts; refcount must be 0).
+  static Value adopt(Tag T, GcObject *O) {
+    assert(O && O->refCount() == 0 && "adopt expects a fresh object");
+    Value V;
+    V.T = T;
+    V.P = O;
+    O->retain();
+    return V;
+  }
+
+  static Value intVec(std::vector<int32_t> V) {
+    return adopt(Tag::IntVec, new IntVecObj(std::move(V)));
+  }
+  static Value realVec(std::vector<double> V) {
+    return adopt(Tag::RealVec, new RealVecObj(std::move(V)));
+  }
+  static Value cplxVec(std::vector<Complex> V) {
+    return adopt(Tag::CplxVec, new CplxVecObj(std::move(V)));
+  }
+  static Value lglVec(std::vector<int8_t> V) {
+    return adopt(Tag::LglVec, new LglVecObj(std::move(V)));
+  }
+  static Value strVec(std::vector<std::string> V) {
+    return adopt(Tag::StrVec, new StrVecObj(std::move(V)));
+  }
+  static Value list(std::vector<Value> V);
+
+  //===-- Scalar accessors (tag must match) --------------------------------//
+
+  bool asLglUnchecked() const {
+    assert(T == Tag::Lgl);
+    return I != 0;
+  }
+  int32_t asIntUnchecked() const {
+    assert(T == Tag::Int);
+    return I;
+  }
+  double asRealUnchecked() const {
+    assert(T == Tag::Real);
+    return D;
+  }
+  Complex asCplxUnchecked() const {
+    assert(T == Tag::Cplx);
+    return C;
+  }
+  GcObject *object() const {
+    assert(!isScalarTag(T) && T != Tag::Null && T != Tag::Builtin);
+    return P;
+  }
+  BuiltinId builtinId() const {
+    assert(T == Tag::Builtin);
+    return static_cast<BuiltinId>(I);
+  }
+
+  IntVecObj *intVecObj() const {
+    assert(T == Tag::IntVec);
+    return static_cast<IntVecObj *>(P);
+  }
+  RealVecObj *realVecObj() const {
+    assert(T == Tag::RealVec);
+    return static_cast<RealVecObj *>(P);
+  }
+  CplxVecObj *cplxVecObj() const {
+    assert(T == Tag::CplxVec);
+    return static_cast<CplxVecObj *>(P);
+  }
+  LglVecObj *lglVecObj() const {
+    assert(T == Tag::LglVec);
+    return static_cast<LglVecObj *>(P);
+  }
+  StrVecObj *strVecObj() const {
+    assert(T == Tag::StrVec);
+    return static_cast<StrVecObj *>(P);
+  }
+  StrObj *strObj() const {
+    assert(T == Tag::Str);
+    return static_cast<StrObj *>(P);
+  }
+  class ListObj *listObj() const;
+  ClosObj *closObj() const {
+    assert(T == Tag::Clos);
+    return static_cast<ClosObj *>(P);
+  }
+  Env *env() const;
+
+  //===-- Generic queries ---------------------------------------------------//
+
+  /// R length(): scalars are 1, NULL is 0, vectors their element count.
+  int64_t length() const;
+
+  /// Converts to double, raising RError if not numeric.
+  double toReal() const;
+  /// Converts to int (truncating reals), raising RError if not numeric.
+  int32_t toInt() const;
+  /// Converts to complex, raising RError if not numeric.
+  Complex toCplx() const;
+  /// Condition coercion for if/while: must be length-1 logical/numeric.
+  bool asCondition() const;
+
+  /// Structural equality (used by tests and identical()).
+  bool equals(const Value &O) const;
+
+  /// Human-readable rendering (deparse-lite, used by print/cat and tests).
+  std::string show() const;
+
+  /// True if the payload is an unshared heap object (safe to mutate).
+  bool unshared() const {
+    return !isScalarTag(T) && T != Tag::Null && T != Tag::Builtin && P &&
+           P->refCount() == 1;
+  }
+
+private:
+  void retainPayload() const {
+    if (!isScalarTag(T) && T != Tag::Null && T != Tag::Builtin && P)
+      P->retain();
+  }
+  void releasePayload() {
+    if (!isScalarTag(T) && T != Tag::Null && T != Tag::Builtin && P)
+      P->release();
+  }
+
+  /// Bitwise copy of tag + payload (refcounts handled by callers).
+  void rawCopyFrom(const Value &O) {
+    __builtin_memcpy(static_cast<void *>(this), &O, sizeof(Value));
+  }
+
+  Tag T;
+  union {
+    int32_t I;
+    double D;
+    Complex C;
+    GcObject *P;
+  };
+};
+
+/// Generic vector ("list") object; defined after Value.
+class ListObj : public GcObject {
+public:
+  explicit ListObj(std::vector<Value> V) : D(std::move(V)) {
+    trackAlloc(sizeof(Value) * D.size() + 32);
+  }
+  std::vector<Value> D;
+};
+
+inline ListObj *Value::listObj() const {
+  assert(T == Tag::List);
+  return static_cast<ListObj *>(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Operations (R semantics)
+//===----------------------------------------------------------------------===//
+
+/// Binary operator kinds shared by AST, bytecode and IR.
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Pow,
+  Mod,  ///< %% (numeric modulo)
+  IDiv, ///< %/%
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And, ///< && (scalar)
+  Or,  ///< || (scalar)
+  Colon, ///< a:b sequence
+};
+
+const char *binOpName(BinOp Op);
+
+/// Evaluates \p Op with full R coercion/recycling semantics. This is the
+/// generic (slow) path the baseline interpreter always takes and optimized
+/// code falls back to when operands are not specialized.
+Value genericBinary(BinOp Op, const Value &A, const Value &B);
+
+/// Unary minus / logical not.
+Value genericNeg(const Value &A);
+Value genericNot(const Value &A);
+
+/// x[[i]] with a 1-based index; raises RError when out of bounds.
+Value extract2(const Value &X, int64_t Idx);
+
+/// x[i] — scalar index returns a length-one value of the same type;
+/// integer-vector index returns a sub-vector; logical mask unsupported.
+Value extract1(const Value &X, const Value &Idx);
+
+/// x[[i]] <- V with copy-on-write; grows the vector (NA-filling) when
+/// Idx == length+1 like R, promotes element type as needed, and promotes
+/// NULL to a vector of V's type. Returns the (possibly new) container.
+Value assign2(Value X, int64_t Idx, const Value &V);
+
+/// Creates the a:b integer (or real) sequence.
+Value colonSeq(const Value &A, const Value &B);
+
+} // namespace rjit
+
+#endif // RJIT_RUNTIME_VALUE_H

@@ -1,0 +1,37 @@
+//===-- support/interner.cpp - Symbol interning ---------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/interner.h"
+
+#include <cassert>
+
+using namespace rjit;
+
+Symbol Interner::intern(std::string_view Name) {
+  auto It = Ids.find(std::string(Name));
+  if (It != Ids.end())
+    return It->second;
+  Symbol S = static_cast<Symbol>(Names.size());
+  Names.emplace_back(Name);
+  Ids.emplace(Names.back(), S);
+  return S;
+}
+
+const std::string &Interner::name(Symbol S) const {
+  assert(S < Names.size() && "unknown symbol");
+  return Names[S];
+}
+
+Interner &rjit::interner() {
+  static Interner TheInterner;
+  return TheInterner;
+}
+
+Symbol rjit::symbol(std::string_view Name) {
+  return interner().intern(Name);
+}
+
+const std::string &rjit::symbolName(Symbol S) { return interner().name(S); }

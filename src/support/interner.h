@@ -1,0 +1,61 @@
+//===-- support/interner.h - Symbol interning -------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier strings to dense 32-bit symbol ids. Environments,
+/// bytecode and deoptimization contexts all refer to variables by symbol id,
+/// which makes the DeoptContext comparison in the dispatcher a cheap
+/// integer comparison (paper §4.3 keeps names in the context).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_INTERNER_H
+#define RJIT_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rjit {
+
+/// Dense id for an interned identifier.
+using Symbol = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol NoSymbol = ~0u;
+
+/// Process-wide string interner. Not thread-safe; the VM is single-threaded
+/// like the Ř prototype.
+class Interner {
+public:
+  /// Returns the unique id for \p Name, interning it if new.
+  Symbol intern(std::string_view Name);
+
+  /// Returns the spelling of \p S. \p S must have been produced by intern().
+  const std::string &name(Symbol S) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return Names.size(); }
+
+private:
+  std::unordered_map<std::string, Symbol> Ids;
+  std::vector<std::string> Names;
+};
+
+/// The process-wide interner instance.
+Interner &interner();
+
+/// Convenience shorthand for interner().intern(Name).
+Symbol symbol(std::string_view Name);
+
+/// Convenience shorthand for interner().name(S).
+const std::string &symbolName(Symbol S);
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_INTERNER_H

@@ -1,0 +1,64 @@
+//===-- support/rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic xorshift* generator. All randomized behaviour in the
+/// VM (notably the random assumption-invalidation test mode used for the
+/// Fig. 6 experiment) goes through this generator so that runs are exactly
+/// reproducible for a given seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_RNG_H
+#define RJIT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rjit {
+
+/// xorshift64* generator; good enough statistical quality for workload
+/// generation and sampling triggers, and trivially reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) : State(Seed) {
+    assert(Seed != 0 && "xorshift state must be non-zero");
+  }
+
+  /// Next raw 64-bit sample.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be non-zero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns true once every \p OneIn calls on average.
+  bool oneIn(uint64_t OneIn) { return below(OneIn) == 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  void reseed(uint64_t Seed) {
+    assert(Seed != 0 && "xorshift state must be non-zero");
+    State = Seed;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_RNG_H

@@ -1,0 +1,32 @@
+//===-- support/stats.cpp - VM event counters -----------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/stats.h"
+
+using namespace rjit;
+
+VmStats VmStats::operator-(const VmStats &O) const {
+  VmStats R;
+  R.Compilations = Compilations - O.Compilations;
+  R.OsrInCompilations = OsrInCompilations - O.OsrInCompilations;
+  R.OsrInEntries = OsrInEntries - O.OsrInEntries;
+  R.Deopts = Deopts - O.Deopts;
+  R.DeoptlessAttempts = DeoptlessAttempts - O.DeoptlessAttempts;
+  R.DeoptlessHits = DeoptlessHits - O.DeoptlessHits;
+  R.DeoptlessCompiles = DeoptlessCompiles - O.DeoptlessCompiles;
+  R.DeoptlessRejected = DeoptlessRejected - O.DeoptlessRejected;
+  R.AssumeChecks = AssumeChecks - O.AssumeChecks;
+  R.AssumeFailures = AssumeFailures - O.AssumeFailures;
+  R.InjectedFailures = InjectedFailures - O.InjectedFailures;
+  R.Reoptimizations = Reoptimizations - O.Reoptimizations;
+  return R;
+}
+
+static VmStats GlobalStats;
+
+VmStats &rjit::stats() { return GlobalStats; }
+
+void rjit::resetStats() { GlobalStats = VmStats(); }

@@ -1,0 +1,50 @@
+//===-- support/stats.h - VM event counters ---------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global event counters mirroring the instrumentation the paper relies on:
+/// deoptimization events, deoptless dispatches and compiles, OSR-ins,
+/// optimizing compilations, and heap high-water marks. The benchmark
+/// harnesses read and reset these between phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_STATS_H
+#define RJIT_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace rjit {
+
+/// Counters for the events the paper's evaluation reports on. A plain
+/// aggregate so harness code can snapshot/diff it by value.
+struct VmStats {
+  uint64_t Compilations = 0;        ///< whole-function optimizing compiles
+  uint64_t OsrInCompilations = 0;   ///< OSR-in continuation compiles
+  uint64_t OsrInEntries = 0;        ///< transfers interpreter -> native
+  uint64_t Deopts = 0;              ///< true deoptimizations (OSR-out)
+  uint64_t DeoptlessAttempts = 0;   ///< deopt events offered to deoptless
+  uint64_t DeoptlessHits = 0;       ///< dispatched to an existing continuation
+  uint64_t DeoptlessCompiles = 0;   ///< newly compiled continuations
+  uint64_t DeoptlessRejected = 0;   ///< fell through to a true deopt
+  uint64_t AssumeChecks = 0;        ///< dynamic Assume guard executions
+  uint64_t AssumeFailures = 0;      ///< failed guards (incl. injected ones)
+  uint64_t InjectedFailures = 0;    ///< random invalidation-mode triggers
+  uint64_t Reoptimizations = 0;     ///< profile-driven recompiles (Fig. 11)
+
+  /// Difference of two snapshots, counter by counter.
+  VmStats operator-(const VmStats &O) const;
+};
+
+/// Process-wide statistics instance.
+VmStats &stats();
+
+/// Resets all counters to zero.
+void resetStats();
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_STATS_H

@@ -1,0 +1,50 @@
+//===-- support/timer.h - Wall-clock timing helpers ------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timing used by the benchmark harnesses to report
+/// per-iteration times (the paper reports seconds per in-process iteration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_TIMER_H
+#define RJIT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace rjit {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t nowNanos() {
+  using namespace std::chrono;
+  return static_cast<uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Measures the wall-clock duration of a region.
+class Timer {
+public:
+  Timer() : Start(nowNanos()) {}
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+  void restart() { Start = nowNanos(); }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_TIMER_H

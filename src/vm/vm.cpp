@@ -1,0 +1,231 @@
+//===-- vm/vm.cpp - VM facade & tier manager ------------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/vm.h"
+#include "bc/interp.h"
+#include "lang/parser.h"
+#include "lowcode/exec.h"
+#include "lowcode/lower.h"
+#include "opt/pipeline.h"
+#include "osr/deopt.h"
+#include "osr/deoptless.h"
+#include "osr/osrin.h"
+#include "runtime/builtins.h"
+#include "support/stats.h"
+
+using namespace rjit;
+
+namespace {
+
+Vm *CurrentVm = nullptr;
+
+/// Snapshot of a function's profile; recompilation triggers for the
+/// ProfileDrivenReopt strategy compare these.
+uint64_t feedbackHash(const Function &Fn) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t X) {
+    H ^= X;
+    H *= 1099511628211ull;
+  };
+  for (const auto &T : Fn.Feedback.Types)
+    Mix(T.SeenMask);
+  for (const auto &C : Fn.Feedback.Calls) {
+    Mix(reinterpret_cast<uintptr_t>(C.Target));
+    Mix(C.BuiltinIdPlus1 | (C.Megamorphic ? 0x10000u : 0u));
+  }
+  return H;
+}
+
+/// RAII for the closure-call depth the deoptless recursion check uses.
+struct DepthGuard {
+  DepthGuard() { ++lowHooks().CallDepth; }
+  ~DepthGuard() { --lowHooks().CallDepth; }
+};
+
+} // namespace
+
+namespace rjit {
+
+Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
+  Vm *V = Vm::current();
+  assert(V && "dispatch without an active Vm");
+  Function *Fn = Clos->Fn;
+  ++Fn->CallCount;
+  DepthGuard Depth;
+
+  if (V->Cfg.Strategy == TierStrategy::BaselineOnly)
+    return callClosureBaseline(Clos, std::move(Args));
+
+  TierState &TS = V->stateFor(Fn);
+
+  // ProfileDrivenReopt: periodically run the baseline to sample fresh type
+  // feedback from a supposedly-stable function; recompile on change
+  // (condensed form of the DLS'20 sampling strategy).
+  if (TS.Optimized &&
+      V->Cfg.Strategy == TierStrategy::ProfileDrivenReopt &&
+      ++TS.CallsSinceSample % V->Cfg.ReoptSampleEvery == 0) {
+    Value R = callClosureBaseline(Clos, std::move(Args));
+    if (feedbackHash(*Fn) != TS.FeedbackHash) {
+      V->Graveyard.push_back(std::move(TS.Optimized));
+      V->compileFunction(Fn);
+      ++stats().Reoptimizations;
+    }
+    return R;
+  }
+
+  if (!TS.Optimized && !TS.Blacklisted &&
+      Fn->CallCount >= V->Cfg.CompileThreshold)
+    V->compileFunction(Fn);
+
+  if (!TS.Optimized)
+    return callClosureBaseline(Clos, std::move(Args));
+
+  LowFunction &Low = *TS.Optimized;
+  if (Args.size() != Fn->Params.size())
+    rerror("call to '" + symbolName(Fn->Name) + "': expected " +
+           std::to_string(Fn->Params.size()) + " arguments, got " +
+           std::to_string(Args.size()));
+
+  if (Low.Conv == CallConv::FullElided)
+    return runLow(Low, std::move(Args), /*CurEnv=*/nullptr, Clos->Enclosing);
+
+  // FullEnv: build the environment like the baseline would.
+  Env *E = new Env(Clos->Enclosing);
+  E->retain();
+  for (size_t K = 0; K < Args.size(); ++K)
+    E->set(Fn->Params[K], std::move(Args[K]));
+  Value Result;
+  try {
+    Result = runLow(Low, {}, E, Clos->Enclosing);
+  } catch (...) {
+    E->release();
+    throw;
+  }
+  E->release();
+  return Result;
+}
+
+void vmDeoptListener(Function *Fn, const DeoptMeta &Meta, bool Injected) {
+  Vm *V = Vm::current();
+  if (!V)
+    return;
+  TierState &TS = V->stateFor(Fn);
+  // A true deoptimization normally retires the optimized code: under
+  // Normal this is the Fig. 1 cycle, under Deoptless it is the
+  // "deoptimized for good" case of §4.3. The exception is an *injected*
+  // failure (§5.1 test mode) under Deoptless that could not be handled
+  // (e.g. it struck inside a running continuation): the guarded fact
+  // still holds, so the code stays valid and is kept.
+  if (V->Cfg.Strategy == TierStrategy::Deoptless && Injected)
+    return;
+  // The version cannot be freed yet — its frames (and the DeoptMeta being
+  // processed) are still live — so it moves to the graveyard.
+  if (TS.Optimized)
+    V->Graveyard.push_back(std::move(TS.Optimized));
+  ++TS.DeoptCount;
+  if (TS.DeoptCount >= V->Cfg.DeoptBlacklist)
+    TS.Blacklisted = true;
+  // Re-warm before recompiling so the baseline can collect fresh feedback
+  // (Fig. 1: deopt -> profile -> recompile).
+  Fn->CallCount = 0;
+}
+
+} // namespace rjit
+
+Vm::Vm(Config C) : Cfg(C) {
+  assert(!CurrentVm && "only one Vm may be active at a time");
+  CurrentVm = this;
+
+  Global = new Env(nullptr);
+  Global->retain();
+  installBuiltins(*Global);
+
+  resetStats();
+  interpHooks().CallClosure = vmDispatchCall;
+  interpHooks().OsrIn = Cfg.OsrIn ? osrInHook : nullptr;
+  interpHooks().OsrThreshold = Cfg.OsrThreshold;
+
+  installOsrRuntime();
+  setDeoptListener(vmDeoptListener);
+  lowHooks().InvalidationRate = Cfg.InvalidationRate;
+  lowHooks().TestRng.reseed(Cfg.InvalidationSeed);
+  lowHooks().rearmInvalidation();
+  lowHooks().CallDepth = 0;
+
+  osrInConfig().Enabled = Cfg.OsrIn;
+  DeoptlessConfig &DL = deoptlessConfig();
+  DL.Enabled = Cfg.Strategy == TierStrategy::Deoptless;
+  DL.FeedbackCleanup = Cfg.FeedbackCleanup;
+  DL.MaxContinuations = Cfg.MaxContinuations;
+}
+
+Vm::~Vm() {
+  clearDeoptlessTables();
+  interpHooks() = InterpHooks();
+  lowHooks() = LowHooks();
+  setDeoptListener(nullptr);
+  deoptlessConfig() = DeoptlessConfig();
+  osrInConfig() = OsrInConfig();
+  States.clear();
+  Modules.clear();
+  Global->release();
+  CurrentVm = nullptr;
+}
+
+Vm *Vm::current() { return CurrentVm; }
+
+TierState &Vm::stateFor(Function *Fn) {
+  auto &S = States[Fn];
+  if (!S)
+    S = std::make_unique<TierState>();
+  return *S;
+}
+
+LowFunction *Vm::compileFunction(Function *Fn) {
+  TierState &TS = stateFor(Fn);
+  if (TS.Optimized)
+    return TS.Optimized.get();
+
+  OptOptions Opts;
+  Opts.Speculate = Cfg.Speculate;
+  // Prefer the elided convention; fall back to a real environment.
+  std::unique_ptr<IrCode> Ir =
+      optimizeToIr(Fn, CallConv::FullElided, EntryState(), Opts);
+  if (!Ir)
+    Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), Opts);
+  if (!Ir)
+    return nullptr;
+
+  TS.Optimized = lowerToLow(*Ir);
+  TS.FeedbackHash = feedbackHash(*Fn);
+  TS.CallsSinceSample = 0;
+  ++stats().Compilations;
+  return TS.Optimized.get();
+}
+
+Value Vm::eval(const std::string &Source) {
+  Value Result;
+  std::string Error;
+  if (!eval(Source, Result, Error))
+    rerror(Error);
+  return Result;
+}
+
+bool Vm::eval(const std::string &Source, Value &Result, std::string &Error) {
+  ParseResult P = parseProgram(Source);
+  if (!P.ok()) {
+    Error = P.Error;
+    return false;
+  }
+  BcResult B = compileToBc(*P.Ast);
+  if (!B.ok()) {
+    Error = B.Error;
+    return false;
+  }
+  Modules.push_back(std::move(B.Mod));
+  Result = interpret(Modules.back()->Top, Global);
+  return true;
+}

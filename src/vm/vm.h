@@ -1,0 +1,116 @@
+//===-- vm/vm.h - VM facade & tier manager -----------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public embedding API and the tier manager: function versions,
+/// warmup thresholds, dispatch between baseline and optimized code, deopt
+/// policies per strategy, and the experiment modes of the paper's
+/// evaluation:
+///
+///  * \c Normal — classic speculation: a deopt retires the optimized
+///    version, the baseline re-profiles, and the function is recompiled
+///    (more generically) after re-warming. (Fig. 1)
+///  * \c Deoptless — failing guards dispatch to specialized continuations;
+///    the optimized version is retained. (Fig. 2)
+///  * \c ProfileDrivenReopt — the DLS'20 comparator for Fig. 11: optimized
+///    functions are periodically sampled in the baseline to refresh type
+///    feedback, and recompiled when the profile changed.
+///
+/// One Vm is active per process at a time (hooks are global, as in Ř).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_VM_VM_H
+#define RJIT_VM_VM_H
+
+#include "bc/compiler.h"
+#include "lowcode/lowcode.h"
+#include "runtime/env.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace rjit {
+
+enum class TierStrategy : uint8_t {
+  BaselineOnly,      ///< never optimize (reference semantics)
+  Normal,            ///< speculate; deopt retires the version (Fig. 1)
+  Deoptless,         ///< dispatched OSR + specialized continuations (Fig. 2)
+  ProfileDrivenReopt ///< sampling reoptimization comparator (Fig. 11)
+};
+
+/// Per-function tier bookkeeping.
+struct TierState {
+  std::unique_ptr<LowFunction> Optimized;
+  uint32_t DeoptCount = 0;
+  bool Blacklisted = false;     ///< too many deopts: stay in the baseline
+  uint64_t CallsSinceSample = 0;///< ProfileDrivenReopt period counter
+  uint64_t FeedbackHash = 0;    ///< profile snapshot at compile time
+};
+
+/// The embedding API.
+class Vm {
+public:
+  struct Config {
+    TierStrategy Strategy = TierStrategy::Normal;
+    uint32_t CompileThreshold = 3; ///< closure calls before optimizing
+    uint32_t OsrThreshold = 200;   ///< interpreter backedges before OSR-in
+    bool OsrIn = true;
+    uint64_t InvalidationRate = 0; ///< 1-in-N random guard failures (§5.1)
+    uint64_t InvalidationSeed = 12345;
+    bool FeedbackCleanup = true;   ///< §4.3 cleanup pass (ablation)
+    uint32_t MaxContinuations = 5; ///< dispatch table bound
+    uint32_t DeoptBlacklist = 50;  ///< deopts before giving up on a fn
+    uint64_t ReoptSampleEvery = 20;///< ProfileDrivenReopt sampling period
+    bool Speculate = true;         ///< insert Assumes at all (ablation)
+  };
+
+  explicit Vm(Config Cfg);
+  Vm() : Vm(Config()) {}
+  ~Vm();
+
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  /// Parses, compiles and runs \p Source in the global environment;
+  /// returns the value of the last statement. Raises RError for run-time
+  /// errors; front-end problems are reported via the second overload.
+  Value eval(const std::string &Source);
+
+  /// Like eval() but reports front-end errors instead of aborting.
+  /// Returns false and fills \p Error on parse/compile failure.
+  bool eval(const std::string &Source, Value &Result, std::string &Error);
+
+  Env *global() { return Global; }
+  const Config &config() const { return Cfg; }
+
+  /// Tier state of a function (creating it on first use).
+  TierState &stateFor(Function *Fn);
+
+  /// Compiles \p Fn now (ignoring thresholds); returns the version or null.
+  LowFunction *compileFunction(Function *Fn);
+
+  /// The active Vm (hooks are process-global).
+  static Vm *current();
+
+private:
+  friend Value vmDispatchCall(ClosObj *, std::vector<Value> &&);
+  friend void vmDeoptListener(Function *, const DeoptMeta &, bool);
+
+  Config Cfg;
+  Env *Global;
+  std::vector<std::unique_ptr<Module>> Modules;
+  std::map<Function *, std::unique_ptr<TierState>> States;
+  /// Retired optimized code: activations of a version being retired are
+  /// still on the stack when the deopt listener runs, so reclamation is
+  /// deferred to VM teardown (real VMs defer to a safepoint).
+  std::vector<std::unique_ptr<LowFunction>> Graveyard;
+};
+
+} // namespace rjit
+
+#endif // RJIT_VM_VM_H

@@ -1,0 +1,358 @@
+//===-- tests/bc_test.cpp - Bytecode compiler & interpreter tests ----------===//
+
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+class BcEval : public ::testing::Test {
+protected:
+  BaselineSession S;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expressions
+
+TEST_F(BcEval, Literals) {
+  EXPECT_EQ(S.eval("42L").asIntUnchecked(), 42);
+  EXPECT_DOUBLE_EQ(S.eval("2.5").asRealUnchecked(), 2.5);
+  EXPECT_TRUE(S.eval("TRUE").asLglUnchecked());
+  EXPECT_TRUE(S.eval("NULL").isNull());
+  EXPECT_EQ(S.eval("3i").asCplxUnchecked().Im, 3);
+  EXPECT_EQ(S.eval("\"hi\"").strObj()->D, "hi");
+}
+
+TEST_F(BcEval, Arithmetic) {
+  EXPECT_EQ(S.eval("1L + 2L * 3L").asIntUnchecked(), 7);
+  EXPECT_DOUBLE_EQ(S.eval("7 / 2").asRealUnchecked(), 3.5);
+  EXPECT_DOUBLE_EQ(S.eval("2 ^ 10").asRealUnchecked(), 1024);
+  EXPECT_EQ(S.eval("7L %% 3L").asIntUnchecked(), 1);
+  EXPECT_EQ(S.eval("-(3L)").asIntUnchecked(), -3);
+}
+
+TEST_F(BcEval, VariablesAndAssignment) {
+  EXPECT_EQ(S.eval("x <- 10L\nx + 1L").asIntUnchecked(), 11);
+  EXPECT_EQ(S.eval("y <- x <- 2L\ny + x").asIntUnchecked(), 4);
+}
+
+TEST_F(BcEval, AssignIsExpression) {
+  EXPECT_EQ(S.eval("z <- (w <- 3L)").asIntUnchecked(), 3);
+}
+
+TEST_F(BcEval, UnboundVariableRaises) {
+  EXPECT_THROW(S.eval("no_such_var + 1"), RError);
+}
+
+TEST_F(BcEval, Comparisons) {
+  EXPECT_TRUE(S.eval("1 < 2").asLglUnchecked());
+  EXPECT_FALSE(S.eval("2 == 3").asLglUnchecked());
+}
+
+TEST_F(BcEval, ShortCircuitAnd) {
+  // Rhs must not be evaluated when lhs is FALSE.
+  EXPECT_FALSE(S.eval("FALSE && stop(\"boom\")").asLglUnchecked());
+  EXPECT_TRUE(S.eval("TRUE || stop(\"boom\")").asLglUnchecked());
+  EXPECT_THROW(S.eval("TRUE && stop(\"boom\")"), RError);
+}
+
+TEST_F(BcEval, IfElse) {
+  EXPECT_EQ(S.eval("if (TRUE) 1L else 2L").asIntUnchecked(), 1);
+  EXPECT_EQ(S.eval("if (FALSE) 1L else 2L").asIntUnchecked(), 2);
+  EXPECT_TRUE(S.eval("if (FALSE) 1L").isNull());
+}
+
+TEST_F(BcEval, NotOperator) {
+  EXPECT_FALSE(S.eval("!TRUE").asLglUnchecked());
+  EXPECT_TRUE(S.eval("!(1 > 2)").asLglUnchecked());
+}
+
+//===----------------------------------------------------------------------===//
+// Loops
+
+TEST_F(BcEval, ForLoopSum) {
+  EXPECT_EQ(S.eval(R"(
+    total <- 0L
+    for (i in 1:10) total <- total + i
+    total
+  )").asIntUnchecked(), 55);
+}
+
+TEST_F(BcEval, ForLoopOverRealVector) {
+  EXPECT_DOUBLE_EQ(S.eval(R"(
+    v <- c(1.5, 2.5, 3.0)
+    s <- 0
+    for (x in v) s <- s + x
+    s
+  )").asRealUnchecked(), 7.0);
+}
+
+TEST_F(BcEval, WhileLoop) {
+  EXPECT_EQ(S.eval(R"(
+    n <- 0L
+    while (n < 5L) n <- n + 1L
+    n
+  )").asIntUnchecked(), 5);
+}
+
+TEST_F(BcEval, RepeatWithBreak) {
+  EXPECT_EQ(S.eval(R"(
+    n <- 0L
+    repeat {
+      n <- n + 1L
+      if (n >= 3L) break
+    }
+    n
+  )").asIntUnchecked(), 3);
+}
+
+TEST_F(BcEval, BreakInsideFor) {
+  EXPECT_EQ(S.eval(R"(
+    last <- 0L
+    for (i in 1:100) {
+      if (i > 4L) break
+      last <- i
+    }
+    last
+  )").asIntUnchecked(), 4);
+}
+
+TEST_F(BcEval, NextSkipsIterations) {
+  EXPECT_EQ(S.eval(R"(
+    s <- 0L
+    for (i in 1:10) {
+      if (i %% 2L == 0L) next
+      s <- s + i
+    }
+    s
+  )").asIntUnchecked(), 25);
+}
+
+TEST_F(BcEval, NestedLoopsWithBreak) {
+  EXPECT_EQ(S.eval(R"(
+    count <- 0L
+    for (i in 1:3) {
+      for (j in 1:10) {
+        if (j > i) break
+        count <- count + 1L
+      }
+    }
+    count
+  )").asIntUnchecked(), 6);
+}
+
+TEST_F(BcEval, LoopProducesNull) {
+  EXPECT_TRUE(S.eval("for (i in 1:3) i").isNull());
+  EXPECT_TRUE(S.eval("while (FALSE) 1").isNull());
+}
+
+//===----------------------------------------------------------------------===//
+// Functions & closures
+
+TEST_F(BcEval, SimpleFunction) {
+  EXPECT_EQ(S.eval(R"(
+    add <- function(a, b) a + b
+    add(2L, 3L)
+  )").asIntUnchecked(), 5);
+}
+
+TEST_F(BcEval, FunctionLastExpressionIsResult) {
+  EXPECT_EQ(S.eval(R"(
+    f <- function(x) { y <- x * 2L; y + 1L }
+    f(10L)
+  )").asIntUnchecked(), 21);
+}
+
+TEST_F(BcEval, Recursion) {
+  EXPECT_EQ(S.eval(R"(
+    fib <- function(n) if (n < 2L) n else fib(n - 1L) + fib(n - 2L)
+    fib(10L)
+  )").asIntUnchecked(), 55);
+}
+
+TEST_F(BcEval, ClosureCapture) {
+  EXPECT_EQ(S.eval(R"(
+    make_adder <- function(n) function(x) x + n
+    add5 <- make_adder(5L)
+    add5(2L)
+  )").asIntUnchecked(), 7);
+}
+
+TEST_F(BcEval, SuperAssignment) {
+  EXPECT_EQ(S.eval(R"(
+    counter <- 0L
+    bump <- function() counter <<- counter + 1L
+    bump(); bump(); bump()
+    counter
+  )").asIntUnchecked(), 3);
+}
+
+TEST_F(BcEval, ArityMismatchRaises) {
+  EXPECT_THROW(S.eval("f <- function(a, b) a\nf(1)"), RError);
+}
+
+TEST_F(BcEval, HigherOrderFunctions) {
+  EXPECT_EQ(S.eval(R"(
+    apply2 <- function(f, x) f(f(x))
+    apply2(function(v) v * 3L, 2L)
+  )").asIntUnchecked(), 18);
+}
+
+//===----------------------------------------------------------------------===//
+// Vectors & indexing
+
+TEST_F(BcEval, VectorBuildAndIndex) {
+  EXPECT_DOUBLE_EQ(S.eval(R"(
+    v <- c(1.5, 2.5, 3.5)
+    v[[2]]
+  )").asRealUnchecked(), 2.5);
+}
+
+TEST_F(BcEval, IndexAssignment) {
+  EXPECT_EQ(S.eval(R"(
+    v <- integer(3L)
+    v[[2]] <- 7L
+    v[[2]]
+  )").asIntUnchecked(), 7);
+}
+
+TEST_F(BcEval, IndexAssignmentPromotes) {
+  Value V = S.eval(R"(
+    v <- integer(2L)
+    v[[1]] <- 1.5
+    v
+  )");
+  EXPECT_EQ(V.tag(), Tag::RealVec);
+}
+
+TEST_F(BcEval, IndexAssignGrowsFromNull) {
+  EXPECT_EQ(S.eval(R"(
+    res <- c()
+    for (i in 1:4) res[[i]] <- i * 10L
+    res[[4]]
+  )").asIntUnchecked(), 40);
+}
+
+TEST_F(BcEval, SubVectorIndexing) {
+  Value V = S.eval(R"(
+    v <- c(10L, 20L, 30L, 40L)
+    v[c(1L, 3L)]
+  )");
+  ASSERT_EQ(V.tag(), Tag::IntVec);
+  EXPECT_EQ(V.intVecObj()->D, (std::vector<int32_t>{10, 30}));
+}
+
+TEST_F(BcEval, ListOperations) {
+  EXPECT_EQ(S.eval(R"(
+    l <- list(1L, "two", 3.0)
+    length(l)
+  )").asIntUnchecked(), 3);
+  EXPECT_EQ(S.eval("l[[2]]").strObj()->D, "two");
+}
+
+TEST_F(BcEval, BuiltinCalls) {
+  EXPECT_DOUBLE_EQ(S.eval("sqrt(16)").asRealUnchecked(), 4);
+  EXPECT_EQ(S.eval("length(1:10)").asIntUnchecked(), 10);
+  EXPECT_EQ(S.eval("sum(1:4)").asIntUnchecked(), 10);
+}
+
+TEST_F(BcEval, ComplexArithmetic) {
+  Value V = S.eval("(1+0i) * 2i + 1");
+  ASSERT_EQ(V.tag(), Tag::Cplx);
+  EXPECT_EQ(V.asCplxUnchecked().Re, 1);
+  EXPECT_EQ(V.asCplxUnchecked().Im, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Feedback recording
+
+TEST_F(BcEval, LdVarRecordsTypeFeedback) {
+  S.eval(R"(
+    f <- function(x) x + 1
+    f(1L); f(2L); f(3L)
+  )");
+  // Find f's Function and check its LdVar feedback saw only Int.
+  Module *M = S.lastModule();
+  ASSERT_GE(M->Fns.size(), 2u);
+  Function *F = M->Fns[1].get();
+  bool SawIntOnly = false;
+  for (auto &T : F->Feedback.Types)
+    if (!T.empty() && T.monomorphic() && T.uniqueTag() == Tag::Int)
+      SawIntOnly = true;
+  EXPECT_TRUE(SawIntOnly);
+}
+
+TEST_F(BcEval, PolymorphicFeedbackAccumulates) {
+  S.eval(R"(
+    g <- function(x) x + 1
+    g(1L); g(2.5)
+  )");
+  Module *M = S.lastModule();
+  Function *G = M->Fns[1].get();
+  bool SawBoth = false;
+  for (auto &T : G->Feedback.Types)
+    if (T.seen(Tag::Int) && T.seen(Tag::Real))
+      SawBoth = true;
+  EXPECT_TRUE(SawBoth);
+}
+
+TEST_F(BcEval, CallFeedbackMonomorphic) {
+  S.eval(R"(
+    callee <- function() 1L
+    caller <- function() callee()
+    caller(); caller()
+  )");
+  Module *M = S.lastModule();
+  // caller is Fns[2]; its call feedback must be monomorphic on callee.
+  bool FoundMono = false;
+  for (auto &FnP : M->Fns)
+    for (auto &CF : FnP->Feedback.Calls)
+      if (CF.monomorphicClosure())
+        FoundMono = true;
+  EXPECT_TRUE(FoundMono);
+}
+
+TEST_F(BcEval, BranchFeedbackCountsBackedges) {
+  S.eval("for (i in 1:50) i");
+  Module *M = S.lastModule();
+  uint32_t MaxTaken = 0;
+  for (auto &BF : M->Top->Feedback.Branches)
+    MaxTaken = std::max(MaxTaken, BF.Taken);
+  EXPECT_EQ(MaxTaken, 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// Resume-at-pc (the deopt entry)
+
+TEST_F(BcEval, DisassembleProducesText) {
+  S.eval("x <- 1L + 2L");
+  std::string D = disassemble(S.lastModule()->Top->BC);
+  EXPECT_NE(D.find("binop"), std::string::npos);
+  EXPECT_NE(D.find("stvar"), std::string::npos);
+}
+
+TEST_F(BcEval, InterpretResumeMidFunction) {
+  // Compile `x + y` and resume at the BinBc with a hand-built stack.
+  ParseResult P = parseProgram("x + y");
+  ASSERT_TRUE(P.ok());
+  BcResult B = compileToBc(*P.Ast);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  // Find the BinBc pc.
+  int32_t BinPc = -1;
+  for (size_t I = 0; I < B.Mod->Top->BC.Instrs.size(); ++I)
+    if (B.Mod->Top->BC.Instrs[I].Op == Opcode::BinBc)
+      BinPc = static_cast<int32_t>(I);
+  ASSERT_GE(BinPc, 0);
+  Env *E = new Env(nullptr);
+  E->retain();
+  std::vector<Value> Stack;
+  Stack.push_back(Value::integer(30));
+  Stack.push_back(Value::integer(12));
+  Value R = interpretResume(B.Mod->Top, E, std::move(Stack), BinPc);
+  EXPECT_EQ(R.asIntUnchecked(), 42);
+  E->release();
+}

@@ -1,0 +1,167 @@
+//===-- tests/ir_test.cpp - Type lattice & IR structure tests --------------===//
+
+#include "ir/instr.h"
+#include "ir/type.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+//===----------------------------------------------------------------------===//
+// RType lattice
+
+TEST(RType, Basics) {
+  EXPECT_TRUE(RType::none().isNone());
+  EXPECT_TRUE(RType::any().isAny());
+  EXPECT_TRUE(RType::of(Tag::Int).isExactly(Tag::Int));
+  EXPECT_FALSE(RType::of(Tag::Int).isExactly(Tag::Real));
+}
+
+TEST(RType, JoinMeet) {
+  RType IR = RType::of(Tag::Int).join(RType::of(Tag::Real));
+  EXPECT_TRUE(IR.contains(Tag::Int));
+  EXPECT_TRUE(IR.contains(Tag::Real));
+  EXPECT_FALSE(IR.precise());
+  EXPECT_TRUE(IR.meet(RType::of(Tag::Int)).isExactly(Tag::Int));
+  EXPECT_TRUE(RType::of(Tag::Int).meet(RType::of(Tag::Real)).isNone());
+}
+
+TEST(RType, SubtypeIsSubset) {
+  EXPECT_TRUE(RType::of(Tag::Int).subtypeOf(RType::any()));
+  EXPECT_TRUE(RType::none().subtypeOf(RType::of(Tag::Int)));
+  EXPECT_FALSE(RType::any().subtypeOf(RType::of(Tag::Int)));
+  RType IR = RType::of(Tag::Int).join(RType::of(Tag::Real));
+  EXPECT_TRUE(RType::of(Tag::Int).subtypeOf(IR));
+  EXPECT_FALSE(IR.subtypeOf(RType::of(Tag::Int)));
+}
+
+TEST(RType, ScalarIsSubtypeOfVector) {
+  // Paper §3.1: R scalars are vectors of length one — a continuation
+  // compiled for a float vector is compatible with a scalar float.
+  EXPECT_TRUE(RType::of(Tag::Real).subtypeOf(RType::of(Tag::RealVec)));
+  EXPECT_TRUE(RType::of(Tag::Int).subtypeOf(RType::of(Tag::IntVec)));
+  EXPECT_FALSE(RType::of(Tag::RealVec).subtypeOf(RType::of(Tag::Real)));
+  EXPECT_FALSE(RType::of(Tag::Real).subtypeOf(RType::of(Tag::IntVec)));
+}
+
+TEST(RType, FromFeedback) {
+  TypeFeedback FB;
+  EXPECT_TRUE(RType::fromFeedback(FB).isAny()) << "empty profile = any";
+  FB.record(Tag::Int);
+  EXPECT_TRUE(RType::fromFeedback(FB).isExactly(Tag::Int));
+  FB.record(Tag::Real);
+  RType T = RType::fromFeedback(FB);
+  EXPECT_TRUE(T.contains(Tag::Int) && T.contains(Tag::Real));
+  FB.Stale = true;
+  EXPECT_TRUE(RType::fromFeedback(FB).isAny()) << "stale profile = any";
+}
+
+TEST(RType, NumericOnly) {
+  EXPECT_TRUE(RType::of(Tag::Int).numericOnly());
+  EXPECT_TRUE(RType::numeric(Tag::Real).numericOnly());
+  EXPECT_FALSE(RType::of(Tag::Str).numericOnly());
+  EXPECT_FALSE(RType::any().numericOnly());
+  EXPECT_FALSE(RType::none().numericOnly());
+}
+
+TEST(RType, UniqueTag) {
+  EXPECT_EQ(RType::of(Tag::CplxVec).uniqueTag(), Tag::CplxVec);
+  EXPECT_TRUE(RType::of(Tag::Lgl).precise());
+  EXPECT_FALSE(RType::numeric(Tag::Real).precise());
+}
+
+TEST(RType, StrRendering) {
+  EXPECT_EQ(RType::of(Tag::Int).str(), "integer");
+  EXPECT_EQ(RType::any().str(), "any");
+  EXPECT_EQ(RType::none().str(), "none");
+}
+
+//===----------------------------------------------------------------------===//
+// IR structural pieces
+
+TEST(Ir, BuildTinyFunction) {
+  IrCode C;
+  BB *B = C.newBlock();
+  C.Entry = B;
+  auto CI = C.make(IrOp::Const, RType::of(Tag::Int));
+  CI->Cst = Value::integer(42);
+  Instr *K = B->append(std::move(CI));
+  auto R = C.make(IrOp::Ret, RType::none());
+  R->Ops.push_back(K);
+  B->append(std::move(R));
+  EXPECT_EQ(verify(C), "");
+  std::string P = print(C);
+  EXPECT_NE(P.find("const 42L"), std::string::npos);
+  EXPECT_NE(P.find("ret"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesMissingTerminator) {
+  IrCode C;
+  BB *B = C.newBlock();
+  C.Entry = B;
+  auto CI = C.make(IrOp::Const, RType::of(Tag::Int));
+  CI->Cst = Value::integer(1);
+  B->append(std::move(CI));
+  EXPECT_NE(verify(C), "");
+}
+
+TEST(Ir, VerifierCatchesArity) {
+  IrCode C;
+  BB *B = C.newBlock();
+  C.Entry = B;
+  auto R = C.make(IrOp::Ret, RType::none());
+  B->append(std::move(R)); // ret with no operand
+  EXPECT_NE(verify(C), "");
+}
+
+TEST(Ir, RpoVisitsAllReachable) {
+  IrCode C;
+  BB *A = C.newBlock();
+  BB *B1 = C.newBlock();
+  BB *B2 = C.newBlock();
+  BB *M = C.newBlock();
+  C.Entry = A;
+  auto CI = C.make(IrOp::Const, RType::of(Tag::Lgl));
+  CI->Cst = Value::lgl(true);
+  Instr *Cond = A->append(std::move(CI));
+  auto Br = C.make(IrOp::BranchIr, RType::none());
+  Br->Ops.push_back(Cond);
+  A->append(std::move(Br));
+  A->setSuccs(B1, B2);
+  B1->append(C.make(IrOp::Jump, RType::none()));
+  B1->setSuccs(M);
+  B2->append(C.make(IrOp::Jump, RType::none()));
+  B2->setSuccs(M);
+  auto CK = C.make(IrOp::Const, RType::of(Tag::Null));
+  Instr *K = M->append(std::move(CK));
+  auto R = C.make(IrOp::Ret, RType::none());
+  R->Ops.push_back(K);
+  M->append(std::move(R));
+
+  std::vector<BB *> Order = C.rpo();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order.front(), A);
+  EXPECT_EQ(Order.back(), M);
+}
+
+TEST(Ir, SweepRemovesUnusedPure) {
+  IrCode C;
+  BB *B = C.newBlock();
+  C.Entry = B;
+  auto D = C.make(IrOp::Const, RType::of(Tag::Int));
+  D->Cst = Value::integer(7);
+  B->append(std::move(D)); // dead
+  auto K = C.make(IrOp::Const, RType::of(Tag::Int));
+  K->Cst = Value::integer(1);
+  Instr *KI = B->append(std::move(K));
+  auto R = C.make(IrOp::Ret, RType::none());
+  R->Ops.push_back(KI);
+  B->append(std::move(R));
+  EXPECT_TRUE(C.sweepDead());
+  EXPECT_EQ(B->Instrs.size(), 2u);
+}
+
+TEST(Ir, DeoptReasonNames) {
+  EXPECT_STREQ(deoptReasonName(DeoptReasonKind::Typecheck), "typecheck");
+  EXPECT_STREQ(deoptReasonName(DeoptReasonKind::Injected), "injected");
+}

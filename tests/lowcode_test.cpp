@@ -1,0 +1,193 @@
+//===-- tests/lowcode_test.cpp - Lowering & engine unit tests --------------===//
+
+#include "lowcode/exec.h"
+#include "lowcode/lower.h"
+#include "opt/pipeline.h"
+#include "support/timer.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+class LowFixture : public ::testing::Test {
+protected:
+  BaselineSession S;
+
+  /// Warms and compiles the first closure of \p Source (FullElided when
+  /// possible) and returns the LowFunction.
+  std::unique_ptr<LowFunction> compile(const std::string &Source,
+                                       int FnIdx = 1) {
+    S.eval(Source);
+    Function *Fn = S.lastModule()->Fns[FnIdx].get();
+    OptOptions Opts;
+    auto Ir = optimizeToIr(Fn, CallConv::FullElided, EntryState(), Opts);
+    if (!Ir)
+      Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), Opts);
+    EXPECT_TRUE(Ir);
+    return Ir ? lowerToLow(*Ir) : nullptr;
+  }
+
+  static int countOps(const LowFunction &F, LowOp Op) {
+    int N = 0;
+    for (const LowInstr &I : F.Code)
+      N += I.Op == Op;
+    return N;
+  }
+};
+
+} // namespace
+
+TEST_F(LowFixture, UnboxedSlotClassesAssigned) {
+  auto F = compile(R"(
+    f <- function(v) {
+      s <- 0
+      for (i in 1:length(v)) s <- s + v[[i]]
+      s
+    }
+    x <- c(1.5, 2.5); f(x); f(x); f(x)
+  )");
+  ASSERT_TRUE(F);
+  EXPECT_GT(F->NumSlotsD, 0u) << "the accumulator must live in raw doubles";
+  EXPECT_GT(F->NumSlotsI, 0u) << "loop counters must live in raw ints";
+}
+
+TEST_F(LowFixture, ParamClassesFollowTypes) {
+  auto F = compile(R"(
+    f <- function(v) v[[1]] + v[[2]]
+    x <- c(1.5, 2.5); f(x); f(x); f(x)
+  )");
+  ASSERT_TRUE(F);
+  ASSERT_EQ(F->ParamClasses.size(), 1u);
+  EXPECT_EQ(F->ParamClasses[0], SlotClass::Boxed)
+      << "vector parameters stay boxed";
+}
+
+TEST_F(LowFixture, GuardsCarryDeoptMetadata) {
+  auto F = compile(R"(
+    f <- function(v) v[[1]]
+    x <- c(1L); f(x); f(x); f(x)
+  )");
+  ASSERT_TRUE(F);
+  EXPECT_GT(F->GuardCount, 0u);
+  ASSERT_FALSE(F->Deopts.empty());
+  for (const DeoptMeta &M : F->Deopts) {
+    EXPECT_GE(M.BcPc, 0) << "resume pc must be set";
+    EXPECT_GE(M.ReasonPc, 0);
+  }
+}
+
+TEST_F(LowFixture, GuardsAreEntryHoistedForParams) {
+  auto F = compile(R"(
+    f <- function(v) {
+      s <- 0
+      for (i in 1:length(v)) s <- s + v[[i]]
+      s
+    }
+    x <- as.numeric(1:10); f(x); f(x); f(x)
+  )");
+  ASSERT_TRUE(F);
+  // All guards should appear before the loop's first backedge target:
+  // no guard after the first backward jump.
+  int32_t FirstBackTarget = -1;
+  for (size_t Pc = 0; Pc < F->Code.size(); ++Pc) {
+    const LowInstr &I = F->Code[Pc];
+    if ((I.Op == LowOp::JumpLow || I.Op == LowOp::CmpBranch ||
+         I.Op == LowOp::BranchFalseLow || I.Op == LowOp::BranchTrueLow) &&
+        I.Imm <= static_cast<int32_t>(Pc))
+      FirstBackTarget = std::max(FirstBackTarget, I.Imm);
+  }
+  ASSERT_GE(FirstBackTarget, 0) << "expected a loop";
+  for (size_t Pc = FirstBackTarget; Pc < F->Code.size(); ++Pc)
+    EXPECT_NE(F->Code[Pc].Op, LowOp::GuardCond)
+        << "guard inside the hot loop at pc " << Pc;
+}
+
+TEST_F(LowFixture, CompareBranchFusion) {
+  auto F = compile(R"(
+    f <- function(n) {
+      s <- 0L
+      for (i in 1:n) s <- s + i
+      s
+    }
+    f(10L); f(10L); f(10L)
+  )");
+  ASSERT_TRUE(F);
+  EXPECT_GT(countOps(*F, LowOp::CmpBranch), 0)
+      << "loop exit compare must fuse into the branch";
+}
+
+TEST_F(LowFixture, RunLowExecutesDirectly) {
+  auto F = compile(R"(
+    f <- function(a, b) a * b + 1L
+    f(2L, 3L); f(2L, 3L); f(2L, 3L)
+  )");
+  ASSERT_TRUE(F);
+  std::vector<Value> Args;
+  Args.push_back(Value::integer(6));
+  Args.push_back(Value::integer(7));
+  Value R = runLow(*F, std::move(Args), nullptr, S.global());
+  EXPECT_EQ(R.asIntUnchecked(), 43);
+}
+
+TEST_F(LowFixture, AccumulatorStealKeepsContainersUnshared) {
+  // The fill-then-read pattern must stay O(n): time ratio between n and
+  // 4n should be roughly linear (far below the quadratic 16x).
+  S.eval(R"(
+    fill <- function(n) {
+      v <- integer(n)
+      for (i in 1:n) v[[i]] <- i
+      s <- 0L
+      for (i in 1:n) s <- s + v[[i]]
+      s
+    }
+  )");
+  Function *Fn = S.lastModule()->Fns[1].get();
+  S.eval("fill(1000L)");
+  S.eval("fill(1000L)");
+  OptOptions Opts;
+  auto Ir = optimizeToIr(Fn, CallConv::FullElided, EntryState(), Opts);
+  ASSERT_TRUE(Ir);
+  auto F = lowerToLow(*Ir);
+
+  auto TimeN = [&](int32_t N) {
+    std::vector<Value> Args;
+    Args.push_back(Value::integer(N));
+    uint64_t Start = nowNanos();
+    Value R = runLow(*F, std::move(Args), nullptr, S.global());
+    uint64_t Elapsed = nowNanos() - Start;
+    EXPECT_EQ(R.toInt(), N * (N + 1) / 2);
+    return Elapsed;
+  };
+  TimeN(4000); // warm caches
+  double T1 = static_cast<double>(TimeN(4000));
+  double T4 = static_cast<double>(TimeN(16000));
+  EXPECT_LT(T4 / T1, 9.0) << "fill loop must not be quadratic";
+}
+
+TEST_F(LowFixture, PrintLowIsReadable) {
+  auto F = compile(R"(
+    f <- function(x) x + 1L
+    f(1L); f(1L); f(1L)
+  )");
+  ASSERT_TRUE(F);
+  std::string P = printLow(*F);
+  EXPECT_NE(P.find("lowfn"), std::string::npos);
+  EXPECT_NE(P.find("ret"), std::string::npos);
+}
+
+TEST_F(LowFixture, GuardFailureWithoutHandlerRaises) {
+  auto F = compile(R"(
+    f <- function(v) v[[1]]
+    x <- c(1L); f(x); f(x); f(x)
+  )");
+  ASSERT_TRUE(F);
+  ASSERT_GT(F->GuardCount, 0u);
+  // Passing a double vector violates the IntVec speculation; without an
+  // installed deopt handler the engine must fail loudly, not silently.
+  std::vector<Value> Args;
+  Args.push_back(Value::realVec({1.5}));
+  EXPECT_THROW(runLow(*F, std::move(Args), nullptr, S.global()), RError);
+}

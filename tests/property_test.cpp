@@ -1,0 +1,174 @@
+//===-- tests/property_test.cpp - Cross-tier equivalence sweeps ------------===//
+//
+// Property-style parameterized tests: for a grid of (operator, operand
+// type) combinations and for randomized workloads, the baseline
+// interpreter and the optimizing tiers must compute identical results —
+// the core invariant speculation and OSR must never break.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/rng.h"
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+Vm::Config cfg(TierStrategy S) {
+  Vm::Config C;
+  C.Strategy = S;
+  C.CompileThreshold = 2;
+  C.OsrThreshold = 100;
+  return C;
+}
+
+/// Runs a program (setup + 8x driver) under one strategy; returns the
+/// final driver value rendered to text (covers non-numeric results too).
+std::string runOne(const std::string &Setup, const std::string &Driver,
+                   TierStrategy S) {
+  Vm V(cfg(S));
+  V.eval(Setup);
+  Value R;
+  for (int K = 0; K < 8; ++K)
+    R = V.eval(Driver);
+  return R.show();
+}
+
+void expectAllTiersAgree(const std::string &Setup,
+                         const std::string &Driver) {
+  std::string Base = runOne(Setup, Driver, TierStrategy::BaselineOnly);
+  EXPECT_EQ(Base, runOne(Setup, Driver, TierStrategy::Normal))
+      << "normal diverged on: " << Driver;
+  EXPECT_EQ(Base, runOne(Setup, Driver, TierStrategy::Deoptless))
+      << "deoptless diverged on: " << Driver;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Operator x operand-kind grid
+
+struct ArithCase {
+  const char *Op;
+  const char *Lhs;
+  const char *Rhs;
+};
+
+class ArithGrid : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(ArithGrid, TiersAgreeOnFold) {
+  const ArithCase &C = GetParam();
+  // A fold over the operator keeps the optimizer honest about result
+  // types (accumulator phis, coercions) rather than just constant math.
+  std::string Setup = std::string("f <- function(a, b) {\n") +
+                      "  acc <- a\n  for (k in 1:10) acc <- (acc " + C.Op +
+                      " b)\n  acc\n}\n" + "lhs <- " + C.Lhs + "\nrhs <- " +
+                      C.Rhs;
+  expectAllTiersAgree(Setup, "f(lhs, rhs)");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, ArithGrid,
+    ::testing::Values(
+        ArithCase{"+", "1L", "2L"}, ArithCase{"+", "1.5", "2L"},
+        ArithCase{"+", "1L", "2.5"}, ArithCase{"+", "1.5", "2.5"},
+        ArithCase{"+", "1i", "2.5"}, ArithCase{"-", "100L", "3L"},
+        ArithCase{"-", "10.5", "0.25"}, ArithCase{"*", "3L", "2L"},
+        ArithCase{"*", "1.01", "1.01"}, ArithCase{"*", "1i", "1i"},
+        ArithCase{"/", "1000L", "2L"}, ArithCase{"/", "7.5", "0.5"},
+        ArithCase{"%%", "17L", "5L"}, ArithCase{"%%", "17.5", "5.2"},
+        ArithCase{"%/%", "17L", "5L"}, ArithCase{"^", "1.1", "1.01"}),
+    [](const ::testing::TestParamInfo<ArithCase> &Info) {
+      std::string N = std::string("op") + std::to_string(Info.index);
+      return N;
+    });
+
+//===----------------------------------------------------------------------===//
+// Comparison sweep
+
+class CmpGrid : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(CmpGrid, TiersAgreeOnCount) {
+  const ArithCase &C = GetParam();
+  std::string Setup =
+      std::string("count <- function(v, t) {\n  n <- 0L\n  for (i in "
+                  "1:length(v)) if (v[[i]] ") +
+      C.Op + " t) n <- n + 1L\n  n\n}\nvec <- " + C.Lhs + "\nthr <- " +
+      C.Rhs;
+  expectAllTiersAgree(Setup, "count(vec, thr)");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cmps, CmpGrid,
+    ::testing::Values(ArithCase{"<", "1:100", "50L"},
+                      ArithCase{"<=", "1:100", "50L"},
+                      ArithCase{">", "as.numeric(1:100)", "49.5"},
+                      ArithCase{">=", "as.numeric(1:100)", "49.5"},
+                      ArithCase{"==", "1:100", "7L"},
+                      ArithCase{"!=", "1:100", "7L"}),
+    [](const ::testing::TestParamInfo<ArithCase> &Info) {
+      return std::string("cmp") + std::to_string(Info.index);
+    });
+
+//===----------------------------------------------------------------------===//
+// Randomized phase-change fuzz: feed a function random sequences of
+// differently-typed vectors; all strategies must agree on the running sum.
+
+class PhaseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseFuzz, RandomPhaseSequencesAgree) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  const char *Kinds[] = {"1:50", "as.numeric(1:50)", "as.complex(1:50)",
+                         "c(TRUE, FALSE, TRUE)"};
+  std::string Driver = "r <- 0i\n";
+  for (int K = 0; K < 12; ++K) {
+    Driver += "r <- r + sum_data(";
+    Driver += Kinds[R.below(4)];
+    Driver += ")\n";
+  }
+  Driver += "r";
+  const char *Setup = R"(
+    sum_data <- function(data) {
+      total <- 0L
+      for (i in 1:length(data)) total <- total + data[[i]]
+      total
+    }
+  )";
+  expectAllTiersAgree(Setup, Driver);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseFuzz, ::testing::Range(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Randomized invalidation fuzz: results must be identical at any rate.
+
+class RateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RateFuzz, InjectionNeverChangesResults) {
+  const char *Setup = R"(
+    work <- function(n) {
+      v <- integer(n)
+      for (i in 1:n) v[[i]] <- (i * 7L) %% 13L
+      s <- 0L
+      for (i in 1:n) if (v[[i]] > 6L) s <- s + v[[i]]
+      s
+    }
+  )";
+  std::string Base = runOne(Setup, "work(500L)", TierStrategy::BaselineOnly);
+  for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless}) {
+    Vm::Config C = cfg(S);
+    C.InvalidationRate = static_cast<uint64_t>(GetParam());
+    C.InvalidationSeed = GetParam() * 31 + 7;
+    Vm V(C);
+    V.eval(Setup);
+    Value Last;
+    for (int K = 0; K < 8; ++K)
+      Last = V.eval("work(500L)");
+    EXPECT_EQ(Last.show(), Base) << "rate " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateFuzz,
+                         ::testing::Values(50, 200, 1000, 5000));

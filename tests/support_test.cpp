@@ -1,0 +1,102 @@
+//===-- tests/support_test.cpp - Support library unit tests ----------------===//
+
+#include "support/interner.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rjit;
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(123), B(124);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.uniform();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(Rng, OneInApproximatesRate) {
+  Rng R(11);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.oneIn(100);
+  EXPECT_GT(Hits, N / 100 / 2);
+  EXPECT_LT(Hits, N / 100 * 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng R(5);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(5);
+  EXPECT_EQ(R.next(), First);
+}
+
+TEST(Interner, RoundTrip) {
+  Symbol A = symbol("foo");
+  Symbol B = symbol("bar");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(symbol("foo"), A);
+  EXPECT_EQ(symbolName(A), "foo");
+  EXPECT_EQ(symbolName(B), "bar");
+}
+
+TEST(Interner, ManySymbolsStayDistinct) {
+  std::set<Symbol> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(symbol("sym" + std::to_string(I)));
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(Stats, DiffSubtracts) {
+  VmStats A, B;
+  A.Deopts = 10;
+  A.Compilations = 4;
+  B.Deopts = 3;
+  B.Compilations = 1;
+  VmStats D = A - B;
+  EXPECT_EQ(D.Deopts, 7u);
+  EXPECT_EQ(D.Compilations, 3u);
+}
+
+TEST(Stats, GlobalResets) {
+  stats().Deopts += 5;
+  EXPECT_GE(stats().Deopts, 5u);
+  resetStats();
+  EXPECT_EQ(stats().Deopts, 0u);
+}
+
+TEST(Timer, MeasuresSomething) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink += I;
+  EXPECT_GT(T.elapsedNanos(), 0u);
+  EXPECT_GE(T.elapsedSeconds(), 0.0);
+}

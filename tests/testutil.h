@@ -1,0 +1,56 @@
+//===-- tests/testutil.h - Shared test helpers -------------------*- C++ -*-===//
+
+#ifndef RJIT_TESTS_TESTUTIL_H
+#define RJIT_TESTS_TESTUTIL_H
+
+#include "bc/compiler.h"
+#include "bc/interp.h"
+#include "lang/parser.h"
+#include "runtime/builtins.h"
+#include "runtime/env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace rjit {
+
+/// A baseline-only evaluation fixture: parses, compiles to bytecode and
+/// interprets in a fresh global environment with builtins installed.
+class BaselineSession {
+public:
+  BaselineSession() : Global(new Env(nullptr)) {
+    Global->retain();
+    installBuiltins(*Global);
+  }
+  ~BaselineSession() {
+    Mods.clear();
+    Global->release();
+  }
+
+  /// Evaluates \p Source; gtest-fails and returns NULL on front-end errors.
+  Value eval(const std::string &Source) {
+    ParseResult P = parseProgram(Source);
+    EXPECT_TRUE(P.ok()) << P.Error;
+    if (!P.ok())
+      return Value::nil();
+    BcResult B = compileToBc(*P.Ast);
+    EXPECT_TRUE(B.ok()) << B.Error;
+    if (!B.ok())
+      return Value::nil();
+    Mods.push_back(std::move(B.Mod));
+    return interpret(Mods.back()->Top, Global);
+  }
+
+  Env *global() { return Global; }
+  Module *lastModule() { return Mods.back().get(); }
+
+private:
+  Env *Global;
+  std::vector<std::unique_ptr<Module>> Mods;
+};
+
+} // namespace rjit
+
+#endif // RJIT_TESTS_TESTUTIL_H

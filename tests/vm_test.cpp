@@ -1,0 +1,423 @@
+//===-- tests/vm_test.cpp - Tier manager & OSR integration tests -----------===//
+
+#include "osr/deoptless.h"
+#include "support/stats.h"
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+Vm::Config cfg(TierStrategy S) {
+  Vm::Config C;
+  C.Strategy = S;
+  C.CompileThreshold = 3;
+  C.OsrThreshold = 100;
+  return C;
+}
+
+/// The motivating example of the paper (Listing 1, adapted): sum over a
+/// vector whose element type changes between phases.
+const char *SumProgram = R"(
+sum_data <- function(data) {
+  total <- 0L
+  for (i in 1:length(data)) total <- total + data[[i]]
+  total
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Baseline correctness through the Vm facade
+
+TEST(VmBasic, EvalSimple) {
+  Vm V(cfg(TierStrategy::BaselineOnly));
+  EXPECT_EQ(V.eval("1L + 2L").asIntUnchecked(), 3);
+}
+
+TEST(VmBasic, FrontEndErrorsReported) {
+  Vm V(cfg(TierStrategy::BaselineOnly));
+  Value R;
+  std::string E;
+  EXPECT_FALSE(V.eval("f(", R, E));
+  EXPECT_NE(E.find("parse error"), std::string::npos);
+}
+
+TEST(VmBasic, RuntimeErrorsRaise) {
+  Vm V(cfg(TierStrategy::BaselineOnly));
+  EXPECT_THROW(V.eval("undefined_var + 1"), RError);
+}
+
+TEST(VmBasic, StateIsolatedBetweenVms) {
+  {
+    Vm V(cfg(TierStrategy::BaselineOnly));
+    V.eval("x <- 42L");
+  }
+  Vm W(cfg(TierStrategy::BaselineOnly));
+  EXPECT_THROW(W.eval("x"), RError);
+}
+
+//===----------------------------------------------------------------------===//
+// Tiering up
+
+TEST(VmTiering, HotFunctionGetsCompiled) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval("f <- function(x) x * 2L");
+  resetStats();
+  V.eval("r <- 0L\nfor (i in 1:20) r <- f(i)\nr");
+  EXPECT_GT(stats().Compilations, 0u);
+}
+
+TEST(VmTiering, OptimizedResultsMatchBaseline) {
+  const char *Prog = R"(
+    f <- function(v) {
+      s <- 0
+      for (i in 1:length(v)) s <- s + v[[i]] * 2
+      s
+    }
+    x <- c(1.5, 2.5, 3.5)
+    r <- 0
+    for (k in 1:20) r <- f(x)
+    r
+  )";
+  double Base, Opt;
+  {
+    Vm V(cfg(TierStrategy::BaselineOnly));
+    Base = V.eval(Prog).toReal();
+  }
+  {
+    Vm V(cfg(TierStrategy::Normal));
+    Opt = V.eval(Prog).toReal();
+    EXPECT_GT(stats().Compilations, 0u);
+  }
+  EXPECT_DOUBLE_EQ(Base, Opt);
+}
+
+TEST(VmTiering, RecursionCompiles) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval("fib <- function(n) if (n < 2L) n else fib(n-1L) + fib(n-2L)");
+  EXPECT_EQ(V.eval("fib(15L)").asIntUnchecked(), 610);
+  EXPECT_GT(stats().Compilations, 0u);
+}
+
+TEST(VmTiering, ClosureCapturingFunctionsStayCorrect) {
+  Vm V(cfg(TierStrategy::Normal));
+  Value R = V.eval(R"(
+    make <- function(n) function(x) x + n
+    f <- make(10L)
+    r <- 0L
+    for (i in 1:20) r <- f(i)
+    r
+  )");
+  EXPECT_EQ(R.asIntUnchecked(), 30);
+}
+
+TEST(VmTiering, SuperAssignmentWorksOptimized) {
+  Vm V(cfg(TierStrategy::Normal));
+  Value R = V.eval(R"(
+    counter <- 0L
+    bump <- function(k) counter <<- counter + k
+    for (i in 1:20) bump(1L)
+    counter
+  )");
+  EXPECT_EQ(R.asIntUnchecked(), 20);
+}
+
+//===----------------------------------------------------------------------===//
+// OSR-in
+
+TEST(VmOsrIn, LongLoopTriggersOsrIn) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval("g <- function(n) { s <- 0L\nfor (i in 1:n) s <- s + i\ns }");
+  resetStats();
+  // Single call with a long loop: tier-up must happen mid-activation.
+  Value R = V.eval("g(100000L)");
+  EXPECT_EQ(R.asIntUnchecked(), 705082704); // wrapped 32-bit sum
+  EXPECT_GT(stats().OsrInEntries, 0u);
+}
+
+TEST(VmOsrIn, TopLevelLoopTriggersOsrIn) {
+  Vm V(cfg(TierStrategy::Normal));
+  resetStats();
+  Value R = V.eval("s <- 0\nfor (i in 1:50000) s <- s + 1.5\ns");
+  EXPECT_DOUBLE_EQ(R.asRealUnchecked(), 75000.0);
+  EXPECT_GT(stats().OsrInEntries, 0u);
+}
+
+TEST(VmOsrIn, DisabledMeansNoEntries) {
+  Vm::Config C = cfg(TierStrategy::Normal);
+  C.OsrIn = false;
+  Vm V(C);
+  resetStats();
+  V.eval("s <- 0L\nfor (i in 1:5000) s <- s + i\ns");
+  EXPECT_EQ(stats().OsrInEntries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deoptimization (Normal strategy, Fig. 1 cycle)
+
+TEST(VmDeopt, TypePhaseChangeDeopts) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  V.eval("reals <- c(1.5, 2.5, 3.5, 4.5)");
+  for (int K = 0; K < 10; ++K)
+    EXPECT_EQ(V.eval("sum_data(ints)").toInt(), 10);
+  resetStats();
+  // Phase change: the speculative int-typed code must deopt, and the
+  // result must still be correct.
+  EXPECT_DOUBLE_EQ(V.eval("sum_data(reals)").toReal(), 12.0);
+  EXPECT_GT(stats().Deopts, 0u);
+}
+
+TEST(VmDeopt, RecompiledGenericCodeHandlesBoth) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  V.eval("reals <- c(1.5, 2.5, 3.5, 4.5)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  V.eval("sum_data(reals)");
+  // Re-warm: recompiles with merged feedback; no further deopts.
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(reals)");
+  resetStats();
+  V.eval("sum_data(ints)");
+  V.eval("sum_data(reals)");
+  EXPECT_EQ(stats().Deopts, 0u)
+      << "converged generic code must not deopt again";
+}
+
+TEST(VmDeopt, CallTargetChangeDeopts) {
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval(R"(
+    callee1 <- function(x) x + 1L
+    callee2 <- function(x) x + 100L
+    target <- callee1
+    caller <- function(y) target(y)
+  )");
+  for (int K = 0; K < 10; ++K)
+    EXPECT_EQ(V.eval("caller(1L)").toInt(), 2);
+  resetStats();
+  V.eval("target <- callee2");
+  EXPECT_EQ(V.eval("caller(1L)").toInt(), 101)
+      << "deopt must preserve call semantics";
+}
+
+TEST(VmDeopt, MidLoopDeoptPreservesPartialState) {
+  // The list switches type half way: the deopt happens mid-loop with a
+  // live partial sum that must be carried into the interpreter.
+  Vm V(cfg(TierStrategy::Normal));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  Value R = V.eval("sum_data(list(1L, 2L, 1.5, 4L))");
+  EXPECT_DOUBLE_EQ(R.toReal(), 8.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Deoptless (Fig. 2)
+
+TEST(VmDeoptless, PhaseChangeAvoidsTrueDeopt) {
+  Vm V(cfg(TierStrategy::Deoptless));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  V.eval("reals <- c(1.5, 2.5, 3.5, 4.5)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  resetStats();
+  EXPECT_DOUBLE_EQ(V.eval("sum_data(reals)").toReal(), 12.0);
+  EXPECT_EQ(stats().Deopts, 0u) << "deoptless must not tier down";
+  EXPECT_GT(stats().DeoptlessCompiles, 0u);
+}
+
+TEST(VmDeoptless, ContinuationIsReused) {
+  Vm V(cfg(TierStrategy::Deoptless));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  V.eval("reals <- c(1.5, 2.5, 3.5, 4.5)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  V.eval("sum_data(reals)"); // compiles the continuation
+  resetStats();
+  for (int K = 0; K < 5; ++K)
+    EXPECT_DOUBLE_EQ(V.eval("sum_data(reals)").toReal(), 12.0);
+  EXPECT_GT(stats().DeoptlessHits, 0u)
+      << "subsequent deopts must dispatch to the cached continuation";
+  EXPECT_EQ(stats().DeoptlessCompiles, 0u);
+  EXPECT_EQ(stats().Deopts, 0u);
+}
+
+TEST(VmDeoptless, OriginalCodeRetained) {
+  // Fig. 4's last phase: going back to the original type must be as fast
+  // as before — i.e. the optimized version still exists and does not
+  // re-deopt for ints.
+  Vm V(cfg(TierStrategy::Deoptless));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  V.eval("reals <- c(1.5, 2.5, 3.5, 4.5)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  V.eval("sum_data(reals)");
+  resetStats();
+  EXPECT_EQ(V.eval("sum_data(ints)").toInt(), 10);
+  EXPECT_EQ(stats().Deopts, 0u);
+  EXPECT_EQ(stats().DeoptlessAttempts, 0u)
+      << "the int path must not even reach the deopt runtime";
+}
+
+TEST(VmDeoptless, MultiplePhasesMultipleContinuations) {
+  Vm V(cfg(TierStrategy::Deoptless));
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L)");
+  V.eval("reals <- c(1.5, 2.5)");
+  V.eval("cplxs <- c(1i, 2i)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  V.eval("sum_data(reals)");
+  Value C = V.eval("sum_data(cplxs)");
+  EXPECT_EQ(C.tag(), Tag::Cplx);
+  EXPECT_DOUBLE_EQ(C.asCplxUnchecked().Im, 3.0);
+  EXPECT_GE(stats().DeoptlessCompiles, 2u)
+      << "different phases need differently specialized continuations";
+}
+
+TEST(VmDeoptless, TableBoundFallsBackToDeopt) {
+  Vm::Config C = cfg(TierStrategy::Deoptless);
+  C.MaxContinuations = 1;
+  Vm V(C);
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("sum_data(ints)");
+  V.eval("sum_data(c(1.5, 2.5))"); // fills the single slot
+  // Re-warm the function after the listener retired it (it should not
+  // have); a different phase cannot get a continuation anymore.
+  resetStats();
+  V.eval("sum_data(c(1i, 2i))");
+  EXPECT_GT(stats().Deopts + stats().DeoptlessRejected, 0u);
+}
+
+TEST(VmDeoptless, ResultsAlwaysMatchBaseline) {
+  const char *Drive = R"(
+    r <- 0
+    r <- r + sum_data(c(1L, 2L, 3L))
+    r <- r + sum_data(c(1.5, 2.5))
+    r <- r + sum_data(c(10L, 20L))
+    r <- r + sum_data(c(0.5))
+    r
+  )";
+  double Base, DL;
+  {
+    Vm V(cfg(TierStrategy::BaselineOnly));
+    V.eval(SumProgram);
+    for (int K = 0; K < 12; ++K)
+      V.eval("sum_data(c(7L, 8L))");
+    Base = V.eval(Drive).toReal();
+  }
+  {
+    Vm V(cfg(TierStrategy::Deoptless));
+    V.eval(SumProgram);
+    for (int K = 0; K < 12; ++K)
+      V.eval("sum_data(c(7L, 8L))");
+    DL = V.eval(Drive).toReal();
+  }
+  EXPECT_DOUBLE_EQ(Base, DL);
+}
+
+//===----------------------------------------------------------------------===//
+// Random invalidation mode (§5.1 methodology)
+
+TEST(VmInvalidation, InjectedFailuresDeoptNormally) {
+  Vm::Config C = cfg(TierStrategy::Normal);
+  C.InvalidationRate = 100; // aggressive for the test
+  Vm V(C);
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  int64_t Sum = 0;
+  for (int K = 0; K < 30; ++K)
+    Sum += V.eval("sum_data(ints)").toInt();
+  EXPECT_EQ(Sum, 300) << "injected failures must not change results";
+  EXPECT_GT(stats().InjectedFailures, 0u);
+  EXPECT_GT(stats().Deopts, 0u);
+}
+
+TEST(VmInvalidation, DeoptlessAbsorbsInjectedFailures) {
+  Vm::Config C = cfg(TierStrategy::Deoptless);
+  C.InvalidationRate = 100;
+  Vm V(C);
+  V.eval(SumProgram);
+  V.eval("ints <- c(1L, 2L, 3L, 4L)");
+  int64_t Sum = 0;
+  for (int K = 0; K < 30; ++K)
+    Sum += V.eval("sum_data(ints)").toInt();
+  EXPECT_EQ(Sum, 300);
+  EXPECT_GT(stats().InjectedFailures, 0u);
+  EXPECT_GT(stats().DeoptlessCompiles + stats().DeoptlessHits, 0u)
+      << "injected failures should be handled by deoptless";
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-driven reoptimization comparator (Fig. 11)
+
+TEST(VmReopt, SamplingRecompilesOnProfileChange) {
+  Vm::Config C = cfg(TierStrategy::ProfileDrivenReopt);
+  C.ReoptSampleEvery = 5;
+  Vm V(C);
+  // A function whose profile changes without any deopt: the generic `+`
+  // sees ints first, then reals through a list container (no typecheck
+  // guard on the container contents once generic).
+  V.eval(R"(
+    mix <- function(l) {
+      s <- 0
+      for (i in 1:length(l)) s <- s + l[[i]]
+      s
+    }
+  )");
+  V.eval("a <- list(1L, 2L, 3L)");
+  V.eval("b <- list(1.5, 2.5, 3.5)");
+  for (int K = 0; K < 10; ++K)
+    V.eval("mix(a)");
+  for (int K = 0; K < 40; ++K)
+    V.eval("mix(b)");
+  EXPECT_GE(stats().Reoptimizations + stats().Deopts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Heavier cross-strategy equivalence
+
+TEST(VmEquivalence, AllStrategiesAgreeOnMixedWorkload) {
+  const char *Setup = R"(
+    work <- function(v, n) {
+      acc <- 0
+      for (k in 1:n) {
+        for (i in 1:length(v)) {
+          x <- v[[i]]
+          if (x > 2) acc <- acc + x * 2 else acc <- acc - x
+        }
+      }
+      acc
+    }
+  )";
+  const char *Drive = R"(
+    r1 <- work(c(1L, 2L, 3L, 4L), 30L)
+    r2 <- work(c(0.5, 2.5, 4.5), 30L)
+    r3 <- work(c(1L, 2L, 3L, 4L), 5L)
+    r1 + r2 + r3
+  )";
+  double Results[3];
+  TierStrategy Strategies[] = {TierStrategy::BaselineOnly,
+                               TierStrategy::Normal,
+                               TierStrategy::Deoptless};
+  for (int S = 0; S < 3; ++S) {
+    Vm V(cfg(Strategies[S]));
+    V.eval(Setup);
+    Results[S] = V.eval(Drive).toReal();
+  }
+  EXPECT_DOUBLE_EQ(Results[0], Results[1]);
+  EXPECT_DOUBLE_EQ(Results[0], Results[2]);
+}

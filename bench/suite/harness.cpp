@@ -65,3 +65,29 @@ bool rjit::suite::argFlag(int Argc, char **Argv, const std::string &Name) {
       return true;
   return false;
 }
+
+void rjit::suite::printStats(const char *Label, const VmStats &S) {
+  printf("# stats[%s]: compiles %llu, deopts %llu, osr-in %llu, "
+         "reopts %llu\n",
+         Label, (unsigned long long)S.Compilations,
+         (unsigned long long)S.Deopts, (unsigned long long)S.OsrInEntries,
+         (unsigned long long)S.Reoptimizations);
+  if (S.CtxVersions || S.CtxDispatchHits || S.CtxDispatchMisses) {
+    uint64_t Total = S.CtxDispatchHits + S.CtxDispatchMisses;
+    printf("# stats[%s]: ctx versions %llu, dispatch hits %llu, "
+           "misses %llu (%.1f%% hit)\n",
+           Label, (unsigned long long)S.CtxVersions,
+           (unsigned long long)S.CtxDispatchHits,
+           (unsigned long long)S.CtxDispatchMisses,
+           Total ? 100.0 * static_cast<double>(S.CtxDispatchHits) /
+                       static_cast<double>(Total)
+                 : 0.0);
+  }
+  if (S.DeoptlessAttempts)
+    printf("# stats[%s]: deoptless attempts %llu, hits %llu, "
+           "compiles %llu, rejected %llu\n",
+           Label, (unsigned long long)S.DeoptlessAttempts,
+           (unsigned long long)S.DeoptlessHits,
+           (unsigned long long)S.DeoptlessCompiles,
+           (unsigned long long)S.DeoptlessRejected);
+}

@@ -15,6 +15,7 @@
 #define RJIT_BENCH_SUITE_HARNESS_H
 
 #include "suite/programs.h"
+#include "support/stats.h"
 #include "vm/vm.h"
 
 #include <string>
@@ -42,6 +43,11 @@ double geomean(const std::vector<double> &Xs);
 /// Simple argv flag lookup: `--name value`; returns Def when absent.
 long argLong(int Argc, char **Argv, const std::string &Name, long Def);
 bool argFlag(int Argc, char **Argv, const std::string &Name);
+
+/// Prints the tiering effectiveness counters of one run: compilations,
+/// context-dispatch version/hit/miss counters and the deoptless
+/// continuation dispatch counters (skipping zero groups).
+void printStats(const char *Label, const VmStats &S);
 
 } // namespace rjit::suite
 

@@ -63,12 +63,39 @@ struct TypeFeedback {
   }
 };
 
+/// Bound on per-argument call-site profiling; argument slots beyond it
+/// stay unprofiled (and contextual dispatch leaves them untyped).
+inline constexpr unsigned MaxProfiledArgs = 8;
+
 /// Call-target profile: monomorphic closure / builtin or megamorphic.
+/// Also records the caller-side optimization context (argument-tag sets
+/// and arity) contextual dispatch consumes.
 struct CallFeedback {
   const void *Target = nullptr; ///< Function* of a closure callee
   uint16_t BuiltinIdPlus1 = 0;  ///< builtin id + 1 when callee is a builtin
   bool Megamorphic = false;
   uint32_t Hits = 0;
+
+  static constexpr uint8_t NoArity = 0xFF;   ///< no call observed yet
+  static constexpr uint8_t PolyArity = 0xFE; ///< varying argument counts
+  uint8_t SeenArity = NoArity;
+  /// Per-argument observed-tag sets (TypeFeedback-style masks).
+  uint16_t ArgMask[MaxProfiledArgs] = {};
+
+  /// Records the caller's context: arity and the dynamic tag of each
+  /// argument (computed at the call site by the baseline interpreter).
+  void recordContext(const std::vector<Value> &Args) {
+    uint8_t A = Args.size() >= PolyArity
+                    ? PolyArity
+                    : static_cast<uint8_t>(Args.size());
+    if (SeenArity == NoArity)
+      SeenArity = A;
+    else if (SeenArity != A)
+      SeenArity = PolyArity;
+    for (size_t K = 0; K < Args.size() && K < MaxProfiledArgs; ++K)
+      ArgMask[K] |=
+          static_cast<uint16_t>(1u << static_cast<unsigned>(Args[K].tag()));
+  }
 
   void recordClosure(const void *Fn) {
     ++Hits;

@@ -124,8 +124,10 @@ Value run(Function *Fn, Env *E, std::vector<Value> &&Stack, int32_t Pc) {
       CallFeedback &CF = FB.Calls[I.B];
       if (Callee.tag() == Tag::Builtin)
         CF.recordBuiltin(static_cast<uint16_t>(Callee.builtinId()));
-      else if (Callee.tag() == Tag::Clos)
+      else if (Callee.tag() == Tag::Clos) {
         CF.recordClosure(Callee.closObj()->Fn);
+        CF.recordContext(Args);
+      }
       S.push_back(callValue(Callee, std::move(Args)));
       ++Pc;
       break;

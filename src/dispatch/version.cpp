@@ -1,0 +1,73 @@
+//===-- dispatch/version.cpp - Per-function version tables ---------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/version.h"
+
+using namespace rjit;
+
+FnVersion *VersionTable::dispatch(const CallContext &Ctx) {
+  // Most-specialized-first scan for the first compatible live entry, the
+  // same discipline as DeoptlessTable::dispatch.
+  for (auto &E : Entries)
+    if (E->live() && !E->Blacklisted && Ctx <= E->Ctx)
+      return E.get();
+  return nullptr;
+}
+
+FnVersion *VersionTable::exact(const CallContext &Ctx) {
+  for (auto &E : Entries)
+    if (E->Ctx == Ctx)
+      return E.get();
+  return nullptr;
+}
+
+size_t VersionTable::liveCount() const {
+  size_t N = 0;
+  for (auto &E : Entries)
+    if (E->live())
+      ++N;
+  return N;
+}
+
+bool VersionTable::fullFor(const CallContext &Ctx) const {
+  if (Ctx.isGeneric())
+    return false; // the root is always admissible (and unique)
+  size_t Specialized = 0;
+  for (auto &E : Entries)
+    if (!E->Ctx.isGeneric())
+      ++Specialized;
+  return Specialized >= Cap;
+}
+
+FnVersion *VersionTable::insert(const CallContext &Ctx) {
+  if (fullFor(Ctx))
+    return nullptr;
+  auto E = std::make_unique<FnVersion>();
+  E->Ctx = Ctx;
+  // Linearize the partial order: more specialized entries first (insert
+  // before the first entry the new context is not below).
+  size_t Pos = 0;
+  while (Pos < Entries.size() && !(Ctx <= Entries[Pos]->Ctx))
+    ++Pos;
+  Entries.insert(Entries.begin() + Pos, std::move(E));
+  return Entries[Pos].get();
+}
+
+FnVersion *VersionTable::owner(const LowFunction *Code) {
+  if (!Code)
+    return nullptr;
+  for (auto &E : Entries)
+    if (E->Code.get() == Code)
+      return E.get();
+  return nullptr;
+}
+
+FnVersion *VersionTable::mostGenericLive() {
+  for (auto It = Entries.rbegin(); It != Entries.rend(); ++It)
+    if ((*It)->live())
+      return It->get();
+  return nullptr;
+}

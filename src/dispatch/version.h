@@ -1,0 +1,90 @@
+//===-- dispatch/version.h - Per-function version tables --------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function's optimized code, generalized from one pointer to a bounded
+/// dispatch table of context-specialized versions — the entry-side
+/// counterpart of the deoptless continuation table, with the same
+/// discipline: bounded, kept most-specialized-first, hit-counted, scanned
+/// for the first compatible entry. All per-version tier bookkeeping
+/// (deopt counts, blacklist, reopt sampling state) lives here; an entry
+/// whose Code is null is *retired* — its context and counters persist so
+/// blacklisting survives the Fig. 1 deopt/recompile cycle.
+///
+/// The fully generic root context is exempt from the capacity bound (there
+/// is at most one), so a full table degrades to the seed's single-version
+/// behavior rather than to the baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_DISPATCH_VERSION_H
+#define RJIT_DISPATCH_VERSION_H
+
+#include "dispatch/context.h"
+#include "lowcode/lowcode.h"
+
+#include <memory>
+#include <vector>
+
+namespace rjit {
+
+/// One optimized version of a function with its compilation context and
+/// tier bookkeeping.
+struct FnVersion {
+  CallContext Ctx;
+  std::unique_ptr<LowFunction> Code; ///< null when retired
+  uint32_t Hits = 0;
+  uint32_t DeoptCount = 0;
+  bool Blacklisted = false;      ///< too many deopts (or uncompilable)
+  uint64_t CallsSinceSample = 0; ///< ProfileDrivenReopt period counter
+  uint64_t FeedbackHash = 0;     ///< profile snapshot at compile time
+
+  bool live() const { return Code != nullptr; }
+};
+
+/// Per-function dispatch table over context-specialized versions.
+class VersionTable {
+public:
+  /// First live entry callable from \p Ctx (most specialized first), or
+  /// null. Blacklisted/retired entries never match.
+  FnVersion *dispatch(const CallContext &Ctx);
+
+  /// Entry compiled for exactly \p Ctx (live or retired), or null.
+  FnVersion *exact(const CallContext &Ctx);
+
+  /// Creates a bookkeeping entry for \p Ctx (the caller fills Code).
+  /// Returns null when the specialized-entry bound is reached; the
+  /// generic root always fits.
+  FnVersion *insert(const CallContext &Ctx);
+
+  /// Entry owning \p Code, or null (e.g. continuation/OSR-in code).
+  FnVersion *owner(const LowFunction *Code);
+
+  /// The least specialized live entry (dispatch order is most specialized
+  /// first), or null.
+  FnVersion *mostGenericLive();
+
+  size_t size() const { return Entries.size(); }
+  size_t liveCount() const;
+  /// True when no more *specialized* entries fit (the generic root is
+  /// exempt from the bound).
+  bool fullFor(const CallContext &Ctx) const;
+
+  uint32_t capacity() const { return Cap; }
+  void setCapacity(uint32_t C) { Cap = C; }
+
+  const std::vector<std::unique_ptr<FnVersion>> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<std::unique_ptr<FnVersion>> Entries;
+  uint32_t Cap = 4; ///< bound on specialized entries (Vm::Config::MaxVersions)
+};
+
+} // namespace rjit
+
+#endif // RJIT_DISPATCH_VERSION_H

@@ -412,10 +412,20 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       VMSTEP();
     }
     VMCASE(Extract2Typed) {
+      // A vector-typed operand may hold the corresponding *scalar* at run
+      // time (RType's widened semantics: R scalars are length-one
+      // vectors); contexts dispatch scalar calls to vector versions, so
+      // the typed path must honor that.
       const Value &Obj = S[I.A];
       int64_t Idx = Iv[I.B];
       switch (static_cast<Tag>(I.C)) {
       case Tag::Real: {
+        if (Obj.tag() == Tag::Real) {
+          if (Idx != 1)
+            rerror("subscript out of bounds: " + std::to_string(Idx));
+          D[I.Dst] = Obj.asRealUnchecked();
+          break;
+        }
         const auto &Dd = Obj.realVecObj()->D;
         if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
           rerror("subscript out of bounds: " + std::to_string(Idx));
@@ -423,6 +433,12 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
         break;
       }
       case Tag::Int: {
+        if (Obj.tag() == Tag::Int) {
+          if (Idx != 1)
+            rerror("subscript out of bounds: " + std::to_string(Idx));
+          Iv[I.Dst] = Obj.asIntUnchecked();
+          break;
+        }
         const auto &Dd = Obj.intVecObj()->D;
         if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
           rerror("subscript out of bounds: " + std::to_string(Idx));
@@ -430,6 +446,12 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
         break;
       }
       case Tag::Cplx: {
+        if (Obj.tag() == Tag::Cplx) {
+          if (Idx != 1)
+            rerror("subscript out of bounds: " + std::to_string(Idx));
+          S[I.Dst] = Obj;
+          break;
+        }
         const auto &Dd = Obj.cplxVecObj()->D;
         if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
           rerror("subscript out of bounds: " + std::to_string(Idx));
@@ -437,6 +459,12 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
         break;
       }
       default: {
+        if (Obj.tag() == Tag::Lgl) {
+          if (Idx != 1)
+            rerror("subscript out of bounds: " + std::to_string(Idx));
+          S[I.Dst] = Obj;
+          break;
+        }
         const auto &Dd = Obj.lglVecObj()->D;
         if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
           rerror("subscript out of bounds: " + std::to_string(Idx));
@@ -459,6 +487,24 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       Tag Kind = static_cast<Tag>(I.C & 0xFF);
       Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
       int64_t Idx = Iv[I.B];
+      // Widened semantics (see Extract2Typed): promote a scalar operand to
+      // its length-one vector before the raw element store.
+      switch (Obj.tag()) {
+      case Tag::Real:
+        Obj = Value::realVec({Obj.asRealUnchecked()});
+        break;
+      case Tag::Int:
+        Obj = Value::intVec({Obj.asIntUnchecked()});
+        break;
+      case Tag::Cplx:
+        Obj = Value::cplxVec({Obj.asCplxUnchecked()});
+        break;
+      case Tag::Lgl:
+        Obj = Value::lglVec({static_cast<int8_t>(Obj.asLglUnchecked())});
+        break;
+      default:
+        break;
+      }
       switch (Kind) {
       case Tag::Real:
         S[I.Dst] = setTypedElem<RealVecObj, double>(

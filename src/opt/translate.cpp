@@ -296,8 +296,13 @@ private:
     case CallConv::FullEnv:
       break; // everything through the environment
     case CallConv::FullElided:
-      for (Symbol S : Fn->Params) {
-        Instr *P = MakeParam(RType::any());
+      for (size_t K = 0; K < Fn->Params.size(); ++K) {
+        Symbol S = Fn->Params[K];
+        // Context-specialized compiles seed parameters with the types the
+        // version dispatch guarantees; otherwise any().
+        RType T = K < Entry.ParamTypes.size() ? Entry.ParamTypes[K]
+                                              : RType::any();
+        Instr *P = MakeParam(T);
         St.Locals[S] = P;
         C->EnvParamSyms.push_back(S);
       }
@@ -347,7 +352,13 @@ private:
     CurPc = Entry.Pc;
     CachedCheckpoint = nullptr;
     CachedCheckpointPc = -1;
-    for (Symbol S : Fn->Params) {
+    for (size_t Idx = 0; Idx < Fn->Params.size(); ++Idx) {
+      Symbol S = Fn->Params[Idx];
+      // Context-typed parameters are guaranteed by the version dispatch;
+      // guarding them against (possibly conflicting) profile data would
+      // reintroduce the deopts contextual dispatch exists to avoid.
+      if (Idx < Entry.ParamTypes.size() && !Entry.ParamTypes[Idx].isAny())
+        continue;
       int32_t FbIdx = -1;
       for (const BcInstr &I : Fn->BC.Instrs) {
         if (I.Op == Opcode::LdVar && static_cast<Symbol>(I.A) == S) {

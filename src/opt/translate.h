@@ -43,6 +43,12 @@ struct EntryState {
   /// Types of the local bindings passed in (Deoptless) or loaded from the
   /// environment at entry (OsrIn).
   std::vector<std::pair<Symbol, RType>> EnvTypes;
+  /// FullElided only: entry types of the parameters, aligned with
+  /// Function::Params (missing/any entries stay unspecialized). Filled by
+  /// contextual dispatch from a CallContext: the version dispatch check
+  /// guarantees these at run time, so inference is seeded with them
+  /// directly and no entry guard is emitted for such parameters.
+  std::vector<RType> ParamTypes;
 };
 
 /// Translation/optimization knobs.

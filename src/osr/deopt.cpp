@@ -69,7 +69,7 @@ Value rjit::deoptHandler(const LowFunction &F, std::vector<Value> &Slots,
   }
 
   if (TheListener)
-    TheListener(F.Origin, Meta, Injected);
+    TheListener(F.Origin, F, Meta, Injected);
   return deoptToBaseline(F, Slots, Meta, CurEnv, ParentEnv);
 }
 

@@ -23,9 +23,11 @@ namespace rjit {
 
 /// Notification callback invoked on every true deoptimization; the VM
 /// layer installs one to implement per-strategy policies (discarding the
-/// optimized version, re-profiling, blacklisting).
-using DeoptListener = void (*)(Function *Fn, const DeoptMeta &Meta,
-                               bool Injected);
+/// optimized version, re-profiling, blacklisting). \p Code is the compiled
+/// code the failing guard belongs to — with contextual dispatch a function
+/// has several versions, and the listener retires the right one.
+using DeoptListener = void (*)(Function *Fn, const LowFunction &Code,
+                               const DeoptMeta &Meta, bool Injected);
 
 /// Registers the VM's listener (single listener; null to clear).
 void setDeoptListener(DeoptListener L);

@@ -15,9 +15,14 @@
 
 using namespace rjit;
 
-DeoptlessConfig &rjit::deoptlessConfig() {
-  static DeoptlessConfig Cfg;
-  return Cfg;
+namespace {
+DeoptlessConfig ActiveConfig;
+} // namespace
+
+const DeoptlessConfig &rjit::deoptlessConfig() { return ActiveConfig; }
+
+void rjit::configureDeoptless(const DeoptlessConfig &Cfg) {
+  ActiveConfig = Cfg;
 }
 
 namespace {

@@ -54,7 +54,10 @@ private:
   std::vector<std::unique_ptr<Continuation>> Entries;
 };
 
-/// Deoptless tuning knobs (paper defaults).
+/// Deoptless tuning knobs (paper defaults). This is a *derived view*:
+/// Vm::Config is the single source of truth, and the Vm installs the
+/// values via configureDeoptless (see Vm::Config::deoptlessView).
+/// Standalone unit tests may call configureDeoptless directly.
 struct DeoptlessConfig {
   bool Enabled = false;
   bool FeedbackCleanup = true; ///< the §4.3 cleanup pass (ablation toggle)
@@ -62,7 +65,12 @@ struct DeoptlessConfig {
   bool RecompileHeuristic = true; ///< recompile when a match is too generic
 };
 
-DeoptlessConfig &deoptlessConfig();
+/// The active configuration (read-only; see configureDeoptless).
+const DeoptlessConfig &deoptlessConfig();
+
+/// Installs the configuration derived from the active Vm's Config (or
+/// defaults on teardown).
+void configureDeoptless(const DeoptlessConfig &Cfg);
 
 /// Side table: per-function dispatch tables (owned here so lower layers
 /// need no knowledge of the VM's tier bookkeeping).

@@ -22,6 +22,9 @@ VmStats VmStats::operator-(const VmStats &O) const {
   R.AssumeFailures = AssumeFailures - O.AssumeFailures;
   R.InjectedFailures = InjectedFailures - O.InjectedFailures;
   R.Reoptimizations = Reoptimizations - O.Reoptimizations;
+  R.CtxVersions = CtxVersions - O.CtxVersions;
+  R.CtxDispatchHits = CtxDispatchHits - O.CtxDispatchHits;
+  R.CtxDispatchMisses = CtxDispatchMisses - O.CtxDispatchMisses;
   return R;
 }
 

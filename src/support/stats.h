@@ -34,6 +34,10 @@ struct VmStats {
   uint64_t AssumeFailures = 0;      ///< failed guards (incl. injected ones)
   uint64_t InjectedFailures = 0;    ///< random invalidation-mode triggers
   uint64_t Reoptimizations = 0;     ///< profile-driven recompiles (Fig. 11)
+  uint64_t CtxVersions = 0;         ///< context-specialized versions compiled
+  uint64_t CtxDispatchHits = 0;     ///< calls run by a specialized version
+  uint64_t CtxDispatchMisses = 0;   ///< context-dispatch calls that fell back
+                                    ///< to the generic version or baseline
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

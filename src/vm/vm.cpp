@@ -6,12 +6,12 @@
 
 #include "vm/vm.h"
 #include "bc/interp.h"
+#include "dispatch/context.h"
 #include "lang/parser.h"
 #include "lowcode/exec.h"
 #include "lowcode/lower.h"
 #include "opt/pipeline.h"
 #include "osr/deopt.h"
-#include "osr/deoptless.h"
 #include "osr/osrin.h"
 #include "runtime/builtins.h"
 #include "support/stats.h"
@@ -23,8 +23,10 @@ namespace {
 Vm *CurrentVm = nullptr;
 
 /// Snapshot of a function's profile; recompilation triggers for the
-/// ProfileDrivenReopt strategy compare these.
-uint64_t feedbackHash(const Function &Fn) {
+/// ProfileDrivenReopt strategy compare these. With contextual dispatch the
+/// call-site context profile is part of the snapshot (a context change is
+/// a profile change); without it the hash matches the seed's exactly.
+uint64_t feedbackHash(const Function &Fn, bool WithContexts) {
   uint64_t H = 1469598103934665603ull;
   auto Mix = [&H](uint64_t X) {
     H ^= X;
@@ -35,6 +37,11 @@ uint64_t feedbackHash(const Function &Fn) {
   for (const auto &C : Fn.Feedback.Calls) {
     Mix(reinterpret_cast<uintptr_t>(C.Target));
     Mix(C.BuiltinIdPlus1 | (C.Megamorphic ? 0x10000u : 0u));
+    if (WithContexts) {
+      Mix(C.SeenArity);
+      for (unsigned K = 0; K < MaxProfiledArgs; ++K)
+        Mix(C.ArgMask[K]);
+    }
   }
   return H;
 }
@@ -46,6 +53,14 @@ struct DepthGuard {
 };
 
 } // namespace
+
+DeoptlessConfig Vm::Config::deoptlessView() const {
+  DeoptlessConfig D;
+  D.Enabled = Strategy == TierStrategy::Deoptless;
+  D.FeedbackCleanup = FeedbackCleanup;
+  D.MaxContinuations = MaxContinuations;
+  return D;
+}
 
 namespace rjit {
 
@@ -60,30 +75,51 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
     return callClosureBaseline(Clos, std::move(Args));
 
   TierState &TS = V->stateFor(Fn);
+  const bool CtxDispatch = V->Cfg.ContextDispatch;
+  CallContext Ctx = CtxDispatch
+                        ? computeCallContext(Args, Fn->Params.size())
+                        : genericContext(Fn->Params.size());
+
+  FnVersion *Ver = TS.Versions.dispatch(Ctx);
 
   // ProfileDrivenReopt: periodically run the baseline to sample fresh type
   // feedback from a supposedly-stable function; recompile on change
-  // (condensed form of the DLS'20 sampling strategy).
-  if (TS.Optimized &&
-      V->Cfg.Strategy == TierStrategy::ProfileDrivenReopt &&
-      ++TS.CallsSinceSample % V->Cfg.ReoptSampleEvery == 0) {
+  // (condensed form of the DLS'20 sampling strategy). Sampling state is
+  // per version: each specialization re-validates its own profile.
+  if (Ver && V->Cfg.Strategy == TierStrategy::ProfileDrivenReopt &&
+      ++Ver->CallsSinceSample % V->Cfg.ReoptSampleEvery == 0) {
     Value R = callClosureBaseline(Clos, std::move(Args));
-    if (feedbackHash(*Fn) != TS.FeedbackHash) {
-      V->Graveyard.push_back(std::move(TS.Optimized));
-      V->compileFunction(Fn);
+    if (feedbackHash(*Fn, CtxDispatch) != Ver->FeedbackHash) {
+      V->Graveyard.push_back(std::move(Ver->Code));
+      V->compileVersion(Fn, Ver->Ctx);
       ++stats().Reoptimizations;
     }
     return R;
   }
 
-  if (!TS.Optimized && !TS.Blacklisted &&
-      Fn->CallCount >= V->Cfg.CompileThreshold)
-    V->compileFunction(Fn);
+  if (!Ver && Fn->CallCount >= V->Cfg.CompileThreshold)
+    Ver = V->compileVersion(Fn, Ctx);
 
-  if (!TS.Optimized)
+  // Hit/miss accounting: only calls whose context *could* have had a
+  // specialized version count — a hit when one serves them, a miss when
+  // they fall back to the generic root or the baseline. Calls with a
+  // generic context (e.g. zero-arity functions) have nothing to
+  // specialize and stay out of the ratio.
+  if (!Ver || !Ver->Code) {
+    if (CtxDispatch && !Ctx.isGeneric() && TS.Versions.size() > 0)
+      ++stats().CtxDispatchMisses;
     return callClosureBaseline(Clos, std::move(Args));
+  }
 
-  LowFunction &Low = *TS.Optimized;
+  ++Ver->Hits;
+  if (CtxDispatch) {
+    if (!Ver->Ctx.isGeneric())
+      ++stats().CtxDispatchHits;
+    else if (!Ctx.isGeneric())
+      ++stats().CtxDispatchMisses;
+  }
+
+  LowFunction &Low = *Ver->Code;
   if (Args.size() != Fn->Params.size())
     rerror("call to '" + symbolName(Fn->Name) + "': expected " +
            std::to_string(Fn->Params.size()) + " arguments, got " +
@@ -108,11 +144,11 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
   return Result;
 }
 
-void vmDeoptListener(Function *Fn, const DeoptMeta &Meta, bool Injected) {
+void vmDeoptListener(Function *Fn, const LowFunction &Code,
+                     const DeoptMeta &Meta, bool Injected) {
   Vm *V = Vm::current();
   if (!V)
     return;
-  TierState &TS = V->stateFor(Fn);
   // A true deoptimization normally retires the optimized code: under
   // Normal this is the Fig. 1 cycle, under Deoptless it is the
   // "deoptimized for good" case of §4.3. The exception is an *injected*
@@ -121,13 +157,28 @@ void vmDeoptListener(Function *Fn, const DeoptMeta &Meta, bool Injected) {
   // still holds, so the code stays valid and is kept.
   if (V->Cfg.Strategy == TierStrategy::Deoptless && Injected)
     return;
+  TierState &TS = V->stateFor(Fn);
+  // Retire the version the failing guard belongs to. Deopts out of OSR-in
+  // or continuation code (not in the table) retire the most generic live
+  // version — the seed's single-`Optimized` behavior — and when nothing is
+  // live the deopt still counts against the generic root's bookkeeping
+  // entry so blacklisting accumulates across the recompile cycle.
+  FnVersion *Ver = TS.Versions.owner(&Code);
+  if (!Ver)
+    Ver = TS.Versions.mostGenericLive();
+  if (!Ver) {
+    CallContext Root = genericContext(Fn->Params.size());
+    Ver = TS.Versions.exact(Root);
+    if (!Ver)
+      Ver = TS.Versions.insert(Root);
+  }
   // The version cannot be freed yet — its frames (and the DeoptMeta being
   // processed) are still live — so it moves to the graveyard.
-  if (TS.Optimized)
-    V->Graveyard.push_back(std::move(TS.Optimized));
-  ++TS.DeoptCount;
-  if (TS.DeoptCount >= V->Cfg.DeoptBlacklist)
-    TS.Blacklisted = true;
+  if (Ver->Code)
+    V->Graveyard.push_back(std::move(Ver->Code));
+  ++Ver->DeoptCount;
+  if (Ver->DeoptCount >= V->Cfg.DeoptBlacklist)
+    Ver->Blacklisted = true;
   // Re-warm before recompiling so the baseline can collect fresh feedback
   // (Fig. 1: deopt -> profile -> recompile).
   Fn->CallCount = 0;
@@ -156,10 +207,7 @@ Vm::Vm(Config C) : Cfg(C) {
   lowHooks().CallDepth = 0;
 
   osrInConfig().Enabled = Cfg.OsrIn;
-  DeoptlessConfig &DL = deoptlessConfig();
-  DL.Enabled = Cfg.Strategy == TierStrategy::Deoptless;
-  DL.FeedbackCleanup = Cfg.FeedbackCleanup;
-  DL.MaxContinuations = Cfg.MaxContinuations;
+  configureDeoptless(Cfg.deoptlessView());
 }
 
 Vm::~Vm() {
@@ -167,7 +215,7 @@ Vm::~Vm() {
   interpHooks() = InterpHooks();
   lowHooks() = LowHooks();
   setDeoptListener(nullptr);
-  deoptlessConfig() = DeoptlessConfig();
+  configureDeoptless(DeoptlessConfig());
   osrInConfig() = OsrInConfig();
   States.clear();
   Modules.clear();
@@ -179,31 +227,83 @@ Vm *Vm::current() { return CurrentVm; }
 
 TierState &Vm::stateFor(Function *Fn) {
   auto &S = States[Fn];
-  if (!S)
+  if (!S) {
     S = std::make_unique<TierState>();
+    S->Versions.setCapacity(Cfg.MaxVersions);
+  }
   return *S;
 }
 
 LowFunction *Vm::compileFunction(Function *Fn) {
+  FnVersion *Ver = compileVersion(Fn, genericContext(Fn->Params.size()));
+  return Ver ? Ver->Code.get() : nullptr;
+}
+
+FnVersion *Vm::compileVersion(Function *Fn, const CallContext &Ctx) {
   TierState &TS = stateFor(Fn);
-  if (TS.Optimized)
-    return TS.Optimized.get();
+
+  // Resolve which context to (re)compile: an arity-mismatched call (the
+  // dispatch raises before running any version) and a blacklisted or
+  // unplaceable specialized context all fall back to the generic root —
+  // erroneous call sites must not burn MaxVersions slots.
+  CallContext Want = Ctx;
+  if (!(Want.Flags & CtxCorrectArity) || Want.isGeneric())
+    // Canonicalize: every context with no typed argument maps to THE
+    // generic root (runtime contexts may carry extra flags, e.g. a
+    // zero-arity call's CtxNoMissingArgs; two roots would split the
+    // deopt/blacklist bookkeeping).
+    Want = genericContext(Fn->Params.size());
+  FnVersion *E = TS.Versions.exact(Want);
+  if (!Want.isGeneric() &&
+      ((E && E->Blacklisted) || (!E && TS.Versions.fullFor(Want)))) {
+    Want = genericContext(Fn->Params.size());
+    E = TS.Versions.exact(Want);
+  }
+  if (E && E->Blacklisted)
+    return nullptr;
+  if (E && E->Code)
+    return E;
+  if (!E)
+    E = TS.Versions.insert(Want);
+  assert(E && "admissible context failed to insert");
 
   OptOptions Opts;
   Opts.Speculate = Cfg.Speculate;
-  // Prefer the elided convention; fall back to a real environment.
-  std::unique_ptr<IrCode> Ir =
-      optimizeToIr(Fn, CallConv::FullElided, EntryState(), Opts);
-  if (!Ir)
-    Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), Opts);
-  if (!Ir)
-    return nullptr;
+  EntryState Entry;
+  if (!Want.isGeneric()) {
+    // Seed inference with the argument types the dispatch guarantees.
+    Entry.ParamTypes.reserve(Fn->Params.size());
+    for (size_t K = 0; K < Fn->Params.size(); ++K)
+      Entry.ParamTypes.push_back(
+          Want.typed(static_cast<unsigned>(K))
+              ? RType::of(Want.ArgTags[K])
+              : RType::any());
+  }
 
-  TS.Optimized = lowerToLow(*Ir);
-  TS.FeedbackHash = feedbackHash(*Fn);
-  TS.CallsSinceSample = 0;
+  // Prefer the elided convention; fall back to a real environment (the
+  // generic root only: FullEnv code takes its arguments through the
+  // environment, so a context specialization cannot reach it).
+  std::unique_ptr<IrCode> Ir =
+      optimizeToIr(Fn, CallConv::FullElided, Entry, Opts);
+  if (!Ir && Want.isGeneric())
+    Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), Opts);
+  if (!Ir) {
+    if (!Want.isGeneric()) {
+      // Specialization impossible (no elidable environment): burn the
+      // context so future calls go straight to the generic root.
+      E->Blacklisted = true;
+      return compileVersion(Fn, genericContext(Fn->Params.size()));
+    }
+    return nullptr;
+  }
+
+  E->Code = lowerToLow(*Ir);
+  E->FeedbackHash = feedbackHash(*Fn, Cfg.ContextDispatch);
+  E->CallsSinceSample = 0;
   ++stats().Compilations;
-  return TS.Optimized.get();
+  if (!Want.isGeneric())
+    ++stats().CtxVersions;
+  return E;
 }
 
 Value Vm::eval(const std::string &Source) {

@@ -27,7 +27,9 @@
 #define RJIT_VM_VM_H
 
 #include "bc/compiler.h"
+#include "dispatch/version.h"
 #include "lowcode/lowcode.h"
+#include "osr/deoptless.h"
 #include "runtime/env.h"
 
 #include <map>
@@ -43,13 +45,13 @@ enum class TierStrategy : uint8_t {
   ProfileDrivenReopt ///< sampling reoptimization comparator (Fig. 11)
 };
 
-/// Per-function tier bookkeeping.
+/// Per-function tier bookkeeping: the context-keyed version table. All
+/// per-version state (code, deopt counts, blacklist, reopt sampling) lives
+/// in the table's FnVersion entries; without contextual dispatch the table
+/// holds exactly the generic root version and reproduces the seed's
+/// single-`Optimized`-pointer behavior.
 struct TierState {
-  std::unique_ptr<LowFunction> Optimized;
-  uint32_t DeoptCount = 0;
-  bool Blacklisted = false;     ///< too many deopts: stay in the baseline
-  uint64_t CallsSinceSample = 0;///< ProfileDrivenReopt period counter
-  uint64_t FeedbackHash = 0;    ///< profile snapshot at compile time
+  VersionTable Versions;
 };
 
 /// The embedding API.
@@ -67,6 +69,18 @@ public:
     uint32_t DeoptBlacklist = 50;  ///< deopts before giving up on a fn
     uint64_t ReoptSampleEvery = 20;///< ProfileDrivenReopt sampling period
     bool Speculate = true;         ///< insert Assumes at all (ablation)
+
+    /// Contextual dispatch (ablation toggle, orthogonal to Strategy):
+    /// calls dispatch over a table of call-context-specialized versions
+    /// instead of one generic optimized version.
+    bool ContextDispatch = false;
+    /// Bound on specialized versions per function (the generic root is
+    /// exempt, so a full table degrades to seed behavior).
+    uint32_t MaxVersions = 4;
+
+    /// The deoptless view of this configuration (single source of truth
+    /// for the knobs DeoptlessConfig shares with the Vm).
+    DeoptlessConfig deoptlessView() const;
   };
 
   explicit Vm(Config Cfg);
@@ -91,15 +105,22 @@ public:
   /// Tier state of a function (creating it on first use).
   TierState &stateFor(Function *Fn);
 
-  /// Compiles \p Fn now (ignoring thresholds); returns the version or null.
+  /// Compiles the generic root version of \p Fn now (ignoring thresholds);
+  /// returns the code or null.
   LowFunction *compileFunction(Function *Fn);
+
+  /// Compiles (or returns) the version of \p Fn for \p Ctx, falling back
+  /// to the generic root when the context is blacklisted, unplaceable or
+  /// uncompilable. Returns null when no version can be produced.
+  FnVersion *compileVersion(Function *Fn, const CallContext &Ctx);
 
   /// The active Vm (hooks are process-global).
   static Vm *current();
 
 private:
   friend Value vmDispatchCall(ClosObj *, std::vector<Value> &&);
-  friend void vmDeoptListener(Function *, const DeoptMeta &, bool);
+  friend void vmDeoptListener(Function *, const LowFunction &,
+                              const DeoptMeta &, bool);
 
   Config Cfg;
   Env *Global;

@@ -1,0 +1,342 @@
+//===-- tests/dispatch_test.cpp - Contextual dispatch tests ----------------===//
+//
+// The call-entry generalization of the deoptless dispatch: CallContext
+// partial order, VersionTable discipline, and the end-to-end behavior of
+// context-specialized function versions through the Vm tier manager.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/context.h"
+#include "dispatch/version.h"
+#include "support/stats.h"
+#include "testutil.h"
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+CallContext ctxOf(std::vector<Tag> Tags, size_t NumParams) {
+  std::vector<Value> Args;
+  for (Tag T : Tags) {
+    switch (T) {
+    case Tag::Int:
+      Args.push_back(Value::integer(1));
+      break;
+    case Tag::Real:
+      Args.push_back(Value::real(1.5));
+      break;
+    case Tag::Null:
+      Args.push_back(Value::nil());
+      break;
+    case Tag::IntVec:
+      Args.push_back(Value::intVec({1, 2}));
+      break;
+    case Tag::RealVec:
+      Args.push_back(Value::realVec({1.0, 2.0}));
+      break;
+    default:
+      Args.push_back(Value::list({Value::real(1), Value::real(2)}));
+      break;
+    }
+  }
+  return computeCallContext(Args, NumParams);
+}
+
+Vm::Config dispatchCfg(bool ContextDispatch, uint32_t MaxVersions = 4) {
+  Vm::Config C;
+  C.Strategy = TierStrategy::Normal;
+  C.CompileThreshold = 3;
+  C.OsrThreshold = 1000000; // keep OSR-in out of these tests
+  C.ContextDispatch = ContextDispatch;
+  C.MaxVersions = MaxVersions;
+  return C;
+}
+
+/// The polymorphic workload: one kernel, callers with different element
+/// types.
+const char *PolySum = R"(
+poly_sum <- function(v, n) {
+  total <- 0L
+  for (i in 1:n) total <- total + v[[i]]
+  total
+}
+ints <- 1:100
+reals <- as.numeric(1:100)
+)";
+
+Function *functionNamed(Vm &V, const std::string &Name) {
+  Value F = V.eval(Name);
+  EXPECT_EQ(F.tag(), Tag::Clos);
+  return F.closObj()->Fn;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CallContext partial order
+
+TEST(CallContext, Reflexive) {
+  CallContext A = ctxOf({Tag::IntVec, Tag::Int}, 2);
+  EXPECT_TRUE(A <= A);
+}
+
+TEST(CallContext, ArityMismatchIncomparable) {
+  CallContext A = ctxOf({Tag::Int}, 1);
+  CallContext B = ctxOf({Tag::Int, Tag::Int}, 2);
+  EXPECT_FALSE(A <= B);
+  EXPECT_FALSE(B <= A);
+}
+
+TEST(CallContext, ScalarArgMatchesVectorVersion) {
+  // The tagCompatible scalar <= vector rule, applied per argument.
+  CallContext Scl = ctxOf({Tag::Real}, 1);
+  CallContext Vec = ctxOf({Tag::RealVec}, 1);
+  EXPECT_TRUE(Scl <= Vec) << "scalar call can run the vector version";
+  EXPECT_FALSE(Vec <= Scl) << "antisymmetry: the order is strict";
+}
+
+TEST(CallContext, NoCrossKindWidening) {
+  CallContext I = ctxOf({Tag::IntVec}, 1);
+  CallContext R = ctxOf({Tag::RealVec}, 1);
+  EXPECT_FALSE(I <= R);
+  EXPECT_FALSE(R <= I);
+}
+
+TEST(CallContext, GenericRootIsTop) {
+  CallContext G = genericContext(2);
+  EXPECT_TRUE(G.isGeneric());
+  EXPECT_TRUE(ctxOf({Tag::IntVec, Tag::Int}, 2) <= G);
+  EXPECT_TRUE(ctxOf({Tag::RealVec, Tag::Real}, 2) <= G);
+  EXPECT_FALSE(G <= ctxOf({Tag::IntVec, Tag::Int}, 2))
+      << "the root assumes nothing about argument types";
+}
+
+TEST(CallContext, MoreFlagsIsMoreSpecialized) {
+  // A version compiled under CtxNoMissingArgs cannot serve a call with a
+  // missing (Null) argument.
+  CallContext WithHole = ctxOf({Tag::Int, Tag::Null}, 2);
+  EXPECT_FALSE(WithHole.Flags & CtxNoMissingArgs);
+  EXPECT_FALSE(WithHole.typed(1)) << "a hole stays untyped";
+  CallContext Full = ctxOf({Tag::Int, Tag::Int}, 2);
+  EXPECT_TRUE(Full.Flags & CtxNoMissingArgs);
+  // Full assumes more than WithHole observed.
+  EXPECT_FALSE(WithHole <= Full);
+}
+
+TEST(CallContext, WrongArityDropsCorrectArityFlag) {
+  std::vector<Value> Args{Value::integer(1)};
+  CallContext C = computeCallContext(Args, 2);
+  EXPECT_FALSE(C.Flags & CtxCorrectArity);
+  EXPECT_FALSE(C <= genericContext(2))
+      << "the generic root still assumes matching arity";
+}
+
+//===----------------------------------------------------------------------===//
+// VersionTable discipline
+
+namespace {
+
+std::unique_ptr<LowFunction> dummyLow() {
+  auto F = std::make_unique<LowFunction>();
+  F->Code.push_back({LowOp::RetLow});
+  F->NumSlots = 1;
+  return F;
+}
+
+} // namespace
+
+TEST(VersionTable, MostSpecializedFirst) {
+  VersionTable T;
+  T.setCapacity(4);
+  FnVersion *G = T.insert(genericContext(1));
+  G->Code = dummyLow();
+  FnVersion *S = T.insert(ctxOf({Tag::IntVec}, 1));
+  S->Code = dummyLow();
+  // A typed call must land on the specialized entry even though the
+  // generic root also matches.
+  FnVersion *Hit = T.dispatch(ctxOf({Tag::IntVec}, 1));
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_FALSE(Hit->Ctx.isGeneric());
+  // A call the specialization cannot serve falls through to the root.
+  Hit = T.dispatch(ctxOf({Tag::RealVec}, 1));
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_TRUE(Hit->Ctx.isGeneric());
+}
+
+TEST(VersionTable, BoundExemptsGenericRoot) {
+  VersionTable T;
+  T.setCapacity(1);
+  EXPECT_NE(T.insert(ctxOf({Tag::IntVec}, 1)), nullptr);
+  EXPECT_EQ(T.insert(ctxOf({Tag::RealVec}, 1)), nullptr)
+      << "specialized bound reached";
+  EXPECT_NE(T.insert(genericContext(1)), nullptr)
+      << "the generic root is exempt from the bound";
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(VersionTable, RetiredEntriesKeepBookkeeping) {
+  VersionTable T;
+  T.setCapacity(4);
+  FnVersion *E = T.insert(ctxOf({Tag::IntVec}, 1));
+  E->Code = dummyLow();
+  const LowFunction *Code = E->Code.get();
+  EXPECT_EQ(T.owner(Code), E);
+  E->Code.reset(); // retire (deopt)
+  E->DeoptCount = 7;
+  EXPECT_EQ(T.dispatch(ctxOf({Tag::IntVec}, 1)), nullptr)
+      << "retired entries never dispatch";
+  EXPECT_EQ(T.exact(ctxOf({Tag::IntVec}, 1)), E)
+      << "but their counters persist for blacklisting";
+  EXPECT_EQ(T.liveCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: the tier manager dispatches context-specialized versions
+
+TEST(ContextDispatch, MonomorphicCallerHitsOneSpecializedVersion) {
+  Vm V(dispatchCfg(true));
+  V.eval(PolySum);
+  V.eval("for (k in 1:10) r <- poly_sum(reals, 100L)");
+  EXPECT_DOUBLE_EQ(V.eval("r").asRealUnchecked(), 5050.0);
+
+  Function *Fn = functionNamed(V, "poly_sum");
+  TierState &TS = V.stateFor(Fn);
+  EXPECT_EQ(TS.Versions.size(), 1u) << "one context, one version";
+  ASSERT_EQ(TS.Versions.liveCount(), 1u);
+  const FnVersion &Ver = *TS.Versions.entries().front();
+  EXPECT_FALSE(Ver.Ctx.isGeneric());
+  EXPECT_EQ(Ver.Ctx.ArgTags[0], Tag::RealVec);
+  EXPECT_EQ(Ver.Ctx.ArgTags[1], Tag::Int);
+  EXPECT_GT(Ver.Hits, 0u);
+  EXPECT_EQ(stats().CtxVersions, 1u);
+  EXPECT_GT(stats().CtxDispatchHits, 0u);
+  EXPECT_EQ(stats().Deopts, 0u);
+}
+
+TEST(ContextDispatch, PolymorphicCallerPopulatesBoundedTable) {
+  Vm V(dispatchCfg(true, /*MaxVersions=*/4));
+  V.eval(PolySum);
+  // Alternate element types: the classic version-splitting workload.
+  V.eval("for (k in 1:10) { ri <- poly_sum(ints, 100L)\n"
+         "rr <- poly_sum(reals, 100L) }");
+  EXPECT_EQ(V.eval("ri").asIntUnchecked(), 5050);
+  EXPECT_DOUBLE_EQ(V.eval("rr").asRealUnchecked(), 5050.0);
+
+  Function *Fn = functionNamed(V, "poly_sum");
+  TierState &TS = V.stateFor(Fn);
+  EXPECT_EQ(TS.Versions.size(), 2u) << "one version per observed context";
+  EXPECT_LE(TS.Versions.size(),
+            static_cast<size_t>(V.config().MaxVersions));
+  for (const auto &E : TS.Versions.entries()) {
+    EXPECT_FALSE(E->Ctx.isGeneric());
+    EXPECT_TRUE(E->live());
+    EXPECT_EQ(E->DeoptCount, 0u);
+  }
+  EXPECT_EQ(stats().Deopts, 0u)
+      << "each context runs its own version: no misspeculation";
+  EXPECT_EQ(stats().CtxVersions, 2u);
+}
+
+TEST(ContextDispatch, ScalarCallReusesVectorVersion) {
+  Vm V(dispatchCfg(true));
+  V.eval(PolySum);
+  V.eval("for (k in 1:6) r <- poly_sum(reals, 100L)");
+  ASSERT_EQ(stats().CtxVersions, 1u);
+  // A scalar first argument is compatible with the RealVec version
+  // (scalar <= vector): no new version, no deopt.
+  EXPECT_DOUBLE_EQ(V.eval("poly_sum(3.5, 1L)").asRealUnchecked(), 3.5);
+  EXPECT_EQ(stats().CtxVersions, 1u);
+  EXPECT_EQ(stats().Deopts, 0u);
+}
+
+TEST(ContextDispatch, TableOverflowFallsBackToGenericRoot) {
+  Vm V(dispatchCfg(true, /*MaxVersions=*/1));
+  V.eval(PolySum);
+  V.eval("for (k in 1:10) { ri <- poly_sum(ints, 100L)\n"
+         "rr <- poly_sum(reals, 100L) }");
+  EXPECT_EQ(V.eval("ri").asIntUnchecked(), 5050);
+  EXPECT_DOUBLE_EQ(V.eval("rr").asRealUnchecked(), 5050.0);
+
+  Function *Fn = functionNamed(V, "poly_sum");
+  TierState &TS = V.stateFor(Fn);
+  // One specialized version plus the generic root serving the overflow.
+  EXPECT_EQ(TS.Versions.size(), 2u);
+  EXPECT_NE(TS.Versions.exact(genericContext(2)), nullptr);
+  EXPECT_GT(stats().CtxDispatchMisses, 0u)
+      << "overflow calls are reported as dispatch misses";
+}
+
+TEST(ContextDispatch, DisabledReproducesSingleVersionBehavior) {
+  Vm V(dispatchCfg(false));
+  V.eval(PolySum);
+  V.eval("for (k in 1:10) { ri <- poly_sum(ints, 100L)\n"
+         "rr <- poly_sum(reals, 100L) }");
+  EXPECT_EQ(V.eval("ri").asIntUnchecked(), 5050);
+  EXPECT_DOUBLE_EQ(V.eval("rr").asRealUnchecked(), 5050.0);
+
+  Function *Fn = functionNamed(V, "poly_sum");
+  TierState &TS = V.stateFor(Fn);
+  EXPECT_EQ(TS.Versions.size(), 1u) << "seed behavior: one version";
+  EXPECT_TRUE(TS.Versions.entries().front()->Ctx.isGeneric());
+  EXPECT_EQ(stats().CtxVersions, 0u);
+  EXPECT_EQ(stats().CtxDispatchHits, 0u);
+}
+
+TEST(ContextDispatch, OrthogonalToTierStrategy) {
+  // The ablation toggle composes with every strategy: the polymorphic
+  // workload stays correct under Deoptless and ProfileDrivenReopt too.
+  for (TierStrategy S :
+       {TierStrategy::Deoptless, TierStrategy::ProfileDrivenReopt}) {
+    Vm::Config C = dispatchCfg(true);
+    C.Strategy = S;
+    Vm V(C);
+    V.eval(PolySum);
+    V.eval("for (k in 1:30) { ri <- poly_sum(ints, 100L)\n"
+           "rr <- poly_sum(reals, 100L) }");
+    EXPECT_EQ(V.eval("ri").asIntUnchecked(), 5050);
+    EXPECT_DOUBLE_EQ(V.eval("rr").asRealUnchecked(), 5050.0);
+    EXPECT_EQ(stats().CtxVersions, 2u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The interpreter records the caller's context in call feedback
+
+TEST(ContextDispatch, CallSiteRecordsContextFeedback) {
+  BaselineSession S;
+  S.eval(PolySum);
+  S.eval("a <- poly_sum(reals, 100L)");
+  // The driver's Call site recorded arity and per-argument tags.
+  Function *Top = S.lastModule()->Top;
+  const CallFeedback *CF = nullptr;
+  for (const auto &C : Top->Feedback.Calls)
+    if (C.Hits > 0 && C.Target)
+      CF = &C;
+  ASSERT_NE(CF, nullptr);
+  EXPECT_EQ(CF->SeenArity, 2u);
+  EXPECT_TRUE(CF->ArgMask[0] &
+              (1u << static_cast<unsigned>(Tag::RealVec)));
+  EXPECT_TRUE(CF->ArgMask[1] & (1u << static_cast<unsigned>(Tag::Int)));
+  // Each profiled slot saw exactly one tag (power-of-two mask).
+  EXPECT_EQ(CF->ArgMask[0] & (CF->ArgMask[0] - 1), 0);
+  EXPECT_EQ(CF->ArgMask[1] & (CF->ArgMask[1] - 1), 0);
+}
+
+TEST(ContextDispatch, ZeroArityFunctionHasSingleGenericRoot) {
+  // A zero-arity call's runtime context carries CtxNoMissingArgs on top
+  // of the root's flags; it must still resolve to THE generic root, not
+  // a second flags-variant entry with split deopt bookkeeping.
+  Vm V(dispatchCfg(true));
+  V.eval("z <- function() 41L + 1L");
+  V.eval("for (k in 1:10) r <- z()");
+  EXPECT_EQ(V.eval("r").asIntUnchecked(), 42);
+  Function *Fn = functionNamed(V, "z");
+  TierState &TS = V.stateFor(Fn);
+  EXPECT_EQ(TS.Versions.size(), 1u);
+  EXPECT_EQ(TS.Versions.exact(genericContext(0)),
+            TS.Versions.entries().front().get())
+      << "the entry is the canonical root";
+}

@@ -74,6 +74,29 @@ TEST(DeoptContext, DifferentLocalNamesIncomparable) {
   EXPECT_FALSE(A <= B);
 }
 
+TEST(DeoptContext, AntisymmetricOnStackTags) {
+  // A <= B and B <= A only when the tags agree exactly: the scalar/vector
+  // pair orders strictly.
+  DeoptContext Vec = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec,
+                         {Tag::RealVec}, {});
+  DeoptContext Scl =
+      ctx(5, DeoptReasonKind::Typecheck, Tag::Real, {Tag::Real}, {});
+  EXPECT_TRUE(Scl <= Vec);
+  EXPECT_FALSE(Vec <= Scl) << "antisymmetry: the order is strict";
+  DeoptContext Same = Vec;
+  EXPECT_TRUE(Vec <= Same);
+  EXPECT_TRUE(Same <= Vec);
+}
+
+TEST(DeoptContext, AntisymmetricOnEnvTags) {
+  DeoptContext A = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec, {},
+                       {{symbol("x"), Tag::Int}, {symbol("y"), Tag::IntVec}});
+  DeoptContext B = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec, {},
+                       {{symbol("x"), Tag::IntVec}, {symbol("y"), Tag::IntVec}});
+  EXPECT_TRUE(A <= B) << "scalar binding widens to the vector binding";
+  EXPECT_FALSE(B <= A);
+}
+
 TEST(DeoptContext, StackHeightMustMatch) {
   DeoptContext A =
       ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec, {Tag::Int}, {});
@@ -153,10 +176,18 @@ std::unique_ptr<LowFunction> dummyCode() {
   return F;
 }
 
+/// Installs a configuration with the given table bound (the knob is owned
+/// by Vm::Config; standalone tests derive a view the same way the Vm does).
+void configureMaxContinuations(uint32_t N) {
+  DeoptlessConfig C;
+  C.MaxContinuations = N;
+  configureDeoptless(C);
+}
+
 } // namespace
 
 TEST(DispatchTable, FirstCompatibleWins) {
-  deoptlessConfig().MaxContinuations = 5;
+  configureMaxContinuations(5);
   DeoptlessTable T;
   DeoptContext VecCtx = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec,
                             {Tag::RealVec}, {});
@@ -172,7 +203,7 @@ TEST(DispatchTable, FirstCompatibleWins) {
 }
 
 TEST(DispatchTable, MoreSpecializedSortsFirst) {
-  deoptlessConfig().MaxContinuations = 5;
+  configureMaxContinuations(5);
   DeoptlessTable T;
   DeoptContext VecCtx = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec,
                             {Tag::RealVec}, {});
@@ -188,7 +219,7 @@ TEST(DispatchTable, MoreSpecializedSortsFirst) {
 }
 
 TEST(DispatchTable, BoundEnforced) {
-  deoptlessConfig().MaxContinuations = 2;
+  configureMaxContinuations(2);
   DeoptlessTable T;
   for (int K = 0; K < 2; ++K)
     ASSERT_TRUE(T.insert(
@@ -198,7 +229,23 @@ TEST(DispatchTable, BoundEnforced) {
   EXPECT_FALSE(T.insert(
       ctx(99, DeoptReasonKind::Typecheck, Tag::RealVec, {}, {}),
       dummyCode()));
-  deoptlessConfig().MaxContinuations = 5;
+  configureMaxContinuations(5);
+}
+
+TEST(DispatchTable, FullTableRejectsEvenMoreSpecialized) {
+  // Table-full behavior: insert never evicts — a more specialized
+  // newcomer is rejected too, and dispatch keeps serving the old entries.
+  configureMaxContinuations(1);
+  DeoptlessTable T;
+  DeoptContext Vec = ctx(5, DeoptReasonKind::Typecheck, Tag::RealVec,
+                         {Tag::RealVec}, {});
+  ASSERT_TRUE(T.insert(Vec, dummyCode()));
+  DeoptContext Scl =
+      ctx(5, DeoptReasonKind::Typecheck, Tag::Real, {Tag::Real}, {});
+  EXPECT_FALSE(T.insert(Scl, dummyCode()));
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_NE(T.dispatch(Scl), nullptr) << "old entry still serves";
+  configureMaxContinuations(5);
 }
 
 TEST(DispatchTable, PerFunctionRegistryIsolates) {

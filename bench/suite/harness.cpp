@@ -90,4 +90,11 @@ void rjit::suite::printStats(const char *Label, const VmStats &S) {
            (unsigned long long)S.DeoptlessHits,
            (unsigned long long)S.DeoptlessCompiles,
            (unsigned long long)S.DeoptlessRejected);
+  if (S.InlinedCalls || S.MultiFrameDeopts || S.DeoptlessInlineDispatches)
+    printf("# stats[%s]: inlined calls %llu, multi-frame deopts %llu, "
+           "frames materialized %llu, inline-frame deoptless %llu\n",
+           Label, (unsigned long long)S.InlinedCalls,
+           (unsigned long long)S.MultiFrameDeopts,
+           (unsigned long long)S.InlineFramesMaterialized,
+           (unsigned long long)S.DeoptlessInlineDispatches);
 }

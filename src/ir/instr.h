@@ -15,6 +15,12 @@
 ///    transfer to the deopt runtime (or, with deoptless, to a dispatched
 ///    specialized continuation).
 ///
+/// Speculative inlining links FrameStates into *chains*: a framestate of
+/// an inlined callee carries (as its last operand) the caller's
+/// return-framestate — the state with which the caller resumes once the
+/// callee's frame completes. OSR-out walks the chain outward and
+/// materializes one interpreter frame per link.
+///
 /// Instructions are a single class discriminated by IrOp with per-op
 /// auxiliary fields; functions here are small enough that simplicity wins
 /// over a class hierarchy.
@@ -116,13 +122,16 @@ public:
   Tag Knd = Tag::Real;            ///< typed ops: scalar element kind
   Tag TagArg = Tag::Real;         ///< IsTagIr / Assume expectation
   BuiltinId Bid{};                ///< builtin ops
-  Function *Target = nullptr;     ///< CallStatic / IsFunIr
+  Function *Target = nullptr;     ///< CallStatic / IsFunIr; FrameState:
+                                  ///< the frame's function (null = Origin)
   int32_t Idx = 0;                ///< Param index / MkClosure inner index
   int32_t BcPc = -1;              ///< FrameState pc; Assume ReasonPc
   uint32_t StackCount = 0;        ///< FrameState: #stack operands
   std::vector<Symbol> EnvSyms;    ///< FrameState: env entry names
+  /// FrameState of an inlined callee: the last operand is the caller's
+  /// return-framestate (the frame-state chain of speculative inlining).
+  bool HasParentFs = false;
   DeoptReasonKind RKind = DeoptReasonKind::Typecheck; ///< Assume
-  bool PhiCoerces = false; ///< numeric phi: coerce incoming values to Knd
   std::vector<BB *> Incoming;     ///< Phi: predecessor blocks
   uint32_t Id = 0;                ///< stable printing id
   BB *Parent = nullptr;
@@ -145,6 +154,11 @@ public:
   Instr *envOp(size_t I) const {
     assert(Op == IrOp::FrameStateIr && I < EnvSyms.size());
     return Ops[StackCount + I];
+  }
+  /// The caller's return-framestate when this frame is inlined, else null.
+  Instr *parentFs() const {
+    assert(Op == IrOp::FrameStateIr);
+    return HasParentFs ? Ops.back() : nullptr;
   }
 };
 

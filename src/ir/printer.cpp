@@ -56,6 +56,10 @@ void printInstr(const Instr &I, std::string &S) {
   case IrOp::FrameStateIr:
     S += " pc=" + std::to_string(I.BcPc) +
          " stack=" + std::to_string(I.StackCount);
+    if (I.Target)
+      S += " fn=" + symbolName(I.Target->Name);
+    if (I.HasParentFs)
+      S += " caller=" + ref(I.Ops.back());
     break;
   case IrOp::AssumeIr:
     S += std::string(" [") + deoptReasonName(I.RKind) + "@" +

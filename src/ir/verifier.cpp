@@ -104,8 +104,12 @@ std::string rjit::verify(const IrCode &C) {
                std::to_string(I.Ops.size()));
       }
       if (I.Op == IrOp::FrameStateIr) {
-        if (I.Ops.size() != I.StackCount + I.EnvSyms.size())
+        size_t Extra = I.HasParentFs ? 1 : 0;
+        if (I.Ops.size() != I.StackCount + I.EnvSyms.size() + Extra)
           Fail("framestate %" + std::to_string(I.Id) + ": shape mismatch");
+        if (I.HasParentFs && I.Ops.back()->Op != IrOp::FrameStateIr)
+          Fail("framestate %" + std::to_string(I.Id) +
+               ": parent must be a framestate");
         if (I.BcPc < 0)
           Fail("framestate %" + std::to_string(I.Id) + ": missing pc");
       }

@@ -137,16 +137,21 @@ template <typename T> bool cmpApply(BinOp Op, T X, T Y) {
 }
 
 int32_t intArithApply(BinOp Op, int32_t X, int32_t Y) {
+  // Unsigned wraparound, exactly as runtime/value.cpp's intArith: the
+  // typed tier must wrap to the same values as the generic ops.
+  auto Wrap = [](uint32_t R) { return static_cast<int32_t>(R); };
   switch (Op) {
   case BinOp::Add:
-    return X + Y;
+    return Wrap(static_cast<uint32_t>(X) + static_cast<uint32_t>(Y));
   case BinOp::Sub:
-    return X - Y;
+    return Wrap(static_cast<uint32_t>(X) - static_cast<uint32_t>(Y));
   case BinOp::Mul:
-    return X * Y;
+    return Wrap(static_cast<uint32_t>(X) * static_cast<uint32_t>(Y));
   case BinOp::Mod: {
     if (Y == 0)
       rerror("integer modulo by zero");
+    if (Y == -1)
+      return 0; // INT_MIN % -1 traps on x86; the result is always 0
     int32_t R = X % Y;
     if (R != 0 && ((R < 0) != (Y < 0)))
       R += Y;
@@ -155,6 +160,8 @@ int32_t intArithApply(BinOp Op, int32_t X, int32_t Y) {
   case BinOp::IDiv: {
     if (Y == 0)
       rerror("integer division by zero");
+    if (Y == -1) // INT_MIN / -1 traps on x86; negate with wraparound
+      return Wrap(0u - static_cast<uint32_t>(X));
     int32_t Q = X / Y;
     if ((X % Y != 0) && ((X < 0) != (Y < 0)))
       --Q;

@@ -89,12 +89,32 @@ struct LowInstr {
   int32_t Imm2 = 0;
 };
 
-/// Deopt metadata: how to reconstruct the interpreter state at a guard
-/// (the compiled form of a Checkpoint/FrameState pair).
-struct DeoptMeta {
-  int32_t BcPc = -1; ///< resume pc
+/// One synthesized interpreter frame of a caller whose call was inlined:
+/// the compiled form of a return-framestate in the frame-state chain. On
+/// OSR-out the runtime pushes the inner frame's result onto this frame's
+/// operand stack and resumes its function's bytecode at BcPc.
+struct DeoptFrame {
+  Function *Fn = nullptr; ///< the frame's function (null = code's Origin)
+  int32_t BcPc = -1;      ///< resume pc (the instruction after the call)
   std::vector<uint16_t> StackSlots;
   std::vector<std::pair<Symbol, uint16_t>> EnvSlots;
+};
+
+/// Deopt metadata: how to reconstruct the interpreter state at a guard
+/// (the compiled form of a Checkpoint/FrameState pair). With speculative
+/// inlining a guard may sit inside an inlined callee; the innermost frame
+/// is described by the direct fields and the synthesized caller frames by
+/// \c Callers (innermost caller first, outermost last).
+struct DeoptMeta {
+  int32_t BcPc = -1; ///< resume pc (innermost frame)
+  std::vector<uint16_t> StackSlots;
+  std::vector<std::pair<Symbol, uint16_t>> EnvSlots;
+  /// Innermost frame's function when the guard is inside an inlined
+  /// callee; null means the code's Origin (no inlining at this guard).
+  Function *FrameFn = nullptr;
+  /// Synthesized interpreter frames of the inlined callers, innermost
+  /// caller first. Empty for non-inlined guards.
+  std::vector<DeoptFrame> Callers;
   // Reason description (from the Assume).
   DeoptReasonKind RKind = DeoptReasonKind::Typecheck;
   Tag ExpectedTag = Tag::Null;

@@ -343,14 +343,13 @@ private:
 
     auto EmitOne = [&](uint16_t Dst, SlotClass DstK, const Instr *Phi,
                        const Instr *Src) {
+      (void)Phi;
       SlotClass SrcK = classOf(Src);
-      if (Phi->PhiCoerces || SrcK != DstK) {
-        // Coerce/box/unbox into the destination class.
-        Tag Target = DstK == SlotClass::RawReal  ? Tag::Real
-                     : DstK == SlotClass::RawInt ? Tag::Int
-                     : Phi->PhiCoerces           ? Phi->Knd
-                                                 : Tag::Null;
-        if (DstK == SlotClass::Boxed && !Phi->PhiCoerces) {
+      if (SrcK != DstK) {
+        // Box/unbox into the destination class. (Classes can only differ
+        // when the phi is boxed and the source raw: a phi's type joins its
+        // inputs, so a raw — precise — phi implies raw same-kind inputs.)
+        if (DstK == SlotClass::Boxed) {
           LowInstr B{LowOp::Box};
           B.Dst = Dst;
           B.A = slotOf(Src);
@@ -358,6 +357,7 @@ private:
           emit(B);
           return;
         }
+        Tag Target = DstK == SlotClass::RawReal ? Tag::Real : Tag::Int;
         LowInstr Co{LowOp::Coerce};
         Co.Dst = Dst;
         Co.A = slotOf(Src);
@@ -381,8 +381,7 @@ private:
     if (!NeedTemps) {
       for (auto &[Phi, Src] : Moves) {
         SlotClass K = classOf(Phi);
-        if (classOf(Src) == K && slotOf(Phi) == slotOf(Src) &&
-            !Phi->PhiCoerces)
+        if (classOf(Src) == K && slotOf(Phi) == slotOf(Src))
           continue;
         EmitOne(slotOf(Phi), K, Phi, Src);
       }
@@ -794,10 +793,24 @@ private:
     const Instr *Cp = Assume.op(1);
     const Instr *Fs = Cp->op(0);
     M.BcPc = Fs->BcPc;
+    M.FrameFn = Fs->Target;
     for (uint32_t K = 0; K < Fs->StackCount; ++K)
       M.StackSlots.push_back(ensureBoxed(Fs->stackOp(K)));
     for (size_t K = 0; K < Fs->EnvSyms.size(); ++K)
       M.EnvSlots.push_back({Fs->EnvSyms[K], ensureBoxed(Fs->envOp(K))});
+
+    // Inlined guards: encode the chain of caller return-framestates so the
+    // runtime can materialize every synthesized frame on OSR-out.
+    for (const Instr *P = Fs->parentFs(); P; P = P->parentFs()) {
+      DeoptFrame Fr;
+      Fr.Fn = P->Target;
+      Fr.BcPc = P->BcPc;
+      for (uint32_t K = 0; K < P->StackCount; ++K)
+        Fr.StackSlots.push_back(ensureBoxed(P->stackOp(K)));
+      for (size_t K = 0; K < P->EnvSyms.size(); ++K)
+        Fr.EnvSlots.push_back({P->EnvSyms[K], ensureBoxed(P->envOp(K))});
+      M.Callers.push_back(std::move(Fr));
+    }
 
     F->Deopts.push_back(std::move(M));
     return static_cast<int32_t>(F->Deopts.size() - 1);

@@ -24,7 +24,7 @@ bool simplifyTrivialPhis(IrCode &C) {
         ++UseCount[Op->Id];
     });
     C.eachInstr([&](Instr *I) {
-      if (I->Op != IrOp::Phi || I->PhiCoerces || UseCount[I->Id] == 0)
+      if (I->Op != IrOp::Phi || UseCount[I->Id] == 0)
         return;
       Instr *Unique = nullptr;
       bool Trivial = true;

@@ -333,8 +333,6 @@ bool rjit::inferTypes(IrCode &C) {
     auto OpT = [&](size_t K) { return I->op(K)->Type; };
     switch (I->Op) {
     case IrOp::Phi: {
-      if (I->PhiCoerces)
-        return RType::of(I->Knd); // the backend coerces incoming edges
       RType T = RType::none();
       for (Instr *Op : I->Ops)
         T = T.join(Op->Type);
@@ -417,36 +415,14 @@ bool rjit::inferTypes(IrCode &C) {
     }
   }
 
-  // Numeric phi promotion: a phi over mixed numeric scalar kinds becomes
-  // the widest kind with per-edge coercion in the backend.
-  bool Promoted = false;
-  C.eachInstr([&](Instr *I) {
-    if (I->Op != IrOp::Phi || I->PhiCoerces)
-      return;
-    RType T = I->Type;
-    constexpr struct {
-      Tag T;
-      int R;
-    } Kinds[] = {{Tag::Lgl, 0}, {Tag::Int, 1}, {Tag::Real, 2}, {Tag::Cplx, 3}};
-    uint16_t ScalarMask = 0;
-    for (auto K : Kinds)
-      ScalarMask |= RType::of(K.T).rawMask();
-    if (T.isNone() || (T.rawMask() & ~ScalarMask) != 0)
-      return;
-    if (T.precise())
-      return;
-    int Top = -1;
-    for (auto K : Kinds)
-      if (T.contains(K.T))
-        Top = std::max(Top, K.R);
-    assert(Top >= 1 && "mixed phi must reach at least Int");
-    I->PhiCoerces = true;
-    I->Knd = rankToTag(Top);
-    I->Type = RType::of(I->Knd);
-    Promoted = true;
-  });
-  if (Promoted)
-    return inferTypes(C) || true;
+  // NOTE: there is deliberately no "numeric phi promotion" here. Coercing
+  // mixed int/real phi inputs at the edges changes the *observable* kind
+  // of a value (R distinguishes 1L from 1): a branch result
+  // `if (p) 1.5 else 64L` must stay 64L on the else path, and a deopt
+  // from a loop framestate must materialize the accumulator's original
+  // 0L, not a promoted 0.0. The cross-tier differential fuzzer
+  // (tests/property_test.cpp) catches both shapes; mixed-kind phis stay
+  // boxed and their consumers stay generic.
 
   bool Changed = false;
   C.eachInstr([&](Instr *I) {

@@ -8,7 +8,9 @@
 #include "opt/constfold.h"
 #include "opt/dce.h"
 #include "opt/inference.h"
+#include "opt/inline.h"
 #include "opt/lowertyped.h"
+#include "support/stats.h"
 
 #include <cstdio>
 
@@ -23,26 +25,51 @@ namespace {
 /// so a recompile speculates correctly — the paper's §4.3 "run [type
 /// inference] on the type feedback and use the result to update the
 /// expected type". Returns true when any slot was repaired.
+///
+/// With speculative inlining a guard's feedback slot belongs to the
+/// function of its *frame* (an inlined callee's guard indexes the callee's
+/// table), resolved from the guard's framestate.
 bool repairContradictedFeedback(IrCode &C, Function *Fn) {
   bool Repaired = false;
   C.eachInstr([&](Instr *I) {
     if (I->Op != IrOp::AssumeIr || I->Ops.empty())
       return;
     Instr *Cond = I->op(0);
-    if (Cond->Op != IrOp::IsTagIr)
+    RType Have = RType::none();
+    if (Cond->Op == IrOp::IsTagIr) {
+      Have = Cond->op(0)->Type;
+      if (Have.isNone() || Have.isAny())
+        return;
+      if (!Have.meet(RType::of(Cond->TagArg)).isNone())
+        return; // the guard can pass
+    } else if (Cond->Op == IrOp::Const && I->RKind ==
+               DeoptReasonKind::Typecheck) {
+      // Constant folding already proved the condition; a FALSE residue is
+      // an always-failing tag guard (e.g. speculation on a value that
+      // folded to a constant of another kind) that must not ship.
+      if (Cond->Cst.tag() != Tag::Lgl || Cond->Cst.asLglUnchecked())
+        return;
+    } else {
       return;
-    RType Have = Cond->op(0)->Type;
-    if (Have.isNone() || Have.isAny())
-      return;
-    if (!Have.meet(RType::of(Cond->TagArg)).isNone())
-      return; // the guard can pass
+    }
+    Function *Owner = Fn;
+    if (I->Ops.size() == 2 && I->op(1)->Op == IrOp::CheckpointIr) {
+      Instr *Fs = I->op(1)->op(0);
+      if (Fs->Target)
+        Owner = Fs->Target;
+    }
     int32_t SlotIdx = I->Idx;
     if (SlotIdx < 0 ||
-        SlotIdx >= static_cast<int32_t>(Fn->Feedback.Types.size()))
+        SlotIdx >= static_cast<int32_t>(Owner->Feedback.Types.size()))
       return;
-    TypeFeedback &FB = Fn->Feedback.Types[SlotIdx];
+    TypeFeedback &FB = Owner->Feedback.Types[SlotIdx];
+    // Widen, don't overwrite: the contradiction may be local to this
+    // compilation (a context-specialized entry type, an inlined argument)
+    // while other call shapes still see the profiled type. Joining makes
+    // the slot polymorphic, so the retry stops speculating on it; a reset
+    // would poison the profile for every other context.
     if (Have.precise())
-      FB.reset(Have.uniqueTag());
+      FB.record(Have.uniqueTag());
     else
       FB.clear();
     Repaired = true;
@@ -56,10 +83,15 @@ std::unique_ptr<IrCode> rjit::optimizeToIr(Function *Fn, CallConv Conv,
                                            const EntryState &Entry,
                                            const OptOptions &Opts) {
   std::unique_ptr<IrCode> C;
+  uint32_t Inlined = 0;
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
     C = translate(Fn, Conv, Entry, Opts);
     if (!C)
       return nullptr;
+
+    // Inline before inference so the spliced callee bodies participate in
+    // type refinement and typed lowering (unboxing) like native code.
+    Inlined = inlineCalls(*C, Opts);
 
     bool Changed = true;
     int Rounds = 0;
@@ -86,5 +118,6 @@ std::unique_ptr<IrCode> rjit::optimizeToIr(Function *Fn, CallConv Conv,
     assert(false && "IR verification failed");
     return nullptr;
   }
+  stats().InlinedCalls += Inlined;
   return C;
 }

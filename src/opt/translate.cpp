@@ -549,9 +549,22 @@ private:
     return true;
   }
 
+  /// Tag speculation never targets a phi. A phi merges values from
+  /// several paths while the profile is a single per-site tag histogram,
+  /// so a monomorphic profile on a merged value usually reflects only the
+  /// warmup path: guarding it is self-defeating for loop-carried
+  /// accumulators (an `acc <- 0L` accumulating doubles passes the Int
+  /// guard on iteration one and fails forever after — recursive-deoptless
+  /// territory) and for post-loop reads of the same accumulator. The
+  /// profitable speculations — parameters, environment reads, vector
+  /// elements — are all on non-merged values.
+  static bool speculatableValue(const Instr *V) {
+    return V->Op != IrOp::Phi;
+  }
+
   /// Applies LdVar-style type speculation from feedback slot \p FbIdx.
   Instr *maybeSpeculateType(Instr *V, int32_t FbIdx) {
-    if (!Opts.Speculate || FbIdx < 0)
+    if (!Opts.Speculate || FbIdx < 0 || !speculatableValue(V))
       return V;
     const TypeFeedback &FB = Fn->Feedback.Types[FbIdx];
     if (FB.empty() || FB.Stale || !FB.monomorphic())
@@ -750,13 +763,13 @@ private:
       push(B);
       const TypeFeedback &FbA = Fn->Feedback.Types[I.B];
       const TypeFeedback &FbB = Fn->Feedback.Types[I.B + 1];
-      if (!FbA.empty() && !FbA.Stale && FbA.monomorphic() &&
-          worthTagAssume(A->Type, FbA.uniqueTag()) &&
+      if (speculatableValue(A) && !FbA.empty() && !FbA.Stale &&
+          FbA.monomorphic() && worthTagAssume(A->Type, FbA.uniqueTag()) &&
           isGuardableTag(FbA.uniqueTag()))
         St.Stack[St.Stack.size() - 2] = A =
             assumeTag(A, FbA.uniqueTag(), I.B);
-      if (!FbB.empty() && !FbB.Stale && FbB.monomorphic() &&
-          worthTagAssume(B->Type, FbB.uniqueTag()) &&
+      if (speculatableValue(B) && !FbB.empty() && !FbB.Stale &&
+          FbB.monomorphic() && worthTagAssume(B->Type, FbB.uniqueTag()) &&
           isGuardableTag(FbB.uniqueTag()))
         St.Stack[St.Stack.size() - 1] = B =
             assumeTag(B, FbB.uniqueTag(), I.B + 1);

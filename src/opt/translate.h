@@ -51,12 +51,25 @@ struct EntryState {
   std::vector<RType> ParamTypes;
 };
 
+/// Speculative inlining knobs (opt/inline): splice monomorphic hot
+/// callees into the caller under the callee-identity guard. One struct
+/// shared verbatim by every compile entry point — whole-function
+/// versions, OSR-in continuations and deoptless continuations — so the
+/// tiers cannot drift apart (Vm::Config::inlineView is the single
+/// source of truth).
+struct InlineOptions {
+  bool Enabled = false;
+  uint32_t MaxDepth = 2; ///< nesting bound for inlined calls
+  uint32_t MaxSize = 48; ///< callee bytecode-length bound
+};
+
 /// Translation/optimization knobs.
 struct OptOptions {
   bool Speculate = true;       ///< insert Assume guards from feedback
   bool ElideEnv = true;        ///< allow environment elision
   bool TypedOps = true;        ///< strength-reduce generic ops
   bool FoldConstants = true;
+  InlineOptions Inline;
 };
 
 /// Result of checking whether a function's environment can be elided.

@@ -15,37 +15,25 @@ namespace {
 
 DeoptListener TheListener = nullptr;
 
-} // namespace
-
-void rjit::setDeoptListener(DeoptListener L) { TheListener = L; }
-
-Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
-                            const DeoptMeta &Meta, Env *CurEnv,
-                            Env *ParentEnv) {
-  ++stats().Deopts;
-
-  // Materialize the environment. Real-env code resumes with its live
-  // environment; elided code materializes one from the framestate — the
-  // deferred MkEnv of paper Listing 2.
-  Env *E = CurEnv;
+/// Runs one reconstructed interpreter frame: materializes an environment
+/// (unless \p LiveEnv is provided), pushes \p Stack and resumes \p Fn at
+/// \p Pc.
+Value runFrame(Function *Fn, Env *LiveEnv, Env *ParentEnv,
+               const std::vector<std::pair<Symbol, uint16_t>> &EnvSlots,
+               const std::vector<Value> &Slots, std::vector<Value> &&Stack,
+               int32_t Pc) {
+  Env *E = LiveEnv;
   bool Fresh = false;
   if (!E) {
     E = new Env(ParentEnv);
     E->retain();
     Fresh = true;
-    for (const auto &[Sym, SlotIdx] : Meta.EnvSlots)
+    for (const auto &[Sym, SlotIdx] : EnvSlots)
       E->set(Sym, Slots[SlotIdx]);
   }
-
-  // Reconstruct the operand stack.
-  std::vector<Value> Stack;
-  Stack.reserve(Meta.StackSlots.size());
-  for (uint16_t SlotIdx : Meta.StackSlots)
-    Stack.push_back(Slots[SlotIdx]);
-
   Value Result;
   try {
-    Result = interpretResume(F.Origin, E, std::move(Stack), Meta.BcPc);
+    Result = interpretResume(Fn, E, std::move(Stack), Pc);
   } catch (...) {
     if (Fresh)
       E->release();
@@ -54,6 +42,60 @@ Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
   if (Fresh)
     E->release();
   return Result;
+}
+
+} // namespace
+
+void rjit::setDeoptListener(DeoptListener L) { TheListener = L; }
+
+Value rjit::resumeInlinedCallers(const LowFunction &F,
+                                 std::vector<Value> &Slots,
+                                 const DeoptMeta &Meta, Env *CurEnv,
+                                 Env *ParentEnv, Value Inner) {
+  Value R = std::move(Inner);
+  for (size_t K = 0; K < Meta.Callers.size(); ++K) {
+    const DeoptFrame &Fr = Meta.Callers[K];
+    ++stats().InlineFramesMaterialized;
+    // Only the outermost frame can be the code's own (possibly real-env)
+    // frame; every inner caller was itself inlined and is thus elided.
+    bool Outermost = K + 1 == Meta.Callers.size();
+    std::vector<Value> Stack;
+    Stack.reserve(Fr.StackSlots.size() + 1);
+    for (uint16_t SlotIdx : Fr.StackSlots)
+      Stack.push_back(Slots[SlotIdx]);
+    Stack.push_back(std::move(R));
+    R = runFrame(Fr.Fn ? Fr.Fn : F.Origin, Outermost ? CurEnv : nullptr,
+                 ParentEnv, Fr.EnvSlots, Slots, std::move(Stack), Fr.BcPc);
+  }
+  return R;
+}
+
+Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
+                            const DeoptMeta &Meta, Env *CurEnv,
+                            Env *ParentEnv) {
+  ++stats().Deopts;
+  bool Inlined = !Meta.Callers.empty();
+  if (Inlined) {
+    ++stats().MultiFrameDeopts;
+    ++stats().InlineFramesMaterialized; // the innermost frame, below
+  }
+
+  // Materialize the innermost frame. Real-env code resumes with its live
+  // environment (only possible when the guard is not inside an inlined
+  // callee — inlined bodies are always env-elided); elided code
+  // materializes one from the framestate — the deferred MkEnv of paper
+  // Listing 2.
+  std::vector<Value> Stack;
+  Stack.reserve(Meta.StackSlots.size());
+  for (uint16_t SlotIdx : Meta.StackSlots)
+    Stack.push_back(Slots[SlotIdx]);
+  Value R = runFrame(Meta.FrameFn ? Meta.FrameFn : F.Origin,
+                     Inlined ? nullptr : CurEnv, ParentEnv, Meta.EnvSlots,
+                     Slots, std::move(Stack), Meta.BcPc);
+
+  // Unwind the synthesized frames of the inlined callers.
+  return resumeInlinedCallers(F, Slots, Meta, CurEnv, ParentEnv,
+                              std::move(R));
 }
 
 Value rjit::deoptHandler(const LowFunction &F, std::vector<Value> &Slots,

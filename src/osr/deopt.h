@@ -38,9 +38,25 @@ Value deoptHandler(const LowFunction &F, std::vector<Value> &Slots,
                    bool Injected);
 
 /// Performs a true deoptimization (no deoptless): materializes the state
-/// and resumes the interpreter. Exposed for tests and the OSR-in runtime.
+/// and resumes the interpreter. With speculative inlining this rebuilds
+/// the *whole* frame chain — the innermost (callee) frame first, then one
+/// synthesized interpreter frame per inlined caller, each resuming just
+/// past its call with the inner frame's result pushed. Exposed for tests
+/// and the OSR-in runtime.
 Value deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
                       const DeoptMeta &Meta, Env *CurEnv, Env *ParentEnv);
+
+/// Unwinds the synthesized caller frames of an inlined guard: for each
+/// entry of Meta.Callers (innermost caller first) materializes the frame
+/// from the live \p Slots, pushes \p Inner (the completed inner frame's
+/// value) onto its operand stack and resumes the interpreter one pc past
+/// the call. \p CurEnv, if non-null, is the live environment of the
+/// outermost frame. Returns the outermost frame's result (or \p Inner
+/// when there are no caller frames). Shared by OSR-out and the deoptless
+/// runtime (which handles the innermost frame with a continuation).
+Value resumeInlinedCallers(const LowFunction &F, std::vector<Value> &Slots,
+                           const DeoptMeta &Meta, Env *CurEnv,
+                           Env *ParentEnv, Value Inner);
 
 /// Installs the OSR runtime into the LowCode engine hooks.
 void installOsrRuntime();

@@ -9,6 +9,7 @@
 #include "lowcode/lower.h"
 #include "opt/cleanup.h"
 #include "opt/pipeline.h"
+#include "osr/deopt.h"
 #include "support/stats.h"
 
 #include <map>
@@ -119,6 +120,7 @@ std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
   // Compile against the repaired profile.
   std::swap(Fn->Feedback, Repaired);
   OptOptions Opts;
+  Opts.Inline = deoptlessConfig().Inline;
   std::unique_ptr<IrCode> Ir =
       optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
   std::swap(Fn->Feedback, Repaired);
@@ -176,7 +178,11 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
     return false;
   }
 
-  Function *Fn = F.Origin;
+  // Key the table on the innermost frame: a guard inside an inlined
+  // callee dispatches over the *callee's* continuations (shared by every
+  // caller that inlined it), compiled from the callee's bytecode at the
+  // callee's pc.
+  Function *Fn = Meta.FrameFn ? Meta.FrameFn : F.Origin;
   DeoptlessTable &Table = deoptlessTableFor(Fn);
   Continuation *Cont = Table.dispatch(Ctx);
 
@@ -221,5 +227,14 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
     throw;
   }
   continuationDepths().pop_back();
+
+  // The continuation completed the innermost frame only; resume the
+  // synthesized frames of the inlined callers in the baseline so the
+  // activation yields the outermost caller's value.
+  if (!Meta.Callers.empty()) {
+    ++stats().DeoptlessInlineDispatches;
+    Result = resumeInlinedCallers(F, Slots, Meta, /*CurEnv=*/nullptr,
+                                  ParentEnv, std::move(Result));
+  }
   return true;
 }

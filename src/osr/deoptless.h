@@ -19,6 +19,7 @@
 #ifndef RJIT_OSR_DEOPTLESS_H
 #define RJIT_OSR_DEOPTLESS_H
 
+#include "opt/translate.h"
 #include "osr/reason.h"
 
 #include <memory>
@@ -63,6 +64,9 @@ struct DeoptlessConfig {
   bool FeedbackCleanup = true; ///< the §4.3 cleanup pass (ablation toggle)
   uint32_t MaxContinuations = 5;
   bool RecompileHeuristic = true; ///< recompile when a match is too generic
+  /// Speculative inlining inside continuation compiles (mirrors the Vm's
+  /// Inlining knobs so continuations keep the tier's code quality).
+  InlineOptions Inline;
 };
 
 /// The active configuration (read-only; see configureDeoptless).
@@ -82,6 +86,10 @@ void clearDeoptlessTables();
 /// Attempts the deoptless path for a failing guard. Returns true and sets
 /// \p Result when a continuation handled the rest of the activation;
 /// returns false when the caller must perform a true deoptimization.
+/// For a guard inside an inlined callee the context lattice and the
+/// continuation table are keyed on the *innermost* frame (the callee's
+/// function and pc); the synthesized caller frames are then resumed in the
+/// baseline interpreter so the activation still yields the caller's value.
 bool tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
                   const DeoptMeta &Meta, Env *ParentEnv, bool Injected,
                   Value &Result);

@@ -48,6 +48,7 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
   }
 
   OptOptions Opts;
+  Opts.Inline = osrInConfig().Inline;
   std::unique_ptr<IrCode> Ir = optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
   if (!Ir) {
     blacklist().insert(Fn);

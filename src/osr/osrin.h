@@ -17,6 +17,7 @@
 #define RJIT_OSR_OSRIN_H
 
 #include "bc/interp.h"
+#include "opt/translate.h"
 #include "runtime/env.h"
 
 namespace rjit {
@@ -24,6 +25,9 @@ namespace rjit {
 /// OSR-in knobs.
 struct OsrInConfig {
   bool Enabled = false;
+  /// Speculative inlining inside OSR-in continuation compiles (mirrors
+  /// the Vm's Inlining knobs).
+  InlineOptions Inline;
 };
 
 OsrInConfig &osrInConfig();

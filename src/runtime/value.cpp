@@ -481,16 +481,22 @@ struct NumView {
 };
 
 int32_t intArith(BinOp Op, int32_t A, int32_t B) {
+  // Wraparound is performed in unsigned arithmetic: signed overflow is UB
+  // in C++, and both tiers must produce the identical (wrapped) value for
+  // the cross-tier differential tests.
+  auto Wrap = [](uint32_t R) { return static_cast<int32_t>(R); };
   switch (Op) {
   case BinOp::Add:
-    return A + B;
+    return Wrap(static_cast<uint32_t>(A) + static_cast<uint32_t>(B));
   case BinOp::Sub:
-    return A - B;
+    return Wrap(static_cast<uint32_t>(A) - static_cast<uint32_t>(B));
   case BinOp::Mul:
-    return A * B;
+    return Wrap(static_cast<uint32_t>(A) * static_cast<uint32_t>(B));
   case BinOp::Mod: {
     if (B == 0)
       rerror("integer modulo by zero");
+    if (B == -1)
+      return 0; // INT_MIN % -1 traps on x86; the result is always 0
     int32_t R = A % B;
     if (R != 0 && ((R < 0) != (B < 0)))
       R += B; // R's %% has the sign of the divisor.
@@ -499,6 +505,8 @@ int32_t intArith(BinOp Op, int32_t A, int32_t B) {
   case BinOp::IDiv: {
     if (B == 0)
       rerror("integer division by zero");
+    if (B == -1) // INT_MIN / -1 traps on x86; negate with wraparound
+      return Wrap(0u - static_cast<uint32_t>(A));
     int32_t Q = A / B;
     if ((A % B != 0) && ((A < 0) != (B < 0)))
       --Q;

@@ -25,6 +25,12 @@ VmStats VmStats::operator-(const VmStats &O) const {
   R.CtxVersions = CtxVersions - O.CtxVersions;
   R.CtxDispatchHits = CtxDispatchHits - O.CtxDispatchHits;
   R.CtxDispatchMisses = CtxDispatchMisses - O.CtxDispatchMisses;
+  R.InlinedCalls = InlinedCalls - O.InlinedCalls;
+  R.MultiFrameDeopts = MultiFrameDeopts - O.MultiFrameDeopts;
+  R.InlineFramesMaterialized =
+      InlineFramesMaterialized - O.InlineFramesMaterialized;
+  R.DeoptlessInlineDispatches =
+      DeoptlessInlineDispatches - O.DeoptlessInlineDispatches;
   return R;
 }
 

@@ -38,6 +38,13 @@ struct VmStats {
   uint64_t CtxDispatchHits = 0;     ///< calls run by a specialized version
   uint64_t CtxDispatchMisses = 0;   ///< context-dispatch calls that fell back
                                     ///< to the generic version or baseline
+  uint64_t InlinedCalls = 0;        ///< call sites spliced by opt/inline
+  uint64_t MultiFrameDeopts = 0;    ///< OSR-outs that rebuilt >1 frame
+  uint64_t InlineFramesMaterialized = 0; ///< interpreter frames synthesized
+                                    ///< for inlined callers on OSR-out /
+                                    ///< after a deoptless continuation
+  uint64_t DeoptlessInlineDispatches = 0; ///< deoptless dispatches keyed on
+                                    ///< an inlined (innermost) frame
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

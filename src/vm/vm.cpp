@@ -59,7 +59,16 @@ DeoptlessConfig Vm::Config::deoptlessView() const {
   D.Enabled = Strategy == TierStrategy::Deoptless;
   D.FeedbackCleanup = FeedbackCleanup;
   D.MaxContinuations = MaxContinuations;
+  D.Inline = inlineView();
   return D;
+}
+
+InlineOptions Vm::Config::inlineView() const {
+  InlineOptions I;
+  I.Enabled = Inlining;
+  I.MaxDepth = MaxInlineDepth;
+  I.MaxSize = MaxInlineSize;
+  return I;
 }
 
 namespace rjit {
@@ -207,6 +216,7 @@ Vm::Vm(Config C) : Cfg(C) {
   lowHooks().CallDepth = 0;
 
   osrInConfig().Enabled = Cfg.OsrIn;
+  osrInConfig().Inline = Cfg.inlineView();
   configureDeoptless(Cfg.deoptlessView());
 }
 
@@ -269,6 +279,7 @@ FnVersion *Vm::compileVersion(Function *Fn, const CallContext &Ctx) {
 
   OptOptions Opts;
   Opts.Speculate = Cfg.Speculate;
+  Opts.Inline = Cfg.inlineView();
   EntryState Entry;
   if (!Want.isGeneric()) {
     // Seed inference with the argument types the dispatch guarantees.

@@ -78,9 +78,22 @@ public:
     /// exempt, so a full table degrades to seed behavior).
     uint32_t MaxVersions = 4;
 
+    /// Speculative inlining (ablation toggle, orthogonal to Strategy):
+    /// monomorphic hot callees recorded in CallFeedback are spliced into
+    /// the caller under the callee-identity guard; guards inside the
+    /// spliced body carry frame-state chains so OSR-out materializes
+    /// every synthesized frame. Off reproduces PR 1 behavior exactly.
+    bool Inlining = false;
+    uint32_t MaxInlineDepth = 2; ///< nesting bound for inlined calls
+    uint32_t MaxInlineSize = 48; ///< callee bytecode-length bound
+
     /// The deoptless view of this configuration (single source of truth
     /// for the knobs DeoptlessConfig shares with the Vm).
     DeoptlessConfig deoptlessView() const;
+
+    /// The inlining view: the InlineOptions every compile entry point
+    /// (versions, OSR-in, deoptless continuations) receives.
+    InlineOptions inlineView() const;
   };
 
   explicit Vm(Config Cfg);

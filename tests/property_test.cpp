@@ -1,13 +1,27 @@
-//===-- tests/property_test.cpp - Cross-tier equivalence sweeps ------------===//
+//===-- tests/property_test.cpp - Cross-tier differential testing ----------===//
 //
-// Property-style parameterized tests: for a grid of (operator, operand
-// type) combinations and for randomized workloads, the baseline
-// interpreter and the optimizing tiers must compute identical results —
-// the core invariant speculation and OSR must never break.
+// Two layers of cross-tier equivalence checking:
+//
+//  * parameterized grids (operator x operand kind, comparisons, phase
+//    changes, injected invalidation) — the seed's property tests, now
+//    swept over *every* tier strategy (including ProfileDrivenReopt) and
+//    the ContextDispatch / Inlining ablation axes;
+//
+//  * a seeded random-program differential fuzzer: a small generator emits
+//    programs over scalars, vectors, lists, branches, calls, higher-order
+//    calls and recursion, with type phase-changes; each program runs under
+//    all strategy x dispatch x inlining combinations (plus random-
+//    invalidation configurations) and every configuration must produce
+//    the byte-identical transcript. A final test asserts — via the VM
+//    stats — that the sweep actually took the multi-frame deopt and
+//    deoptless-continuation paths speculative inlining introduces.
+//
+// Failures print the generator seed for standalone reproduction.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/rng.h"
+#include "support/stats.h"
 #include "vm/vm.h"
 
 #include <gtest/gtest.h>
@@ -16,19 +30,22 @@ using namespace rjit;
 
 namespace {
 
-Vm::Config cfg(TierStrategy S) {
+Vm::Config cfg(TierStrategy S, bool CtxDispatch = false,
+               bool Inlining = false) {
   Vm::Config C;
   C.Strategy = S;
   C.CompileThreshold = 2;
   C.OsrThreshold = 100;
+  C.ContextDispatch = CtxDispatch;
+  C.Inlining = Inlining;
   return C;
 }
 
-/// Runs a program (setup + 8x driver) under one strategy; returns the
+/// Runs a program (setup + 8x driver) under one configuration; returns the
 /// final driver value rendered to text (covers non-numeric results too).
 std::string runOne(const std::string &Setup, const std::string &Driver,
-                   TierStrategy S) {
-  Vm V(cfg(S));
+                   Vm::Config C) {
+  Vm V(C);
   V.eval(Setup);
   Value R;
   for (int K = 0; K < 8; ++K)
@@ -36,13 +53,20 @@ std::string runOne(const std::string &Setup, const std::string &Driver,
   return R.show();
 }
 
+/// The full ablation sweep: every optimizing strategy (the seed never
+/// checked ProfileDrivenReopt) crossed with contextual dispatch and
+/// speculative inlining must match the baseline interpreter.
 void expectAllTiersAgree(const std::string &Setup,
                          const std::string &Driver) {
-  std::string Base = runOne(Setup, Driver, TierStrategy::BaselineOnly);
-  EXPECT_EQ(Base, runOne(Setup, Driver, TierStrategy::Normal))
-      << "normal diverged on: " << Driver;
-  EXPECT_EQ(Base, runOne(Setup, Driver, TierStrategy::Deoptless))
-      << "deoptless diverged on: " << Driver;
+  std::string Base =
+      runOne(Setup, Driver, cfg(TierStrategy::BaselineOnly));
+  for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless,
+                         TierStrategy::ProfileDrivenReopt})
+    for (bool Ctx : {false, true})
+      for (bool Inl : {false, true})
+        EXPECT_EQ(Base, runOne(Setup, Driver, cfg(S, Ctx, Inl)))
+            << "strategy " << static_cast<int>(S) << " ctx=" << Ctx
+            << " inl=" << Inl << " diverged on: " << Driver;
 }
 
 } // namespace
@@ -156,19 +180,344 @@ TEST_P(RateFuzz, InjectionNeverChangesResults) {
       s
     }
   )";
-  std::string Base = runOne(Setup, "work(500L)", TierStrategy::BaselineOnly);
-  for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless}) {
-    Vm::Config C = cfg(S);
-    C.InvalidationRate = static_cast<uint64_t>(GetParam());
-    C.InvalidationSeed = GetParam() * 31 + 7;
-    Vm V(C);
-    V.eval(Setup);
-    Value Last;
-    for (int K = 0; K < 8; ++K)
-      Last = V.eval("work(500L)");
-    EXPECT_EQ(Last.show(), Base) << "rate " << GetParam();
-  }
+  std::string Base =
+      runOne(Setup, "work(500L)", cfg(TierStrategy::BaselineOnly));
+  for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless})
+    for (bool Inl : {false, true}) {
+      Vm::Config C = cfg(S, /*CtxDispatch=*/Inl, Inl);
+      C.InvalidationRate = static_cast<uint64_t>(GetParam());
+      C.InvalidationSeed = GetParam() * 31 + 7;
+      Vm V(C);
+      V.eval(Setup);
+      Value Last;
+      for (int K = 0; K < 8; ++K)
+        Last = V.eval("work(500L)");
+      EXPECT_EQ(Last.show(), Base) << "rate " << GetParam();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, RateFuzz,
                          ::testing::Values(50, 200, 1000, 5000));
+
+//===----------------------------------------------------------------------===//
+// Regressions found by the differential fuzzer
+
+TEST(FuzzRegression, MixedKindBranchKeepsIntResult) {
+  // Found by DiffFuzz (seed 1589): with context-specialized parameter
+  // types both branch arms become precisely typed, and the old numeric
+  // phi promotion coerced the merged result to double — turning the
+  // else-branch's 64L into 64. The branch result's kind must follow the
+  // executed arm.
+  expectAllTiersAgree("kB <- function(a, b) if (a > b) a - b else b * 8L",
+                      "kB(2.4, 8L)");
+}
+
+TEST(FuzzRegression, RepairMustNotPoisonOtherContexts) {
+  // Found by DiffFuzz (seed 410): compiling a (real, real) context
+  // version repaired the callee's int profile to real *in place*, so a
+  // later inlined copy guarded "is real" on an int constant — an
+  // always-failing guard whose deopt materialized a coerced accumulator.
+  const char *Setup = R"(
+    kA <- function(a, b) {
+      acc <- a
+      for (i in 1:3) acc <- acc - (b - 3L)
+      acc
+    }
+    kD <- function(l, i) kA(l[[i]], 1L)
+    li <- list(3L, 2L, 3L, 8L)
+    lr <- list(8.1, 9.9, 2.9, 7.9)
+  )";
+  expectAllTiersAgree(Setup, "kD(li, 1L)\nkA(1.7, 9.1)\nkD(lr, 3L)\n"
+                             "kD(lr, 1L)\nkD(li, 1L)");
+}
+
+TEST(FuzzRegression, IntMinDivisionDoesNotTrap) {
+  // `1073741824L * 2L` wraps to INT_MIN by design (defined unsigned
+  // wraparound); dividing that by -1 is the one remaining signed-overflow
+  // case and used to raise SIGFPE on x86. Both %/% and %% must instead
+  // wrap/zero identically in every tier.
+  expectAllTiersAgree("f <- function(a, b) (a * 2L) %/% b",
+                      "f(1073741824L, -1L)");
+  expectAllTiersAgree("f <- function(a, b) (a * 2L) %% b",
+                      "f(1073741824L, -1L)");
+}
+
+//===----------------------------------------------------------------------===//
+// Random-program differential fuzzer
+
+namespace {
+
+/// A generated program: definitions + data, and a driver script whose
+/// per-statement values form the comparison transcript.
+struct GenProg {
+  std::string Setup;
+  std::vector<std::string> Drivers;
+};
+
+/// Emits mini-R programs over the features the tiers disagree on first
+/// when something is wrong: scalar arithmetic with type phase-changes,
+/// vector folds, list element extraction feeding calls (argument types
+/// the caller cannot prove), call chains (speculative inlining), higher-
+/// order calls (nested inlining), branches and recursion. All arithmetic
+/// is bounded so no int32 overflow or error path is reachable, keeping
+/// transcripts comparable across tiers.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  GenProg generate() {
+    GenProg P;
+    P.Setup = defs();
+    // Two rounds over the same lines: round one warms and compiles,
+    // round two re-executes phase-changed code (continuations, retired
+    // versions, reopt sampling) at steady state.
+    std::vector<std::string> Lines = driverLines();
+    P.Drivers = Lines;
+    P.Drivers.insert(P.Drivers.end(), Lines.begin(), Lines.end());
+    return P;
+  }
+
+private:
+  Rng R;
+
+  std::string intLit() { return std::to_string(1 + R.below(9)) + "L"; }
+  std::string realLit() {
+    return std::to_string(1 + R.below(9)) + "." +
+           std::to_string(R.below(10));
+  }
+  /// Phase-typed scalar: phase 0 leans int, phase 1 leans real.
+  std::string scalar(int Phase) {
+    if (R.below(4) == 0) // some cross-phase noise on purpose
+      Phase ^= 1;
+    return Phase ? realLit() : intLit();
+  }
+  const char *addSub() { return R.below(2) ? "+" : "-"; }
+  const char *arith() {
+    switch (R.below(3)) {
+    case 0:
+      return "+";
+    case 1:
+      return "-";
+    default:
+      return "*";
+    }
+  }
+  const char *cmp() { return R.below(2) ? ">" : "<"; }
+
+  std::string defs() {
+    std::string S;
+    int LoopN = 3 + static_cast<int>(R.below(6));
+    // kA: loop-accumulating scalar kernel (leaf; inlinable).
+    S += "kA <- function(a, b) {\n  acc <- a\n  for (i in 1:" +
+         std::to_string(LoopN) + ") acc <- acc " + addSub() + " (b " +
+         arith() + " " + intLit() + ")\n  acc\n}\n";
+    // kB: branchy scalar kernel (leaf; inlinable).
+    S += std::string("kB <- function(a, b) if (a ") + cmp() +
+         " b) a " + addSub() + " b else b " + arith() + " " + intLit() +
+         "\n";
+    // kF: one-argument leaf for higher-order calls.
+    S += std::string("kF <- function(x) x ") + addSub() + " " + intLit() +
+         "\n";
+    // kC: vector fold (leaf; inlinable — length arrives as a parameter).
+    S += std::string("kC <- function(v, n) {\n  s <- 0L\n  for (i in 1:n) "
+                     "s <- s ") +
+         addSub() + " v[[i]]\n  s\n}\n";
+    // kD: extracts a list element (type invisible to the caller) and
+    // feeds it to kA — the multi-frame deopt shape.
+    S += std::string("kD <- function(l, i) kA(l[[i]], ") + intLit() +
+         ")\n";
+    // kE: higher-order caller — monomorphic g sites become nested
+    // CallStatic chains under inlining.
+    S += std::string("kE <- function(g, x) g(x) ") + addSub() + " " +
+         intLit() + "\n";
+    // kR: recursion (reads its own name; never inlined, always guarded).
+    S += std::string("kR <- function(n) if (n > 0L) kR(n - 1L) ") +
+         addSub() + " " + intLit() + " else " + intLit() + "\n";
+    // Data: int/real vectors and lists for the two phases.
+    int M = 4 + static_cast<int>(R.below(5));
+    S += "m <- " + std::to_string(M) + "L\n";
+    S += "vi <- 1:m\nvr <- as.numeric(1:m)\n";
+    std::string Li = "li <- list(", Lr = "lr <- list(";
+    for (int K = 0; K < M; ++K) {
+      if (K) {
+        Li += ", ";
+        Lr += ", ";
+      }
+      Li += intLit();
+      Lr += realLit();
+    }
+    S += Li + ")\n" + Lr + ")\n";
+    return S;
+  }
+
+  std::vector<std::string> driverLines() {
+    std::vector<std::string> Lines;
+    int N = 10 + static_cast<int>(R.below(5));
+    for (int K = 0; K < N; ++K) {
+      int Phase = K >= N / 2; // type switch halfway through
+      switch (R.below(7)) {
+      case 0:
+        Lines.push_back("kA(" + scalar(Phase) + ", " + scalar(Phase) + ")");
+        break;
+      case 1:
+        Lines.push_back("kB(" + scalar(Phase) + ", " + scalar(Phase) + ")");
+        break;
+      case 2:
+        Lines.push_back(std::string("kC(") + (Phase ? "vr" : "vi") +
+                        ", m)");
+        break;
+      case 3:
+        Lines.push_back(std::string("kD(") + (Phase ? "lr" : "li") + ", " +
+                        std::to_string(1 + R.below(4)) + "L)");
+        break;
+      case 4:
+        Lines.push_back("kE(kF, " + scalar(Phase) + ")");
+        break;
+      case 5:
+        Lines.push_back("kR(" + std::to_string(2 + R.below(5)) + "L)");
+        break;
+      default:
+        Lines.push_back("kA(kB(" + scalar(Phase) + ", " + scalar(Phase) +
+                        "), " + scalar(Phase) + ")");
+        break;
+      }
+    }
+    return Lines;
+  }
+};
+
+/// Counters accumulated across every fuzz configuration run; the coverage
+/// test at the end asserts the sweep exercised the paths that matter.
+constexpr unsigned FuzzShards = 10;
+constexpr unsigned ProgramsPerShard = 50;
+constexpr unsigned TotalFuzzPrograms = FuzzShards * ProgramsPerShard;
+
+struct FuzzCoverage {
+  uint64_t InlinedCalls = 0;
+  uint64_t MultiFrameDeopts = 0;
+  uint64_t InlineFramesMaterialized = 0;
+  uint64_t DeoptlessInlineDispatches = 0;
+  uint64_t DeoptlessCompiles = 0;
+  uint64_t Deopts = 0;
+  uint64_t Reoptimizations = 0;
+  uint64_t CtxDispatchHits = 0;
+  uint64_t Programs = 0;
+};
+
+FuzzCoverage &fuzzCoverage() {
+  static FuzzCoverage C;
+  return C;
+}
+
+void absorbStats() {
+  FuzzCoverage &C = fuzzCoverage();
+  const VmStats &S = stats();
+  C.InlinedCalls += S.InlinedCalls;
+  C.MultiFrameDeopts += S.MultiFrameDeopts;
+  C.InlineFramesMaterialized += S.InlineFramesMaterialized;
+  C.DeoptlessInlineDispatches += S.DeoptlessInlineDispatches;
+  C.DeoptlessCompiles += S.DeoptlessCompiles;
+  C.Deopts += S.Deopts;
+  C.Reoptimizations += S.Reoptimizations;
+  C.CtxDispatchHits += S.CtxDispatchHits;
+}
+
+std::string driversOf(const GenProg &P) {
+  std::string S;
+  for (const std::string &D : P.Drivers)
+    S += D + "\n";
+  return S;
+}
+
+/// Runs the program under one configuration and returns the transcript.
+std::string runProgram(const GenProg &P, Vm::Config C) {
+  Vm V(C);
+  V.eval(P.Setup);
+  std::string Out;
+  for (const std::string &D : P.Drivers)
+    Out += V.eval(D).show() + "\n";
+  absorbStats();
+  return Out;
+}
+
+class DiffFuzz : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(DiffFuzz, AllConfigurationsAgree) {
+  for (unsigned K = 0; K < ProgramsPerShard; ++K) {
+    uint64_t Seed =
+        static_cast<uint64_t>(GetParam()) * 10007 + K * 131 + 17;
+    ProgramGen G(Seed);
+    GenProg P = G.generate();
+    ++fuzzCoverage().Programs;
+
+    std::string Base = runProgram(P, cfg(TierStrategy::BaselineOnly));
+    for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless,
+                           TierStrategy::ProfileDrivenReopt})
+      for (bool Ctx : {false, true})
+        for (bool Inl : {false, true})
+          ASSERT_EQ(Base, runProgram(P, cfg(S, Ctx, Inl)))
+              << "seed " << Seed << " strategy " << static_cast<int>(S)
+              << " ctx=" << Ctx << " inl=" << Inl << "\nprogram:\n"
+              << P.Setup << "drivers:\n" << driversOf(P);
+
+    // Random invalidation on top of inlining: injected guard failures
+    // land inside spliced callees too, forcing the multi-frame OSR-out
+    // and deoptless-continuation paths without changing any result.
+    for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless}) {
+      Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
+      C.InvalidationRate = 60 + (Seed % 90);
+      C.InvalidationSeed = Seed | 1;
+      ASSERT_EQ(Base, runProgram(P, C))
+          << "seed " << Seed << " injected strategy "
+          << static_cast<int>(S) << "\nprogram:\n"
+          << P.Setup << "drivers:\n" << driversOf(P);
+    }
+  }
+}
+
+// 10 shards x 50 programs = 500 random programs, each checked under 15
+// configurations (shards parallelize under `ctest -j`).
+INSTANTIATE_TEST_SUITE_P(Shards, DiffFuzz,
+                         ::testing::Range(0, static_cast<int>(FuzzShards)));
+
+namespace {
+
+/// Runs after every test (gtest environments tear down last, and
+/// value-parameterized suites are registered after plain TESTs, so a
+/// plain TEST cannot see the shards' accumulated counters): when the full
+/// fuzz volume ran, the sweep must have exercised the paths speculative
+/// inlining introduces — multi-frame OSR-out, deoptless continuations
+/// keyed on inlined frames — plus the reopt and context-dispatch axes.
+class FuzzCoverageCheck : public ::testing::Environment {
+public:
+  void TearDown() override {
+    const FuzzCoverage &C = fuzzCoverage();
+    if (C.Programs < TotalFuzzPrograms)
+      return; // filtered run: coverage is only meaningful for the sweep
+    EXPECT_GT(C.InlinedCalls, 0u) << "no program inlined anything";
+    EXPECT_GT(C.MultiFrameDeopts, 0u)
+        << "no OSR-out ever crossed an inlined frame";
+    EXPECT_GE(C.InlineFramesMaterialized, 2 * C.MultiFrameDeopts)
+        << "multi-frame deopts must synthesize at least two frames each";
+    EXPECT_GT(C.DeoptlessInlineDispatches, 0u)
+        << "no deoptless continuation was keyed on an inlined frame";
+    EXPECT_GT(C.DeoptlessCompiles, 0u);
+    EXPECT_GT(C.Deopts, 0u);
+    EXPECT_GT(C.Reoptimizations, 0u)
+        << "the ProfileDrivenReopt axis never recompiled";
+    EXPECT_GT(C.CtxDispatchHits, 0u)
+        << "the ContextDispatch axis never dispatched a specialized "
+           "version";
+  }
+};
+
+const ::testing::Environment *const FuzzCoverageEnv =
+    ::testing::AddGlobalTestEnvironment(new FuzzCoverageCheck);
+
+} // namespace
+
+TEST(DiffFuzzVolume, AtLeast500Programs) {
+  EXPECT_GE(TotalFuzzPrograms, 500u) << "fuzz volume regressed";
+}

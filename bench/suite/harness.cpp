@@ -97,4 +97,10 @@ void rjit::suite::printStats(const char *Label, const VmStats &S) {
            (unsigned long long)S.MultiFrameDeopts,
            (unsigned long long)S.InlineFramesMaterialized,
            (unsigned long long)S.DeoptlessInlineDispatches);
+  if (S.AsyncCompiles || S.WarmupPausesAvoided)
+    printf("# stats[%s]: async compiles %llu, queue depth high-water "
+           "%llu, warmup pauses avoided %llu\n",
+           Label, (unsigned long long)S.AsyncCompiles,
+           (unsigned long long)S.CompileQueueDepth,
+           (unsigned long long)S.WarmupPausesAvoided);
 }

@@ -10,7 +10,9 @@
 using namespace rjit;
 
 InterpHooks &rjit::interpHooks() {
-  static InterpHooks Hooks;
+  // Thread-local: every executor thread drives its own Vm, and a Vm's hook
+  // installation must not be visible to (or race with) other executors.
+  static thread_local InterpHooks Hooks;
   return Hooks;
 }
 

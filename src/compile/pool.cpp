@@ -1,0 +1,60 @@
+//===-- compile/pool.cpp - Compiler thread pool ---------------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/pool.h"
+#include "support/stats.h"
+
+#include <cassert>
+
+using namespace rjit;
+
+CompilerPool::CompilerPool(unsigned Threads, size_t QueueCapacity)
+    : Q(QueueCapacity) {
+  Ws.reserve(Threads);
+  for (unsigned K = 0; K < Threads; ++K)
+    Ws.emplace_back([this] { workerLoop(); });
+}
+
+CompilerPool::~CompilerPool() {
+  Q.shutdown();
+  for (std::thread &W : Ws)
+    W.join();
+  // 0-thread pools may still hold queued jobs nobody drained; their
+  // reservations die with the queue.
+}
+
+void CompilerPool::runJob(CompileJob &J) {
+  ++stats().AsyncCompiles;
+  // A compile failure surfaces as "no version published" (the executor
+  // keeps running baseline); a throwing job must not take the worker
+  // down with it.
+  try {
+    J.Run();
+  } catch (...) {
+    assert(false && "compile job threw");
+  }
+}
+
+void CompilerPool::workerLoop() {
+  CompileJob J;
+  while (Q.pop(J)) {
+    runJob(J);
+    Q.complete(J.Key);
+    J.Run = nullptr; // drop captures (snapshots) promptly
+  }
+}
+
+void CompilerPool::drain(const void *Owner) {
+  if (Ws.empty()) {
+    CompileJob J;
+    while (Q.tryPop(J)) {
+      runJob(J);
+      Q.complete(J.Key);
+      J.Run = nullptr;
+    }
+  }
+  Q.waitIdle(Owner);
+}

@@ -1,0 +1,319 @@
+//===-- compile/service.cpp - Background compilation service -------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/service.h"
+#include "compile/snapshot.h"
+#include "lowcode/lower.h"
+#include "opt/pipeline.h"
+#include "support/fnv.h"
+#include "support/stats.h"
+
+#include <cassert>
+
+using namespace rjit;
+
+//===----------------------------------------------------------------------===//
+// Whole-function versions (shared synchronous/background entry point)
+//===----------------------------------------------------------------------===//
+
+FnVersion *rjit::compileAndPublishVersion(Function *Fn,
+                                          const CallContext &Ctx,
+                                          VersionTable &Table,
+                                          const VersionCompileOpts &Opts) {
+  // Resolve which context to (re)compile: an arity-mismatched call (the
+  // dispatch raises before running any version) and a blacklisted or
+  // unplaceable specialized context all fall back to the generic root —
+  // erroneous call sites must not burn MaxVersions slots. Resolution and
+  // entry insertion happen under the writer lock; the compile itself runs
+  // unlocked (an executor's guard-failure path never waits out a compile
+  // of the same function), and publication re-checks under the lock.
+  CallContext Want = Ctx;
+  if (!(Want.Flags & CtxCorrectArity) || Want.isGeneric())
+    // Canonicalize: every context with no typed argument maps to THE
+    // generic root (runtime contexts may carry extra flags, e.g. a
+    // zero-arity call's CtxNoMissingArgs; two roots would split the
+    // deopt/blacklist bookkeeping).
+    Want = genericContext(Fn->Params.size());
+  FnVersion *E;
+  {
+    VersionWriteGuard G(Table);
+    E = Table.exact(Want);
+    if (!Want.isGeneric() &&
+        ((E && E->Blacklisted) || (!E && Table.fullFor(Want)))) {
+      Want = genericContext(Fn->Params.size());
+      E = Table.exact(Want);
+    }
+    if (E && E->Blacklisted)
+      return nullptr;
+    if (E && E->live())
+      return E;
+    if (!E)
+      E = Table.insert(Want);
+    assert(E && "admissible context failed to insert");
+  }
+
+  OptOptions O;
+  O.Speculate = Opts.Speculate;
+  O.Inline = Opts.Inline;
+  EntryState Entry;
+  if (!Want.isGeneric()) {
+    // Seed inference with the argument types the dispatch guarantees.
+    Entry.ParamTypes.reserve(Fn->Params.size());
+    for (size_t K = 0; K < Fn->Params.size(); ++K)
+      Entry.ParamTypes.push_back(Want.typed(static_cast<unsigned>(K))
+                                     ? RType::of(Want.ArgTags[K])
+                                     : RType::any());
+  }
+
+  // Prefer the elided convention; fall back to a real environment (the
+  // generic root only: FullEnv code takes its arguments through the
+  // environment, so a context specialization cannot reach it).
+  std::unique_ptr<IrCode> Ir =
+      optimizeToIr(Fn, CallConv::FullElided, Entry, O);
+  if (!Ir && Want.isGeneric())
+    Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), O);
+  if (!Ir) {
+    if (!Want.isGeneric()) {
+      // Specialization impossible (no elidable environment): burn the
+      // context so future calls go straight to the generic root.
+      {
+        VersionWriteGuard G(Table);
+        E->Blacklisted = true;
+      }
+      return compileAndPublishVersion(
+          Fn, genericContext(Fn->Params.size()), Table, Opts);
+    }
+    // The generic root itself is uncompilable: blacklist it as the
+    // failure marker, or every post-threshold call retries the whole
+    // pipeline — synchronously as a per-call compile pause, in
+    // background mode as an endless snapshot-capture + enqueue loop
+    // (the OSR cache's null-code entries play the same role).
+    {
+      VersionWriteGuard G(Table);
+      E->Blacklisted = true;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<LowFunction> Low = lowerToLow(*Ir);
+  {
+    VersionWriteGuard G(Table);
+    // Guard-failure blacklisting may have raced ahead of this
+    // publication: the code must be discarded, not installed over the
+    // executor's decision. A concurrent publication into the same entry
+    // (two contexts resolving to the same root) keeps the first code.
+    if (E->Blacklisted)
+      return nullptr;
+    if (!E->live()) {
+      E->FeedbackHash = feedbackHash(*Fn, Opts.HashWithContexts);
+      E->CallsSinceSample = 0;
+      E->publish(std::move(Low));
+      ++stats().Compilations;
+      if (!Want.isGeneric())
+        ++stats().CtxVersions;
+    }
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// OSR cache
+//===----------------------------------------------------------------------===//
+
+OsrCache::Hit OsrCache::lookup(int32_t Pc,
+                               const std::vector<uint32_t> &Sig) const {
+  for (Entry *E : List.read())
+    if (E->Pc == Pc && E->Sig == Sig)
+      return {true, E->Code.get()};
+  return {};
+}
+
+bool OsrCache::full() const { return List.read().size() >= Cap; }
+
+bool OsrCache::invalidate(const LowFunction *Code) {
+  if (!Code)
+    return false;
+  std::lock_guard<std::mutex> L(WriterMu);
+  const std::vector<Entry *> &Cur = List.read();
+  for (size_t K = 0; K < Cur.size(); ++K)
+    if (Cur[K]->Code.get() == Code) {
+      List.removeAt(K);
+      return true;
+    }
+  return false;
+}
+
+void OsrCache::publish(int32_t Pc, std::vector<uint32_t> Sig,
+                       std::unique_ptr<LowFunction> Code) {
+  std::lock_guard<std::mutex> L(WriterMu);
+  const std::vector<Entry *> &Cur = List.read();
+  if (Cur.size() >= Cap)
+    return;
+  for (Entry *E : Cur)
+    if (E->Pc == Pc && E->Sig == Sig)
+      return; // lost a publication race; keep the first entry
+
+  auto E = std::make_unique<Entry>();
+  E->Pc = Pc;
+  E->Sig = std::move(Sig);
+  E->Code = std::move(Code);
+  List.insertAt(Cur.size(), std::move(E));
+}
+
+std::vector<uint32_t> rjit::osrSignature(const EntryState &Entry) {
+  std::vector<uint32_t> Sig;
+  Sig.reserve(1 + Entry.StackTypes.size() + 2 * Entry.EnvTypes.size());
+  Sig.push_back(static_cast<uint32_t>(Entry.StackTypes.size()));
+  for (const RType &T : Entry.StackTypes)
+    Sig.push_back(T.rawMask());
+  for (const auto &[Sym, T] : Entry.EnvTypes) {
+    Sig.push_back(Sym);
+    Sig.push_back(T.rawMask());
+  }
+  return Sig;
+}
+
+//===----------------------------------------------------------------------===//
+// Request keys
+//===----------------------------------------------------------------------===//
+
+uint64_t rjit::hashCallContext(const CallContext &Ctx) {
+  FnvHasher H;
+  H.mix(Ctx.Arity);
+  H.mix(Ctx.Flags);
+  H.mix(Ctx.TypedMask);
+  for (unsigned K = 0; K < MaxProfiledArgs; ++K)
+    H.mix(static_cast<uint64_t>(Ctx.ArgTags[K]));
+  return H.H;
+}
+
+uint64_t rjit::hashDeoptContext(const DeoptContext &Ctx) {
+  FnvHasher H;
+  H.mix(static_cast<uint64_t>(Ctx.Pc));
+  H.mix(static_cast<uint64_t>(Ctx.Reason.Kind));
+  H.mix(static_cast<uint64_t>(Ctx.Reason.ReasonPc));
+  H.mix(static_cast<uint64_t>(Ctx.Reason.FailedSlot));
+  H.mix(static_cast<uint64_t>(Ctx.Reason.ActualTag));
+  H.mix(reinterpret_cast<uintptr_t>(Ctx.Reason.ActualFn));
+  H.mix(Ctx.StackSize);
+  for (unsigned K = 0; K < Ctx.StackSize; ++K)
+    H.mix(static_cast<uint64_t>(Ctx.StackTags[K]));
+  H.mix(Ctx.EnvSize);
+  for (unsigned K = 0; K < Ctx.EnvSize; ++K) {
+    H.mix(Ctx.EnvEntries[K].first);
+    H.mix(static_cast<uint64_t>(Ctx.EnvEntries[K].second));
+  }
+  return H.H;
+}
+
+uint64_t rjit::hashOsrSignature(int32_t Pc,
+                                const std::vector<uint32_t> &Sig) {
+  FnvHasher H;
+  H.mix(static_cast<uint64_t>(Pc));
+  for (uint32_t X : Sig)
+    H.mix(X);
+  return H.H;
+}
+
+//===----------------------------------------------------------------------===//
+// Request (enqueue) side — runs on the executor thread
+//===----------------------------------------------------------------------===//
+
+bool rjit::requestVersionCompile(CompilerPool &Pool, const void *Owner,
+                                 Function *Fn, const CallContext &Ctx,
+                                 VersionTable *Table,
+                                 const VersionCompileOpts &Opts) {
+  // Cheap pre-resolution (lock-free reads), mirroring the job's own
+  // resolution: a context whose resolved version is blacklisted or
+  // already live can never publish anything new — without this check,
+  // every call to e.g. a blacklisted hot function would pay a snapshot
+  // deep-copy and a queue round-trip for a job that discards itself.
+  // Resolving *before* keying also collapses distinct raw contexts that
+  // canonicalize to the same version (arity mismatches, a full table)
+  // into one request. The job re-resolves authoritatively under the
+  // writer lock.
+  CallContext Want = Ctx;
+  if (!(Want.Flags & CtxCorrectArity) || Want.isGeneric())
+    Want = genericContext(Fn->Params.size());
+  FnVersion *E = Table->exact(Want);
+  if (!Want.isGeneric() &&
+      ((E && E->Blacklisted) || (!E && Table->fullFor(Want)))) {
+    Want = genericContext(Fn->Params.size());
+    E = Table->exact(Want);
+  }
+  if (E && (E->Blacklisted || E->live()))
+    return false; // nothing a compile could add
+
+  CompileKey Key{Owner, Fn, CompileKind::Function, hashCallContext(Want)};
+  if (Pool.queue().pending(Key))
+    return true; // in flight: skip the snapshot capture
+  std::shared_ptr<FeedbackSnapshot> Snap = FeedbackSnapshot::capture(Fn);
+  CompileJob Job{Key, [Fn, Want, Table, Opts, Snap]() {
+                   SnapshotScope Scope(*Snap);
+                   compileAndPublishVersion(Fn, Want, *Table, Opts);
+                 }};
+  CompileQueue::Push R = Pool.queue().push(std::move(Job));
+  return R == CompileQueue::Push::Enqueued ||
+         R == CompileQueue::Push::Duplicate;
+}
+
+bool rjit::requestOsrCompile(CompilerPool &Pool, const void *Owner,
+                             Function *Fn, const EntryState &Entry,
+                             OsrCache *Cache, const InlineOptions &Inline) {
+  std::vector<uint32_t> Sig = osrSignature(Entry);
+  CompileKey Key{Owner, Fn, CompileKind::OsrIn,
+                 hashOsrSignature(Entry.Pc, Sig)};
+  if (Pool.queue().pending(Key))
+    return true;
+  if (Cache->full())
+    return false; // no room for another signature: stop requesting
+  std::shared_ptr<FeedbackSnapshot> Snap = FeedbackSnapshot::capture(Fn);
+  CompileJob Job{
+      Key, [Fn, Entry, Sig = std::move(Sig), Cache, Inline, Snap]() {
+        SnapshotScope Scope(*Snap);
+        OptOptions Opts;
+        Opts.Inline = Inline;
+        std::unique_ptr<IrCode> Ir =
+            optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
+        if (Ir)
+          ++stats().OsrInCompilations;
+        // Null code is published as a failure marker: the executor stops
+        // requesting this signature instead of re-enqueueing forever.
+        Cache->publish(Entry.Pc, std::move(Sig),
+                       Ir ? lowerToLow(*Ir) : nullptr);
+      }};
+  CompileQueue::Push R = Pool.queue().push(std::move(Job));
+  return R == CompileQueue::Push::Enqueued ||
+         R == CompileQueue::Push::Duplicate;
+}
+
+bool rjit::requestContinuationCompile(CompilerPool &Pool, const void *Owner,
+                                      Function *Fn, const DeoptContext &Ctx,
+                                      DeoptlessTable *Table,
+                                      bool FeedbackCleanup,
+                                      const InlineOptions &Inline) {
+  CompileKey Key{Owner, Fn, CompileKind::Continuation,
+                 hashDeoptContext(Ctx)};
+  if (Pool.queue().pending(Key))
+    return true;
+  if (Table->full())
+    return false;
+  // The repair reads live feedback — do it here, on the executor, and
+  // ship the repaired profile as the job's view of the function.
+  std::shared_ptr<FeedbackSnapshot> Snap = FeedbackSnapshot::capture(Fn);
+  Snap->replace(Fn,
+                repairedContinuationFeedback(Fn, Ctx, FeedbackCleanup));
+  CompileJob Job{Key, [Fn, Ctx, Table, Inline, Snap]() {
+                   SnapshotScope Scope(*Snap);
+                   std::unique_ptr<LowFunction> Code =
+                       compileContinuationCode(Fn, Ctx, Inline);
+                   if (Code && Table->insert(Ctx, std::move(Code)))
+                     ++stats().DeoptlessCompiles;
+                 }};
+  CompileQueue::Push R = Pool.queue().push(std::move(Job));
+  return R == CompileQueue::Push::Enqueued ||
+         R == CompileQueue::Push::Duplicate;
+}

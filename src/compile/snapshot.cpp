@@ -1,0 +1,89 @@
+//===-- compile/snapshot.cpp - Immutable feedback snapshots --------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/snapshot.h"
+#include "support/fnv.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace rjit;
+
+namespace {
+
+/// The snapshot a compile job installed on this thread (null outside
+/// jobs — i.e. always, for synchronous compilation).
+thread_local FeedbackSnapshot *ActiveSnapshot = nullptr;
+
+} // namespace
+
+std::shared_ptr<FeedbackSnapshot>
+FeedbackSnapshot::capture(const Function *Root) {
+  auto S = std::make_shared<FeedbackSnapshot>();
+  S->Strict = true;
+  std::deque<const Function *> Work{Root};
+  while (!Work.empty()) {
+    const Function *Fn = Work.front();
+    Work.pop_front();
+    if (!Fn || S->Tables.count(Fn))
+      continue;
+    FeedbackTable &Copy = S->Tables.emplace(Fn, Fn->Feedback).first->second;
+    // Walk the call profiles of the copy (not the live table): any closure
+    // target is a potential inline candidate whose profile the job will
+    // read when splicing its body.
+    for (const CallFeedback &C : Copy.Calls)
+      if (C.Target)
+        Work.push_back(static_cast<const Function *>(C.Target));
+  }
+  return S;
+}
+
+FeedbackTable *FeedbackSnapshot::lookup(const Function *Fn) {
+  auto It = Tables.find(Fn);
+  return It == Tables.end() ? nullptr : &It->second;
+}
+
+void FeedbackSnapshot::replace(const Function *Fn, FeedbackTable Table) {
+  Tables[Fn] = std::move(Table);
+}
+
+SnapshotScope::SnapshotScope(FeedbackSnapshot &S) {
+  assert(!ActiveSnapshot && "snapshot scopes may not nest");
+  ActiveSnapshot = &S;
+}
+
+SnapshotScope::~SnapshotScope() { ActiveSnapshot = nullptr; }
+
+FeedbackTable &rjit::profileOf(Function *Fn) {
+  if (ActiveSnapshot) {
+    if (FeedbackTable *T = ActiveSnapshot->lookup(Fn))
+      return *T;
+    // A strict (background-job) snapshot covers the full transitive
+    // call-target closure, so a miss would mean the job is about to race
+    // the interpreter on a live table. Partial snapshots (synchronous
+    // continuation repair on the executor) fall through on purpose.
+    assert(!ActiveSnapshot->strict() &&
+           "function escaped its compile job's snapshot");
+  }
+  return Fn->Feedback;
+}
+
+uint64_t rjit::feedbackHash(const Function &Fn, bool WithContexts) {
+  const FeedbackTable &FB = profileOf(&Fn);
+  FnvHasher H;
+  for (const auto &T : FB.Types)
+    H.mix(T.SeenMask);
+  for (const auto &C : FB.Calls) {
+    H.mix(reinterpret_cast<uintptr_t>(C.Target));
+    H.mix(C.BuiltinIdPlus1 | (C.Megamorphic ? 0x10000u : 0u));
+    if (WithContexts) {
+      H.mix(C.SeenArity);
+      for (unsigned K = 0; K < MaxProfiledArgs; ++K)
+        H.mix(C.ArgMask[K]);
+    }
+  }
+  return H.H;
+}

@@ -1,0 +1,97 @@
+//===-- compile/snapshot.h - Immutable feedback snapshots --------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feedback snapshots for background compilation. A compile job must not
+/// read a function's live FeedbackTable: the executor's interpreter keeps
+/// writing profiles while the job runs. Instead, the enqueue site (on the
+/// executor thread, where reading the live table is safe) captures a deep
+/// copy of the function's feedback — transitively including every call
+/// target the profile mentions, so speculative inlining reads consistent
+/// callee profiles — and the worker installs it as a thread-local
+/// *override*: every feedback read in the optimizer goes through
+/// profileOf(), which serves the snapshot when one is active and the live
+/// table otherwise. Synchronous compilation (the default) installs no
+/// override and behaves exactly as before.
+///
+/// The snapshot is immutable from the interpreter's point of view, but the
+/// compile may mutate its own copy: repairContradictedFeedback widens
+/// profiles during the compile-repair-retry loop, and those repairs land
+/// in the snapshot (they describe the snapshot's world, not the live one,
+/// which may have moved on).
+///
+/// This header sits at the bottom of compile/: it depends only on bc/ so
+/// the optimizer can use profileOf() without a layering cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_COMPILE_SNAPSHOT_H
+#define RJIT_COMPILE_SNAPSHOT_H
+
+#include "bc/bytecode.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace rjit {
+
+/// A deep copy of the feedback of one function and (transitively) of every
+/// call target its profiles mention.
+class FeedbackSnapshot {
+public:
+  /// Captures \p Root's profile closure. Must run on the thread that owns
+  /// the function (the executor): it reads live feedback tables.
+  static std::shared_ptr<FeedbackSnapshot> capture(const Function *Root);
+
+  /// The snapshot's table for \p Fn, or null when the function is outside
+  /// the captured closure.
+  FeedbackTable *lookup(const Function *Fn);
+
+  /// Replaces the snapshot's table for \p Fn (used by continuation
+  /// compiles, whose root profile is the *repaired* feedback, not the
+  /// live one).
+  void replace(const Function *Fn, FeedbackTable Table);
+
+  /// A strict snapshot covers the full profile closure: a lookup miss
+  /// under an active scope is a bug (a background job would be about to
+  /// read a live table). capture() produces strict snapshots; a
+  /// default-constructed partial snapshot (the synchronous continuation
+  /// repair) falls through to the live tables instead — the executor owns
+  /// them, so that read is safe.
+  bool strict() const { return Strict; }
+
+private:
+  std::unordered_map<const Function *, FeedbackTable> Tables;
+  bool Strict = false;
+};
+
+/// RAII: installs \p S as the calling thread's feedback source for the
+/// duration of a compile job. Scopes may not nest.
+class SnapshotScope {
+public:
+  explicit SnapshotScope(FeedbackSnapshot &S);
+  ~SnapshotScope();
+  SnapshotScope(const SnapshotScope &) = delete;
+  SnapshotScope &operator=(const SnapshotScope &) = delete;
+};
+
+/// The profile the optimizer must read (and repair) for \p Fn on this
+/// thread: the active snapshot's copy inside a compile job, the live table
+/// otherwise.
+FeedbackTable &profileOf(Function *Fn);
+inline const FeedbackTable &profileOf(const Function *Fn) {
+  return profileOf(const_cast<Function *>(Fn));
+}
+
+/// Hash of \p Fn's current profile (via profileOf): the recompilation
+/// trigger for ProfileDrivenReopt compares these. With \p WithContexts the
+/// call-site context profile is part of the snapshot (a context change is
+/// a profile change); without it the hash matches the seed's exactly.
+uint64_t feedbackHash(const Function &Fn, bool WithContexts);
+
+} // namespace rjit
+
+#endif // RJIT_COMPILE_SNAPSHOT_H

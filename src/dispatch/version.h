@@ -11,12 +11,22 @@
 /// discipline: bounded, kept most-specialized-first, hit-counted, scanned
 /// for the first compatible entry. All per-version tier bookkeeping
 /// (deopt counts, blacklist, reopt sampling state) lives here; an entry
-/// whose Code is null is *retired* — its context and counters persist so
+/// whose code is null is *retired* — its context and counters persist so
 /// blacklisting survives the Fig. 1 deopt/recompile cycle.
 ///
 /// The fully generic root context is exempt from the capacity bound (there
 /// is at most one), so a full table degrades to the seed's single-version
 /// behavior rather than to the baseline.
+///
+/// Concurrency (background compilation): lookups are lock-free reads. The
+/// table publishes an immutable most-specialized-first linearization via a
+/// release store and readers take an acquire snapshot; a version's code
+/// pointer is itself released/acquired so an executor that observes a live
+/// entry also observes the fully built code and its bookkeeping. Mutation
+/// (insert, publish, retire, blacklist) is serialized by a writer lock —
+/// take a VersionWriteGuard first; insert() asserts the discipline. The
+/// executor never blocks on readers' behalf: it keeps dispatching into the
+/// baseline until a version appears.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,39 +35,69 @@
 
 #include "dispatch/context.h"
 #include "lowcode/lowcode.h"
+#include "support/cowlist.h"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace rjit {
 
 /// One optimized version of a function with its compilation context and
-/// tier bookkeeping.
+/// tier bookkeeping. Code is atomically published (release) and read
+/// (acquire); ownership stays in the entry until retirement moves it to
+/// the Vm's graveyard. Hits/DeoptCount/CallsSinceSample are touched only
+/// by the owning executor thread; Blacklisted is written under the table's
+/// writer lock and read (racily but atomically) by dispatch.
 struct FnVersion {
   CallContext Ctx;
-  std::unique_ptr<LowFunction> Code; ///< null when retired
   uint32_t Hits = 0;
   uint32_t DeoptCount = 0;
-  bool Blacklisted = false;      ///< too many deopts (or uncompilable)
+  std::atomic<bool> Blacklisted{false}; ///< too many deopts (or uncompilable)
   uint64_t CallsSinceSample = 0; ///< ProfileDrivenReopt period counter
   uint64_t FeedbackHash = 0;     ///< profile snapshot at compile time
 
-  bool live() const { return Code != nullptr; }
+  /// The published code (acquire), or null when retired / not yet built.
+  LowFunction *code() const { return Code.load(std::memory_order_acquire); }
+  bool live() const { return code() != nullptr; }
+
+  /// Installs \p C as this version's code (release). Writer lock required.
+  void publish(std::unique_ptr<LowFunction> C) {
+    Owner = std::move(C);
+    Code.store(Owner.get(), std::memory_order_release);
+  }
+
+  /// Retires the code, returning ownership (the caller graveyards it:
+  /// activations may still be on the stack). Writer lock required.
+  std::unique_ptr<LowFunction> retire() {
+    Code.store(nullptr, std::memory_order_release);
+    return std::move(Owner);
+  }
+
+private:
+  std::atomic<LowFunction *> Code{nullptr};
+  std::unique_ptr<LowFunction> Owner;
 };
 
 /// Per-function dispatch table over context-specialized versions.
 class VersionTable {
 public:
+  VersionTable() = default;
+  VersionTable(const VersionTable &) = delete;
+  VersionTable &operator=(const VersionTable &) = delete;
+
   /// First live entry callable from \p Ctx (most specialized first), or
-  /// null. Blacklisted/retired entries never match.
+  /// null. Blacklisted/retired entries never match. Lock-free.
   FnVersion *dispatch(const CallContext &Ctx);
 
   /// Entry compiled for exactly \p Ctx (live or retired), or null.
   FnVersion *exact(const CallContext &Ctx);
 
-  /// Creates a bookkeeping entry for \p Ctx (the caller fills Code).
-  /// Returns null when the specialized-entry bound is reached; the
-  /// generic root always fits.
+  /// Creates a bookkeeping entry for \p Ctx (the caller publishes code
+  /// into it). Returns null when the specialized-entry bound is reached;
+  /// the generic root always fits. Requires a live VersionWriteGuard.
   FnVersion *insert(const CallContext &Ctx);
 
   /// Entry owning \p Code, or null (e.g. continuation/OSR-in code).
@@ -67,7 +107,7 @@ public:
   /// first), or null.
   FnVersion *mostGenericLive();
 
-  size_t size() const { return Entries.size(); }
+  size_t size() const { return snapshot().size(); }
   size_t liveCount() const;
   /// True when no more *specialized* entries fit (the generic root is
   /// exempt from the bound).
@@ -76,13 +116,44 @@ public:
   uint32_t capacity() const { return Cap; }
   void setCapacity(uint32_t C) { Cap = C; }
 
-  const std::vector<std::unique_ptr<FnVersion>> &entries() const {
-    return Entries;
-  }
+  /// Snapshot of the entries in dispatch order (most specialized first).
+  std::vector<FnVersion *> entries() const { return snapshot(); }
 
 private:
-  std::vector<std::unique_ptr<FnVersion>> Entries;
+  friend class VersionWriteGuard;
+
+  const std::vector<FnVersion *> &snapshot() const { return List.read(); }
+  bool writerHeld() const {
+    return Writer.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  /// The published linearization (support/cowlist.h): lock-free acquire
+  /// reads, release publication under the writer lock.
+  CowList<FnVersion> List;
   uint32_t Cap = 4; ///< bound on specialized entries (Vm::Config::MaxVersions)
+
+  std::mutex WriterMu;
+  std::atomic<std::thread::id> Writer{}; ///< single-writer assertion
+};
+
+/// RAII writer lock for a VersionTable: serializes insert / publish /
+/// retire / blacklist against concurrent publication from compiler
+/// threads. Lookups never take it.
+class VersionWriteGuard {
+public:
+  explicit VersionWriteGuard(VersionTable &T) : T(T), L(T.WriterMu) {
+    T.Writer.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  ~VersionWriteGuard() {
+    T.Writer.store(std::thread::id(), std::memory_order_relaxed);
+  }
+  VersionWriteGuard(const VersionWriteGuard &) = delete;
+  VersionWriteGuard &operator=(const VersionWriteGuard &) = delete;
+
+private:
+  VersionTable &T;
+  std::unique_lock<std::mutex> L;
 };
 
 } // namespace rjit

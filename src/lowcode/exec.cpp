@@ -14,7 +14,9 @@
 using namespace rjit;
 
 LowHooks &rjit::lowHooks() {
-  static LowHooks Hooks;
+  // Thread-local for the same reason as interpHooks(): one Vm per executor
+  // thread, each with its own deopt handler, invalidation RNG and depth.
+  static thread_local LowHooks Hooks;
   return Hooks;
 }
 

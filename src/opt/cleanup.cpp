@@ -6,11 +6,13 @@
 
 #include "opt/cleanup.h"
 
+#include "compile/snapshot.h"
+
 using namespace rjit;
 
 FeedbackTable rjit::cleanupFeedback(const Function &Fn,
                                     const DeoptSnapshot &S, bool Enabled) {
-  FeedbackTable FB = Fn.Feedback;
+  FeedbackTable FB = profileOf(&Fn);
   if (!Enabled)
     return FB;
 

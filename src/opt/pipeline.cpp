@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "opt/pipeline.h"
+#include "compile/snapshot.h"
 #include "opt/constfold.h"
 #include "opt/dce.h"
 #include "opt/inference.h"
@@ -59,10 +60,11 @@ bool repairContradictedFeedback(IrCode &C, Function *Fn) {
         Owner = Fs->Target;
     }
     int32_t SlotIdx = I->Idx;
+    FeedbackTable &Profile = profileOf(Owner);
     if (SlotIdx < 0 ||
-        SlotIdx >= static_cast<int32_t>(Owner->Feedback.Types.size()))
+        SlotIdx >= static_cast<int32_t>(Profile.Types.size()))
       return;
-    TypeFeedback &FB = Owner->Feedback.Types[SlotIdx];
+    TypeFeedback &FB = Profile.Types[SlotIdx];
     // Widen, don't overwrite: the contradiction may be local to this
     // compilation (a context-specialized entry type, an inlined argument)
     // while other call shapes still see the profiled type. Joining makes

@@ -6,6 +6,8 @@
 
 #include "opt/translate.h"
 
+#include "compile/snapshot.h"
+
 #include <map>
 #include <set>
 
@@ -368,7 +370,7 @@ private:
       }
       if (FbIdx < 0)
         continue;
-      const TypeFeedback &FB = Fn->Feedback.Types[FbIdx];
+      const TypeFeedback &FB = profileOf(Fn).Types[FbIdx];
       if (FB.empty() || FB.Stale || !FB.monomorphic())
         continue;
       Tag T = FB.uniqueTag();
@@ -566,7 +568,7 @@ private:
   Instr *maybeSpeculateType(Instr *V, int32_t FbIdx) {
     if (!Opts.Speculate || FbIdx < 0 || !speculatableValue(V))
       return V;
-    const TypeFeedback &FB = Fn->Feedback.Types[FbIdx];
+    const TypeFeedback &FB = profileOf(Fn).Types[FbIdx];
     if (FB.empty() || FB.Stale || !FB.monomorphic())
       return V;
     Tag T = FB.uniqueTag();
@@ -761,8 +763,8 @@ private:
     if (Opts.Speculate && I.B >= 0) {
       push(A);
       push(B);
-      const TypeFeedback &FbA = Fn->Feedback.Types[I.B];
-      const TypeFeedback &FbB = Fn->Feedback.Types[I.B + 1];
+      const TypeFeedback &FbA = profileOf(Fn).Types[I.B];
+      const TypeFeedback &FbB = profileOf(Fn).Types[I.B + 1];
       if (speculatableValue(A) && !FbA.empty() && !FbA.Stale &&
           FbA.monomorphic() && worthTagAssume(A->Type, FbA.uniqueTag()) &&
           isGuardableTag(FbA.uniqueTag()))
@@ -818,7 +820,7 @@ private:
       Args[K - 1] = pop();
     Instr *Callee = pop();
 
-    const CallFeedback &CF = Fn->Feedback.Calls[I.B];
+    const CallFeedback &CF = profileOf(Fn).Calls[I.B];
     if (Opts.Speculate && CF.monomorphicBuiltin()) {
       // Speculate the callee still names the expected builtin (paper:
       // "stability of call targets").

@@ -13,7 +13,8 @@ using namespace rjit;
 
 namespace {
 
-DeoptListener TheListener = nullptr;
+// Thread-local: the listener is installed by the executor thread's Vm.
+thread_local DeoptListener TheListener = nullptr;
 
 /// Runs one reconstructed interpreter frame: materializes an environment
 /// (unless \p LiveEnv is provided), pushes \p Stack and resumes \p Fn at

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "osr/deoptless.h"
+#include "compile/snapshot.h"
 #include "lowcode/exec.h"
 #include "lowcode/lower.h"
 #include "opt/cleanup.h"
@@ -17,7 +18,8 @@
 using namespace rjit;
 
 namespace {
-DeoptlessConfig ActiveConfig;
+// Thread-local: installed by the executor thread's Vm.
+thread_local DeoptlessConfig ActiveConfig;
 } // namespace
 
 const DeoptlessConfig &rjit::deoptlessConfig() { return ActiveConfig; }
@@ -29,7 +31,11 @@ void rjit::configureDeoptless(const DeoptlessConfig &Cfg) {
 namespace {
 
 std::map<Function *, DeoptlessTable> &tables() {
-  static std::map<Function *, DeoptlessTable> T;
+  // Thread-local: functions (and thus their continuation tables) belong to
+  // one executor thread's Vm. Background continuation jobs reach a table
+  // through the DeoptlessTable* captured at enqueue time, never through
+  // this registry, and the tables themselves are publication-safe.
+  static thread_local std::map<Function *, DeoptlessTable> T;
   return T;
 }
 
@@ -38,7 +44,7 @@ std::map<Function *, DeoptlessTable> &tables() {
 /// §4.3) and must fall back to a true deoptimization; callees (deeper
 /// depths) may still use deoptless.
 std::vector<int64_t> &continuationDepths() {
-  static std::vector<int64_t> Depths;
+  static thread_local std::vector<int64_t> Depths;
   return Depths;
 }
 
@@ -91,9 +97,25 @@ bool deoptlessCondition(const LowFunction &F, const DeoptMeta &Meta,
   return true;
 }
 
-/// Compiles a continuation for \p Ctx (with repaired feedback).
+/// Compiles a continuation for \p Ctx (with repaired feedback), the
+/// synchronous path: repair and compile inline on the executor thread.
 std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
                                                  const DeoptContext &Ctx) {
+  // Compile against the repaired profile. The partial snapshot overrides
+  /// only \p Fn — inlined callees read (and repair) their live tables,
+  // which is safe here: this thread owns them.
+  FeedbackSnapshot Partial;
+  Partial.replace(Fn, repairedContinuationFeedback(
+                          Fn, Ctx, deoptlessConfig().FeedbackCleanup));
+  SnapshotScope Scope(Partial);
+  return compileContinuationCode(Fn, Ctx, deoptlessConfig().Inline);
+}
+
+} // namespace
+
+FeedbackTable rjit::repairedContinuationFeedback(Function *Fn,
+                                                 const DeoptContext &Ctx,
+                                                 bool CleanupEnabled) {
   // Repair the profile first (paper §4.3 "Incomplete Profile Data").
   DeoptSnapshot Snap;
   Snap.Pc = Ctx.Reason.ReasonPc;
@@ -105,10 +127,14 @@ std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
   for (unsigned K = 0; K < Ctx.EnvSize; ++K)
     Snap.EnvTags.push_back(Ctx.EnvEntries[K]);
   // Injected failures have nothing to repair: the guarded fact holds.
-  bool Repair = deoptlessConfig().FeedbackCleanup &&
-                Ctx.Reason.Kind != DeoptReasonKind::Injected;
-  FeedbackTable Repaired = cleanupFeedback(*Fn, Snap, Repair);
+  bool Repair =
+      CleanupEnabled && Ctx.Reason.Kind != DeoptReasonKind::Injected;
+  return cleanupFeedback(*Fn, Snap, Repair);
+}
 
+std::unique_ptr<LowFunction>
+rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
+                              const InlineOptions &Inline) {
   EntryState Entry;
   Entry.Pc = Ctx.Pc;
   for (unsigned K = 0; K < Ctx.StackSize; ++K)
@@ -117,50 +143,55 @@ std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
     Entry.EnvTypes.push_back(
         {Ctx.EnvEntries[K].first, RType::of(Ctx.EnvEntries[K].second)});
 
-  // Compile against the repaired profile.
-  std::swap(Fn->Feedback, Repaired);
   OptOptions Opts;
-  Opts.Inline = deoptlessConfig().Inline;
+  Opts.Inline = Inline;
   std::unique_ptr<IrCode> Ir =
       optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
-  std::swap(Fn->Feedback, Repaired);
   if (!Ir)
     return nullptr;
   return lowerToLow(*Ir);
 }
 
-} // namespace
+DeoptlessTable::DeoptlessTable()
+    : Cap(deoptlessConfig().MaxContinuations) {}
 
 Continuation *DeoptlessTable::dispatch(const DeoptContext &Ctx) {
   // The table is kept sorted most-specialized-first; take the first
-  // compatible entry (paper §4.3).
-  for (auto &E : Entries)
+  // compatible entry (paper §4.3). The snapshot is immutable, so the scan
+  // is safe against a background job publishing concurrently.
+  for (Continuation *E : snapshot())
     if (Ctx <= E->Ctx)
-      return E.get();
+      return E;
   return nullptr;
-}
-
-bool DeoptlessTable::full() const {
-  return Entries.size() >= deoptlessConfig().MaxContinuations;
 }
 
 bool DeoptlessTable::insert(DeoptContext Ctx,
                             std::unique_ptr<LowFunction> Code) {
-  if (full())
+  std::lock_guard<std::mutex> L(WriterMu);
+  const std::vector<Continuation *> &Cur = snapshot();
+  if (Cur.size() >= Cap)
     return false;
+  for (Continuation *E : Cur)
+    if (Ctx <= E->Ctx && E->Ctx <= Ctx)
+      return false; // equal context already published (lost a race)
+
   auto E = std::make_unique<Continuation>();
   E->Ctx = Ctx;
   E->Code = std::move(Code);
+
   // Linearize the partial order: more specialized entries first.
   size_t Pos = 0;
-  while (Pos < Entries.size() && !(Ctx <= Entries[Pos]->Ctx))
+  while (Pos < Cur.size() && !(Ctx <= Cur[Pos]->Ctx))
     ++Pos;
-  Entries.insert(Entries.begin() + Pos, std::move(E));
+  List.insertAt(Pos, std::move(E));
   return true;
 }
 
 DeoptlessTable &rjit::deoptlessTableFor(Function *Fn) {
-  return tables()[Fn];
+  // try_emplace: DeoptlessTable is immovable (it owns published
+  // snapshots); map nodes give it a stable address background jobs can
+  // hold across the executor's later insertions.
+  return tables().try_emplace(Fn).first->second;
 }
 
 void rjit::clearDeoptlessTables() { tables().clear(); }
@@ -192,17 +223,31 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
   bool TooGeneric = Cont && deoptlessConfig().RecompileHeuristic &&
                     !(Cont->Ctx <= Ctx) && !Table.full();
   if (!Cont || TooGeneric) {
-    std::unique_ptr<LowFunction> Code = compileContinuation(Fn, Ctx);
-    if (!Code || Table.full()) {
-      ++stats().DeoptlessRejected;
-      return false;
-    }
-    ++stats().DeoptlessCompiles;
-    Table.insert(Ctx, std::move(Code));
-    Cont = Table.dispatch(Ctx);
-    if (!Cont) {
-      ++stats().DeoptlessRejected;
-      return false;
+    if (auto *Async = deoptlessConfig().AsyncCompile) {
+      // Background mode: request the continuation and keep going. A miss
+      // falls back to a true deoptimization *this time*; a too-generic
+      // hit still serves the current failure while the specialization
+      // compiles for the next one. Either way the executor never pauses
+      // to compile inside a guard-failure handler.
+      Async(Fn, Ctx);
+      if (!Cont) {
+        ++stats().DeoptlessRejected;
+        return false;
+      }
+      ++stats().DeoptlessHits;
+    } else {
+      std::unique_ptr<LowFunction> Code = compileContinuation(Fn, Ctx);
+      if (!Code || Table.full()) {
+        ++stats().DeoptlessRejected;
+        return false;
+      }
+      ++stats().DeoptlessCompiles;
+      Table.insert(Ctx, std::move(Code));
+      Cont = Table.dispatch(Ctx);
+      if (!Cont) {
+        ++stats().DeoptlessRejected;
+        return false;
+      }
     }
   } else {
     ++stats().DeoptlessHits;

@@ -21,13 +21,16 @@
 
 #include "opt/translate.h"
 #include "osr/reason.h"
+#include "support/cowlist.h"
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace rjit {
 
-/// One compiled continuation with its compilation context.
+/// One compiled continuation with its compilation context. Immutable after
+/// publication except Hits, which only the owning executor touches.
 struct Continuation {
   DeoptContext Ctx;
   std::unique_ptr<LowFunction> Code;
@@ -37,22 +40,44 @@ struct Continuation {
 /// Per-function dispatch table (paper §4.3: at most 5 entries; the table
 /// is kept sorted from most to least specialized and scanned for the first
 /// compatible entry).
+///
+/// Concurrency: like VersionTable, the sorted linearization is published
+/// copy-on-write (release store / acquire load), so the executor's guard
+/// failure path dispatches lock-free while a background continuation job
+/// publishes. insert() serializes writers internally. The capacity is
+/// fixed at construction (from the active DeoptlessConfig) so a compiler
+/// thread never consults the executor's thread-local config.
 class DeoptlessTable {
 public:
-  /// First continuation callable from \p Ctx, or null.
+  DeoptlessTable();
+  DeoptlessTable(const DeoptlessTable &) = delete;
+  DeoptlessTable &operator=(const DeoptlessTable &) = delete;
+  DeoptlessTable(DeoptlessTable &&) = delete;
+
+  /// First continuation callable from \p Ctx, or null. Lock-free.
   Continuation *dispatch(const DeoptContext &Ctx);
 
-  /// Inserts \p Code for \p Ctx; returns false when the table is full.
+  /// Inserts \p Code for \p Ctx; returns false when the table is full or
+  /// an exact entry for \p Ctx already exists (a background job lost a
+  /// publication race).
   bool insert(DeoptContext Ctx, std::unique_ptr<LowFunction> Code);
 
-  size_t size() const { return Entries.size(); }
-  bool full() const;
-  const std::vector<std::unique_ptr<Continuation>> &entries() const {
-    return Entries;
-  }
+  size_t size() const { return snapshot().size(); }
+  bool full() const { return size() >= Cap; }
+
+  /// Snapshot of the entries, most specialized first.
+  std::vector<Continuation *> entries() const { return snapshot(); }
 
 private:
-  std::vector<std::unique_ptr<Continuation>> Entries;
+  const std::vector<Continuation *> &snapshot() const {
+    return List.read();
+  }
+
+  CowList<Continuation> List;
+  /// Fixed at construction from the active DeoptlessConfig, so a
+  /// compiler thread never consults the executor's thread-local config.
+  const uint32_t Cap;
+  std::mutex WriterMu;
 };
 
 /// Deoptless tuning knobs (paper defaults). This is a *derived view*:
@@ -67,6 +92,12 @@ struct DeoptlessConfig {
   /// Speculative inlining inside continuation compiles (mirrors the Vm's
   /// Inlining knobs so continuations keep the tier's code quality).
   InlineOptions Inline;
+  /// Background compilation: when set, a continuation miss *requests* an
+  /// async compile through this hook and falls back to a true
+  /// deoptimization for the current failure; once the continuation is
+  /// published, later failures dispatch to it without ever pausing.
+  /// Null (the default) keeps today's synchronous inline compile.
+  bool (*AsyncCompile)(Function *Fn, const DeoptContext &Ctx) = nullptr;
 };
 
 /// The active configuration (read-only; see configureDeoptless).
@@ -93,6 +124,22 @@ void clearDeoptlessTables();
 bool tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
                   const DeoptMeta &Meta, Env *ParentEnv, bool Injected,
                   Value &Result);
+
+/// The repaired profile a continuation for \p Ctx must be compiled
+/// against (paper §4.3 "Incomplete Profile Data"). Reads live feedback:
+/// call on the executor thread (synchronous compile, or at enqueue time
+/// of a background continuation job).
+FeedbackTable repairedContinuationFeedback(Function *Fn,
+                                           const DeoptContext &Ctx,
+                                           bool CleanupEnabled);
+
+/// Compiles the continuation code for \p Ctx. The caller must have made
+/// the repaired profile visible to the optimizer first (a SnapshotScope
+/// whose table for \p Fn is the repaired feedback) — this is what keeps
+/// the compile readable from a background thread while the interpreter
+/// keeps writing the live profile.
+std::unique_ptr<LowFunction> compileContinuationCode(
+    Function *Fn, const DeoptContext &Ctx, const InlineOptions &Inline);
 
 } // namespace rjit
 

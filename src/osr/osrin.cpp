@@ -15,37 +15,67 @@
 using namespace rjit;
 
 OsrInConfig &rjit::osrInConfig() {
-  static OsrInConfig Cfg;
+  // Thread-local: installed by the executor thread's Vm.
+  static thread_local OsrInConfig Cfg;
   return Cfg;
 }
 
 namespace {
 
 /// Functions where OSR-in compilation failed; don't retry every backedge.
+/// Thread-local like the config: functions belong to one executor's Vm.
 std::set<Function *> &blacklist() {
-  static std::set<Function *> B;
+  static thread_local std::set<Function *> B;
   return B;
 }
 
 } // namespace
 
-bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
-                     int32_t Pc, Value &Result) {
-  if (!osrInConfig().Enabled || blacklist().count(Fn))
-    return false;
+bool rjit::osrInBlacklisted(Function *Fn) { return blacklist().count(Fn); }
 
+void rjit::osrInBlacklist(Function *Fn) { blacklist().insert(Fn); }
+
+EntryState rjit::buildOsrEntryState(Function *Fn, Env *E,
+                                    const std::vector<Value> &Stack,
+                                    int32_t Pc) {
   // The entry state is exact: the interpreter hands us concrete values.
   EntryState Entry;
   Entry.Pc = Pc;
   for (const Value &V : Stack)
     Entry.StackTypes.push_back(V.isNull() ? RType::of(Tag::Null)
                                           : RType::of(V.tag()));
-  bool Elidable = envIsElidable(*Fn);
-  if (Elidable) {
+  if (envIsElidable(*Fn)) {
     for (const auto &[Sym, V] : E->bindings())
       Entry.EnvTypes.push_back(
           {Sym, V.isNull() ? RType::of(Tag::Null) : RType::of(V.tag())});
   }
+  return Entry;
+}
+
+Value rjit::enterOsrContinuation(const LowFunction &Low,
+                                 const EntryState &Entry, Env *E,
+                                 std::vector<Value> &Stack) {
+  // The interpreter's live values become arguments: stack first, then (for
+  // elided code) the environment bindings in the entry order.
+  std::vector<Value> Args;
+  Args.reserve(Stack.size() + Entry.EnvTypes.size());
+  for (Value &V : Stack)
+    Args.push_back(V);
+  if (!Low.NeedsEnv)
+    for (const auto &[Sym, T] : Entry.EnvTypes)
+      Args.push_back(E->get(Sym));
+
+  ++stats().OsrInEntries;
+  return runLow(Low, std::move(Args), Low.NeedsEnv ? E : nullptr,
+                E->parent());
+}
+
+bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
+                     int32_t Pc, Value &Result) {
+  if (!osrInConfig().Enabled || blacklist().count(Fn))
+    return false;
+
+  EntryState Entry = buildOsrEntryState(Fn, E, Stack, Pc);
 
   OptOptions Opts;
   Opts.Inline = osrInConfig().Inline;
@@ -57,18 +87,6 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
   std::unique_ptr<LowFunction> Low = lowerToLow(*Ir);
   ++stats().OsrInCompilations;
 
-  // The interpreter's live values become arguments: stack first, then (for
-  // elided code) the environment bindings in the entry order.
-  std::vector<Value> Args;
-  Args.reserve(Stack.size() + Entry.EnvTypes.size());
-  for (Value &V : Stack)
-    Args.push_back(V);
-  if (!Low->NeedsEnv)
-    for (const auto &[Sym, T] : Entry.EnvTypes)
-      Args.push_back(E->get(Sym));
-
-  ++stats().OsrInEntries;
-  Result = runLow(*Low, std::move(Args),
-                  Low->NeedsEnv ? E : nullptr, E->parent());
+  Result = enterOsrContinuation(*Low, Entry, E, Stack);
   return true;
 }

@@ -17,6 +17,7 @@
 #define RJIT_OSR_OSRIN_H
 
 #include "bc/interp.h"
+#include "lowcode/lowcode.h"
 #include "opt/translate.h"
 #include "runtime/env.h"
 
@@ -35,6 +36,23 @@ OsrInConfig &osrInConfig();
 /// The hook to install into interpHooks().OsrIn.
 bool osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack, int32_t Pc,
                Value &Result);
+
+/// The exact entry state of a hot backedge: the interpreter's operand
+/// stack and (for elidable environments) the current binding types.
+/// Shared by the synchronous hook and background OSR-in compilation.
+EntryState buildOsrEntryState(Function *Fn, Env *E,
+                              const std::vector<Value> &Stack, int32_t Pc);
+
+/// Enters compiled OSR-in code with the interpreter's live values (stack
+/// first, then — for elided code — the environment bindings in the entry
+/// order) and returns the activation's result.
+Value enterOsrContinuation(const LowFunction &Low, const EntryState &Entry,
+                           Env *E, std::vector<Value> &Stack);
+
+/// Per-thread OSR-in compile blacklist (functions whose continuation
+/// compile failed; don't retry every backedge).
+bool osrInBlacklisted(Function *Fn);
+void osrInBlacklist(Function *Fn);
 
 } // namespace rjit
 

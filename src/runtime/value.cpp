@@ -105,8 +105,7 @@ void GcObject::trackAlloc(uint64_t Bytes) {
   TheHeapStats.LiveBytes += Bytes;
   TheHeapStats.TotalAllocated += Bytes;
   ++TheHeapStats.Allocations;
-  if (TheHeapStats.LiveBytes > TheHeapStats.PeakBytes)
-    TheHeapStats.PeakBytes = TheHeapStats.LiveBytes;
+  TheHeapStats.PeakBytes.recordMax(TheHeapStats.LiveBytes);
 }
 
 void GcObject::trackFree() {

@@ -27,6 +27,7 @@
 #define RJIT_RUNTIME_VALUE_H
 
 #include "support/interner.h"
+#include "support/relaxed.h"
 
 #include <cassert>
 #include <cstdint>
@@ -122,11 +123,14 @@ Tag vectorTagOf(Tag ScalarTag);
 
 /// Heap accounting: live bytes and the high-water mark, reported by the
 /// Fig. 6 memory experiment as a stand-in for max resident set size.
+/// Relaxed atomics: allocation happens on executor threads and (for code
+/// constants) compiler threads concurrently; the peak update may lose a
+/// race between two maxima but every access stays data-race-free.
 struct HeapStats {
-  uint64_t LiveBytes = 0;
-  uint64_t PeakBytes = 0;
-  uint64_t TotalAllocated = 0;
-  uint64_t Allocations = 0;
+  RelaxedCounter LiveBytes;
+  RelaxedCounter PeakBytes;
+  RelaxedCounter TotalAllocated;
+  RelaxedCounter Allocations;
 };
 HeapStats &heapStats();
 /// Resets the peak/total counters (live bytes are left untouched).

@@ -1,0 +1,84 @@
+//===-- support/cowlist.h - Copy-on-write published list ---------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The publication primitive of the background-compilation subsystem: an
+/// ordered list whose element sequence is published as an immutable
+/// snapshot. Readers take one acquire load and scan without locks — the
+/// executor's dispatch paths; a writer (under external mutual exclusion)
+/// builds the next snapshot aside and installs it with a release store —
+/// the compiler threads' publication. Superseded snapshots are retired,
+/// not freed, until destruction, so a reader mid-scan never sees its
+/// snapshot die; elements are owned by the list and never move.
+///
+/// Shared by VersionTable (dispatch/), DeoptlessTable (osr/) and OsrCache
+/// (compile/) so the memory-ordering discipline exists exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_COWLIST_H
+#define RJIT_SUPPORT_COWLIST_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace rjit {
+
+template <typename T> class CowList {
+public:
+  using Order = std::vector<T *>;
+
+  CowList() { Pub.store(new Order(), std::memory_order_relaxed); }
+  ~CowList() { delete Pub.load(std::memory_order_relaxed); }
+  CowList(const CowList &) = delete;
+  CowList &operator=(const CowList &) = delete;
+
+  /// The current snapshot (acquire). Valid for the list's lifetime.
+  const Order &read() const {
+    return *Pub.load(std::memory_order_acquire);
+  }
+
+  /// Takes ownership of \p E and publishes it at position \p Pos of the
+  /// next snapshot (release). Caller provides mutual exclusion between
+  /// writers; readers need none.
+  T *insertAt(size_t Pos, std::unique_ptr<T> E) {
+    const Order &Cur = read();
+    T *Raw = E.get();
+    Owned.push_back(std::move(E));
+    auto Next = std::make_unique<Order>();
+    Next->reserve(Cur.size() + 1);
+    Next->insert(Next->end(), Cur.begin(), Cur.begin() + Pos);
+    Next->push_back(Raw);
+    Next->insert(Next->end(), Cur.begin() + Pos, Cur.end());
+    Retired.emplace_back(Pub.load(std::memory_order_relaxed));
+    Pub.store(Next.release(), std::memory_order_release);
+    return Raw;
+  }
+
+  /// Publishes the next snapshot without the entry at \p Pos. Ownership
+  /// is retained — the element may still be executing (a reader picked it
+  /// up from an older snapshot) — and reclaimed at list destruction, the
+  /// same deferred-reclamation discipline as the Vm's code graveyard.
+  void removeAt(size_t Pos) {
+    const Order &Cur = read();
+    auto Next = std::make_unique<Order>();
+    Next->reserve(Cur.size() - 1);
+    Next->insert(Next->end(), Cur.begin(), Cur.begin() + Pos);
+    Next->insert(Next->end(), Cur.begin() + Pos + 1, Cur.end());
+    Retired.emplace_back(Pub.load(std::memory_order_relaxed));
+    Pub.store(Next.release(), std::memory_order_release);
+  }
+
+private:
+  std::atomic<const Order *> Pub;
+  std::vector<std::unique_ptr<const Order>> Retired; ///< writer-guarded
+  std::vector<std::unique_ptr<T>> Owned;             ///< writer-guarded
+};
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_COWLIST_H

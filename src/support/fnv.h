@@ -1,0 +1,31 @@
+//===-- support/fnv.h - FNV-1a hashing ---------------------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one FNV-1a mixer shared by feedback hashing and the compile-queue
+/// dedup keys. Dedup and publication must agree on request identity, so
+/// there is exactly one copy of the constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_FNV_H
+#define RJIT_SUPPORT_FNV_H
+
+#include <cstdint>
+
+namespace rjit {
+
+struct FnvHasher {
+  uint64_t H = 1469598103934665603ull;
+  void mix(uint64_t X) {
+    H ^= X;
+    H *= 1099511628211ull;
+  }
+};
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_FNV_H

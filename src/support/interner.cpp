@@ -11,6 +11,7 @@
 using namespace rjit;
 
 Symbol Interner::intern(std::string_view Name) {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Ids.find(std::string(Name));
   if (It != Ids.end())
     return It->second;
@@ -21,8 +22,15 @@ Symbol Interner::intern(std::string_view Name) {
 }
 
 const std::string &Interner::name(Symbol S) const {
+  // Deque elements are stable, so the reference outlives the lock.
+  std::lock_guard<std::mutex> L(Mu);
   assert(S < Names.size() && "unknown symbol");
   return Names[S];
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Names.size();
 }
 
 Interner &rjit::interner() {

@@ -16,10 +16,11 @@
 #define RJIT_SUPPORT_INTERNER_H
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace rjit {
 
@@ -29,8 +30,10 @@ using Symbol = uint32_t;
 /// Sentinel for "no symbol".
 inline constexpr Symbol NoSymbol = ~0u;
 
-/// Process-wide string interner. Not thread-safe; the VM is single-threaded
-/// like the Ř prototype.
+/// Process-wide string interner. Symbol ids must agree across every thread
+/// (executors parse concurrently, compiler threads print names), so the
+/// instance is shared and mutex-protected. Spellings live in a deque:
+/// references returned by name() stay valid across later interning.
 class Interner {
 public:
   /// Returns the unique id for \p Name, interning it if new.
@@ -40,11 +43,12 @@ public:
   const std::string &name(Symbol S) const;
 
   /// Number of interned symbols.
-  size_t size() const { return Names.size(); }
+  size_t size() const;
 
 private:
+  mutable std::mutex Mu;
   std::unordered_map<std::string, Symbol> Ids;
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
 };
 
 /// The process-wide interner instance.

@@ -1,0 +1,79 @@
+//===-- support/relaxed.h - Relaxed-atomic counters --------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A drop-in relaxed-atomic replacement for the plain uint64_t event
+/// counters. The counters are pure diagnostics — no control flow depends
+/// on their ordering — so every access is memory_order_relaxed: cheap on
+/// the hot paths, and free of data races the moment a compiler thread or a
+/// second executor exists. The wrapper keeps the counters copyable so
+/// harness code can still snapshot/diff stats structs by value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_SUPPORT_RELAXED_H
+#define RJIT_SUPPORT_RELAXED_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace rjit {
+
+/// uint64_t counter with relaxed-atomic accesses and value semantics.
+class RelaxedCounter {
+public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t X) : V(X) {}
+  RelaxedCounter(const RelaxedCounter &O) : V(O.load()) {}
+  RelaxedCounter &operator=(const RelaxedCounter &O) {
+    store(O.load());
+    return *this;
+  }
+  RelaxedCounter &operator=(uint64_t X) {
+    store(X);
+    return *this;
+  }
+
+  uint64_t load() const { return V.load(std::memory_order_relaxed); }
+  void store(uint64_t X) { V.store(X, std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+  RelaxedCounter &operator++() {
+    V.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) { return V.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter &operator--() {
+    V.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator+=(uint64_t X) {
+    V.fetch_add(X, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator-=(uint64_t X) {
+    V.fetch_sub(X, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Monotonic high-water update (e.g. queue-depth gauges). Lost updates
+  /// between racing maxima are acceptable for a diagnostic gauge; every
+  /// access stays atomic so the race is benign, not undefined.
+  void recordMax(uint64_t X) {
+    uint64_t Cur = load();
+    while (X > Cur &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed,
+                                    std::memory_order_relaxed))
+      ;
+  }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+} // namespace rjit
+
+#endif // RJIT_SUPPORT_RELAXED_H

@@ -31,6 +31,12 @@ VmStats VmStats::operator-(const VmStats &O) const {
       InlineFramesMaterialized - O.InlineFramesMaterialized;
   R.DeoptlessInlineDispatches =
       DeoptlessInlineDispatches - O.DeoptlessInlineDispatches;
+  R.AsyncCompiles = AsyncCompiles - O.AsyncCompiles;
+  // A high-water gauge, not an event counter: a per-phase diff would
+  // report nonsense (e.g. zero when the later phase peaked lower), so the
+  // difference carries the later snapshot's high-water.
+  R.CompileQueueDepth = CompileQueueDepth;
+  R.WarmupPausesAvoided = WarmupPausesAvoided - O.WarmupPausesAvoided;
   return R;
 }
 

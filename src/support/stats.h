@@ -10,41 +10,55 @@
 /// optimizing compilations, and heap high-water marks. The benchmark
 /// harnesses read and reset these between phases.
 ///
+/// All counters are relaxed atomics (support/relaxed.h): the moment a
+/// compiler thread or a second executor exists, the bench harness reading
+/// a plain uint64_t while another thread increments it is a data race.
+/// The counters carry no synchronization duty, so relaxed ordering is all
+/// they need.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RJIT_SUPPORT_STATS_H
 #define RJIT_SUPPORT_STATS_H
 
+#include "support/relaxed.h"
+
 #include <cstdint>
 
 namespace rjit {
 
-/// Counters for the events the paper's evaluation reports on. A plain
-/// aggregate so harness code can snapshot/diff it by value.
+/// Counters for the events the paper's evaluation reports on. Copyable so
+/// harness code can snapshot/diff it by value.
 struct VmStats {
-  uint64_t Compilations = 0;        ///< whole-function optimizing compiles
-  uint64_t OsrInCompilations = 0;   ///< OSR-in continuation compiles
-  uint64_t OsrInEntries = 0;        ///< transfers interpreter -> native
-  uint64_t Deopts = 0;              ///< true deoptimizations (OSR-out)
-  uint64_t DeoptlessAttempts = 0;   ///< deopt events offered to deoptless
-  uint64_t DeoptlessHits = 0;       ///< dispatched to an existing continuation
-  uint64_t DeoptlessCompiles = 0;   ///< newly compiled continuations
-  uint64_t DeoptlessRejected = 0;   ///< fell through to a true deopt
-  uint64_t AssumeChecks = 0;        ///< dynamic Assume guard executions
-  uint64_t AssumeFailures = 0;      ///< failed guards (incl. injected ones)
-  uint64_t InjectedFailures = 0;    ///< random invalidation-mode triggers
-  uint64_t Reoptimizations = 0;     ///< profile-driven recompiles (Fig. 11)
-  uint64_t CtxVersions = 0;         ///< context-specialized versions compiled
-  uint64_t CtxDispatchHits = 0;     ///< calls run by a specialized version
-  uint64_t CtxDispatchMisses = 0;   ///< context-dispatch calls that fell back
-                                    ///< to the generic version or baseline
-  uint64_t InlinedCalls = 0;        ///< call sites spliced by opt/inline
-  uint64_t MultiFrameDeopts = 0;    ///< OSR-outs that rebuilt >1 frame
-  uint64_t InlineFramesMaterialized = 0; ///< interpreter frames synthesized
-                                    ///< for inlined callers on OSR-out /
-                                    ///< after a deoptless continuation
-  uint64_t DeoptlessInlineDispatches = 0; ///< deoptless dispatches keyed on
-                                    ///< an inlined (innermost) frame
+  RelaxedCounter Compilations;        ///< whole-function optimizing compiles
+  RelaxedCounter OsrInCompilations;   ///< OSR-in continuation compiles
+  RelaxedCounter OsrInEntries;        ///< transfers interpreter -> native
+  RelaxedCounter Deopts;              ///< true deoptimizations (OSR-out)
+  RelaxedCounter DeoptlessAttempts;   ///< deopt events offered to deoptless
+  RelaxedCounter DeoptlessHits;       ///< dispatched to an existing continuation
+  RelaxedCounter DeoptlessCompiles;   ///< newly compiled continuations
+  RelaxedCounter DeoptlessRejected;   ///< fell through to a true deopt
+  RelaxedCounter AssumeChecks;        ///< dynamic Assume guard executions
+  RelaxedCounter AssumeFailures;      ///< failed guards (incl. injected ones)
+  RelaxedCounter InjectedFailures;    ///< random invalidation-mode triggers
+  RelaxedCounter Reoptimizations;     ///< profile-driven recompiles (Fig. 11)
+  RelaxedCounter CtxVersions;         ///< context-specialized versions compiled
+  RelaxedCounter CtxDispatchHits;     ///< calls run by a specialized version
+  RelaxedCounter CtxDispatchMisses;   ///< context-dispatch calls that fell back
+                                      ///< to the generic version or baseline
+  RelaxedCounter InlinedCalls;        ///< call sites spliced by opt/inline
+  RelaxedCounter MultiFrameDeopts;    ///< OSR-outs that rebuilt >1 frame
+  RelaxedCounter InlineFramesMaterialized; ///< interpreter frames synthesized
+                                      ///< for inlined callers on OSR-out /
+                                      ///< after a deoptless continuation
+  RelaxedCounter DeoptlessInlineDispatches; ///< deoptless dispatches keyed on
+                                      ///< an inlined (innermost) frame
+  RelaxedCounter AsyncCompiles;       ///< jobs executed by the compiler pool
+  RelaxedCounter CompileQueueDepth;   ///< high-water mark of queued requests
+  RelaxedCounter WarmupPausesAvoided; ///< dispatches that kept running the
+                                      ///< baseline while a background
+                                      ///< compile was pending instead of
+                                      ///< pausing to compile synchronously
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

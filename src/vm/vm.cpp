@@ -6,6 +6,8 @@
 
 #include "vm/vm.h"
 #include "bc/interp.h"
+#include "compile/pool.h"
+#include "compile/snapshot.h"
 #include "dispatch/context.h"
 #include "lang/parser.h"
 #include "lowcode/exec.h"
@@ -20,31 +22,9 @@ using namespace rjit;
 
 namespace {
 
-Vm *CurrentVm = nullptr;
-
-/// Snapshot of a function's profile; recompilation triggers for the
-/// ProfileDrivenReopt strategy compare these. With contextual dispatch the
-/// call-site context profile is part of the snapshot (a context change is
-/// a profile change); without it the hash matches the seed's exactly.
-uint64_t feedbackHash(const Function &Fn, bool WithContexts) {
-  uint64_t H = 1469598103934665603ull;
-  auto Mix = [&H](uint64_t X) {
-    H ^= X;
-    H *= 1099511628211ull;
-  };
-  for (const auto &T : Fn.Feedback.Types)
-    Mix(T.SeenMask);
-  for (const auto &C : Fn.Feedback.Calls) {
-    Mix(reinterpret_cast<uintptr_t>(C.Target));
-    Mix(C.BuiltinIdPlus1 | (C.Megamorphic ? 0x10000u : 0u));
-    if (WithContexts) {
-      Mix(C.SeenArity);
-      for (unsigned K = 0; K < MaxProfiledArgs; ++K)
-        Mix(C.ArgMask[K]);
-    }
-  }
-  return H;
-}
+// Thread-local: one Vm is active per *executor thread* (hooks are
+// per-thread); independent executors may each drive their own Vm.
+thread_local Vm *CurrentVm = nullptr;
 
 /// RAII for the closure-call depth the deoptless recursion check uses.
 struct DepthGuard {
@@ -69,6 +49,32 @@ InlineOptions Vm::Config::inlineView() const {
   I.MaxDepth = MaxInlineDepth;
   I.MaxSize = MaxInlineSize;
   return I;
+}
+
+VersionCompileOpts Vm::Config::versionView() const {
+  VersionCompileOpts V;
+  V.Speculate = Speculate;
+  V.Inline = inlineView();
+  V.HashWithContexts = ContextDispatch;
+  return V;
+}
+
+TierState &TierRegistry::stateFor(Function *Fn, uint32_t MaxVersions) {
+  Shard &S = Shards[(reinterpret_cast<uintptr_t>(Fn) >> 4) % NumShards];
+  std::lock_guard<std::mutex> L(S.Mu);
+  std::unique_ptr<TierState> &P = S.Map[Fn];
+  if (!P) {
+    P = std::make_unique<TierState>();
+    P->Versions.setCapacity(MaxVersions);
+  }
+  return *P;
+}
+
+void TierRegistry::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Map.clear();
+  }
 }
 
 namespace rjit {
@@ -99,22 +105,41 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
       ++Ver->CallsSinceSample % V->Cfg.ReoptSampleEvery == 0) {
     Value R = callClosureBaseline(Clos, std::move(Args));
     if (feedbackHash(*Fn, CtxDispatch) != Ver->FeedbackHash) {
-      V->Graveyard.push_back(std::move(Ver->Code));
-      V->compileVersion(Fn, Ver->Ctx);
+      {
+        VersionWriteGuard G(TS.Versions);
+        V->Graveyard.push_back(Ver->retire());
+      }
+      if (V->Cfg.BackgroundCompile)
+        requestVersionCompile(*V->ActivePool, V, Fn, Ver->Ctx,
+                              &TS.Versions, V->Cfg.versionView());
+      else
+        V->compileVersion(Fn, Ver->Ctx);
       ++stats().Reoptimizations;
     }
     return R;
   }
 
-  if (!Ver && Fn->CallCount >= V->Cfg.CompileThreshold)
-    Ver = V->compileVersion(Fn, Ctx);
+  if (!Ver && Fn->CallCount >= V->Cfg.CompileThreshold) {
+    if (V->Cfg.BackgroundCompile) {
+      // Request and keep going in the baseline: the warmup pause of a
+      // synchronous compile becomes one more profiled baseline execution.
+      // The version appears to a later call via atomic publication.
+      if (requestVersionCompile(*V->ActivePool, V, Fn, Ctx, &TS.Versions,
+                                V->Cfg.versionView()))
+        ++stats().WarmupPausesAvoided;
+      Ver = TS.Versions.dispatch(Ctx); // racing publication may be done
+    } else {
+      Ver = V->compileVersion(Fn, Ctx);
+    }
+  }
 
   // Hit/miss accounting: only calls whose context *could* have had a
   // specialized version count — a hit when one serves them, a miss when
   // they fall back to the generic root or the baseline. Calls with a
   // generic context (e.g. zero-arity functions) have nothing to
   // specialize and stay out of the ratio.
-  if (!Ver || !Ver->Code) {
+  LowFunction *Code = Ver ? Ver->code() : nullptr;
+  if (!Code) {
     if (CtxDispatch && !Ctx.isGeneric() && TS.Versions.size() > 0)
       ++stats().CtxDispatchMisses;
     return callClosureBaseline(Clos, std::move(Args));
@@ -128,7 +153,7 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
       ++stats().CtxDispatchMisses;
   }
 
-  LowFunction &Low = *Ver->Code;
+  LowFunction &Low = *Code;
   if (Args.size() != Fn->Params.size())
     rerror("call to '" + symbolName(Fn->Name) + "': expected " +
            std::to_string(Fn->Params.size()) + " arguments, got " +
@@ -167,11 +192,22 @@ void vmDeoptListener(Function *Fn, const LowFunction &Code,
   if (V->Cfg.Strategy == TierStrategy::Deoptless && Injected)
     return;
   TierState &TS = V->stateFor(Fn);
+  // A failing guard inside a *cached* background OSR continuation means
+  // the cached speculation is stale: drop it so the next hot backedge
+  // recompiles from fresh feedback — the synchronous hook's behavior —
+  // instead of re-entering the same stale code every OsrThreshold
+  // backedges. The rest of the listener then applies the usual OSR-deopt
+  // bookkeeping (retire the most generic live version, re-warm).
+  TS.Osr.invalidate(&Code);
   // Retire the version the failing guard belongs to. Deopts out of OSR-in
   // or continuation code (not in the table) retire the most generic live
   // version — the seed's single-`Optimized` behavior — and when nothing is
   // live the deopt still counts against the generic root's bookkeeping
   // entry so blacklisting accumulates across the recompile cycle.
+  // Retirement and blacklisting race with a compiler thread publishing
+  // into the same table; the writer lock serializes them (a publish that
+  // loses the race to a blacklist discards its code).
+  VersionWriteGuard G(TS.Versions);
   FnVersion *Ver = TS.Versions.owner(&Code);
   if (!Ver)
     Ver = TS.Versions.mostGenericLive();
@@ -183,14 +219,53 @@ void vmDeoptListener(Function *Fn, const LowFunction &Code,
   }
   // The version cannot be freed yet — its frames (and the DeoptMeta being
   // processed) are still live — so it moves to the graveyard.
-  if (Ver->Code)
-    V->Graveyard.push_back(std::move(Ver->Code));
+  if (Ver->live())
+    V->Graveyard.push_back(Ver->retire());
   ++Ver->DeoptCount;
   if (Ver->DeoptCount >= V->Cfg.DeoptBlacklist)
     Ver->Blacklisted = true;
   // Re-warm before recompiling so the baseline can collect fresh feedback
   // (Fig. 1: deopt -> profile -> recompile).
   Fn->CallCount = 0;
+}
+
+/// Background-mode OSR-in: consult the published continuation cache for
+/// the current (pc, entry signature); on a miss, request a compile and
+/// keep interpreting — the warmup pause of the synchronous hook becomes a
+/// cache hit on a later hot backedge.
+bool vmBackgroundOsrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
+                           int32_t Pc, Value &Result) {
+  Vm *V = Vm::current();
+  assert(V && "OSR hook without an active Vm");
+  if (!osrInConfig().Enabled || osrInBlacklisted(Fn))
+    return false;
+
+  EntryState Entry = buildOsrEntryState(Fn, E, Stack, Pc);
+  TierState &TS = V->stateFor(Fn);
+  OsrCache::Hit Hit = TS.Osr.lookup(Pc, osrSignature(Entry));
+  if (Hit.Found) {
+    if (!Hit.Code)
+      return false; // published failure marker: uncompilable signature
+    Result = enterOsrContinuation(*Hit.Code, Entry, E, Stack);
+    return true;
+  }
+  if (requestOsrCompile(*V->ActivePool, V, Fn, Entry, &TS.Osr,
+                        osrInConfig().Inline))
+    ++stats().WarmupPausesAvoided;
+  return false;
+}
+
+/// Background-mode deoptless-continuation requests (installed as
+/// DeoptlessConfig::AsyncCompile; runs on the executor inside the guard
+/// failure handler).
+bool vmAsyncContinuationCompile(Function *Fn, const DeoptContext &Ctx) {
+  Vm *V = Vm::current();
+  if (!V || !V->ActivePool)
+    return false;
+  return requestContinuationCompile(*V->ActivePool, V, Fn, Ctx,
+                                    &deoptlessTableFor(Fn),
+                                    V->Cfg.FeedbackCleanup,
+                                    V->Cfg.inlineView());
 }
 
 } // namespace rjit
@@ -203,9 +278,20 @@ Vm::Vm(Config C) : Cfg(C) {
   Global->retain();
   installBuiltins(*Global);
 
+  if (Cfg.BackgroundCompile) {
+    ActivePool = Cfg.Pool;
+    if (!ActivePool) {
+      OwnPool = std::make_unique<CompilerPool>(Cfg.CompilerThreads,
+                                               Cfg.CompileQueueCap);
+      ActivePool = OwnPool.get();
+    }
+  }
+
   resetStats();
   interpHooks().CallClosure = vmDispatchCall;
-  interpHooks().OsrIn = Cfg.OsrIn ? osrInHook : nullptr;
+  interpHooks().OsrIn =
+      Cfg.OsrIn ? (Cfg.BackgroundCompile ? vmBackgroundOsrInHook : osrInHook)
+                : nullptr;
   interpHooks().OsrThreshold = Cfg.OsrThreshold;
 
   installOsrRuntime();
@@ -217,10 +303,16 @@ Vm::Vm(Config C) : Cfg(C) {
 
   osrInConfig().Enabled = Cfg.OsrIn;
   osrInConfig().Inline = Cfg.inlineView();
-  configureDeoptless(Cfg.deoptlessView());
+  DeoptlessConfig D = Cfg.deoptlessView();
+  if (Cfg.BackgroundCompile)
+    D.AsyncCompile = vmAsyncContinuationCompile;
+  configureDeoptless(D);
 }
 
 Vm::~Vm() {
+  // In-flight compile jobs hold pointers into this Vm's tier states,
+  // continuation tables and functions: the barrier must come first.
+  drainCompiles();
   clearDeoptlessTables();
   interpHooks() = InterpHooks();
   lowHooks() = LowHooks();
@@ -233,88 +325,27 @@ Vm::~Vm() {
   CurrentVm = nullptr;
 }
 
+void Vm::drainCompiles() {
+  if (ActivePool)
+    ActivePool->drain(this);
+}
+
 Vm *Vm::current() { return CurrentVm; }
 
 TierState &Vm::stateFor(Function *Fn) {
-  auto &S = States[Fn];
-  if (!S) {
-    S = std::make_unique<TierState>();
-    S->Versions.setCapacity(Cfg.MaxVersions);
-  }
-  return *S;
+  return States.stateFor(Fn, Cfg.MaxVersions);
 }
 
 LowFunction *Vm::compileFunction(Function *Fn) {
   FnVersion *Ver = compileVersion(Fn, genericContext(Fn->Params.size()));
-  return Ver ? Ver->Code.get() : nullptr;
+  return Ver ? Ver->code() : nullptr;
 }
 
 FnVersion *Vm::compileVersion(Function *Fn, const CallContext &Ctx) {
-  TierState &TS = stateFor(Fn);
-
-  // Resolve which context to (re)compile: an arity-mismatched call (the
-  // dispatch raises before running any version) and a blacklisted or
-  // unplaceable specialized context all fall back to the generic root —
-  // erroneous call sites must not burn MaxVersions slots.
-  CallContext Want = Ctx;
-  if (!(Want.Flags & CtxCorrectArity) || Want.isGeneric())
-    // Canonicalize: every context with no typed argument maps to THE
-    // generic root (runtime contexts may carry extra flags, e.g. a
-    // zero-arity call's CtxNoMissingArgs; two roots would split the
-    // deopt/blacklist bookkeeping).
-    Want = genericContext(Fn->Params.size());
-  FnVersion *E = TS.Versions.exact(Want);
-  if (!Want.isGeneric() &&
-      ((E && E->Blacklisted) || (!E && TS.Versions.fullFor(Want)))) {
-    Want = genericContext(Fn->Params.size());
-    E = TS.Versions.exact(Want);
-  }
-  if (E && E->Blacklisted)
-    return nullptr;
-  if (E && E->Code)
-    return E;
-  if (!E)
-    E = TS.Versions.insert(Want);
-  assert(E && "admissible context failed to insert");
-
-  OptOptions Opts;
-  Opts.Speculate = Cfg.Speculate;
-  Opts.Inline = Cfg.inlineView();
-  EntryState Entry;
-  if (!Want.isGeneric()) {
-    // Seed inference with the argument types the dispatch guarantees.
-    Entry.ParamTypes.reserve(Fn->Params.size());
-    for (size_t K = 0; K < Fn->Params.size(); ++K)
-      Entry.ParamTypes.push_back(
-          Want.typed(static_cast<unsigned>(K))
-              ? RType::of(Want.ArgTags[K])
-              : RType::any());
-  }
-
-  // Prefer the elided convention; fall back to a real environment (the
-  // generic root only: FullEnv code takes its arguments through the
-  // environment, so a context specialization cannot reach it).
-  std::unique_ptr<IrCode> Ir =
-      optimizeToIr(Fn, CallConv::FullElided, Entry, Opts);
-  if (!Ir && Want.isGeneric())
-    Ir = optimizeToIr(Fn, CallConv::FullEnv, EntryState(), Opts);
-  if (!Ir) {
-    if (!Want.isGeneric()) {
-      // Specialization impossible (no elidable environment): burn the
-      // context so future calls go straight to the generic root.
-      E->Blacklisted = true;
-      return compileVersion(Fn, genericContext(Fn->Params.size()));
-    }
-    return nullptr;
-  }
-
-  E->Code = lowerToLow(*Ir);
-  E->FeedbackHash = feedbackHash(*Fn, Cfg.ContextDispatch);
-  E->CallsSinceSample = 0;
-  ++stats().Compilations;
-  if (!Want.isGeneric())
-    ++stats().CtxVersions;
-  return E;
+  // The shared synchronous/background entry point (compile/service):
+  // background jobs run exactly this, under a feedback-snapshot scope.
+  return compileAndPublishVersion(Fn, Ctx, stateFor(Fn).Versions,
+                                  Cfg.versionView());
 }
 
 Value Vm::eval(const std::string &Source) {

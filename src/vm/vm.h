@@ -19,7 +19,14 @@
 ///    functions are periodically sampled in the baseline to refresh type
 ///    feedback, and recompiled when the profile changed.
 ///
-/// One Vm is active per process at a time (hooks are global, as in Ř).
+/// One Vm is active per *executor thread* at a time (hooks are
+/// thread-local); independent threads may each drive their own Vm, and a
+/// CompilerPool may be shared between them. With
+/// Config::BackgroundCompile, compile requests (whole-function, OSR-in,
+/// deoptless continuations) are enqueued to the pool instead of pausing
+/// the executor; versions appear via atomic publication and the executor
+/// keeps running baseline code until they do. drainCompiles() is the
+/// barrier that recovers fully deterministic synchronous behavior.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,14 +34,17 @@
 #define RJIT_VM_VM_H
 
 #include "bc/compiler.h"
+#include "compile/service.h"
 #include "dispatch/version.h"
 #include "lowcode/lowcode.h"
 #include "osr/deoptless.h"
 #include "runtime/env.h"
 
-#include <map>
+#include <array>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace rjit {
 
@@ -45,14 +55,39 @@ enum class TierStrategy : uint8_t {
   ProfileDrivenReopt ///< sampling reoptimization comparator (Fig. 11)
 };
 
-/// Per-function tier bookkeeping: the context-keyed version table. All
-/// per-version state (code, deopt counts, blacklist, reopt sampling) lives
-/// in the table's FnVersion entries; without contextual dispatch the table
-/// holds exactly the generic root version and reproduces the seed's
+/// Per-function tier bookkeeping: the context-keyed version table and the
+/// published OSR-in continuations. All per-version state (code, deopt
+/// counts, blacklist, reopt sampling) lives in the table's FnVersion
+/// entries; without contextual dispatch the table holds exactly the
+/// generic root version and reproduces the seed's
 /// single-`Optimized`-pointer behavior.
 struct TierState {
   VersionTable Versions;
+  OsrCache Osr; ///< background OSR-in continuations (BackgroundCompile)
 };
+
+/// The Function* -> TierState registry. Mutex-sharded: executors create
+/// states while compiler threads publish into existing ones, and a bare
+/// map would race. TierStates are node-stable — pointers handed to compile
+/// jobs stay valid until clear().
+class TierRegistry {
+public:
+  /// The state of \p Fn, creating it (with \p MaxVersions capacity) on
+  /// first use.
+  TierState &stateFor(Function *Fn, uint32_t MaxVersions);
+
+  void clear();
+
+private:
+  static constexpr size_t NumShards = 8;
+  struct Shard {
+    std::mutex Mu;
+    std::unordered_map<Function *, std::unique_ptr<TierState>> Map;
+  };
+  std::array<Shard, NumShards> Shards;
+};
+
+class CompilerPool;
 
 /// The embedding API.
 class Vm {
@@ -87,6 +122,21 @@ public:
     uint32_t MaxInlineDepth = 2; ///< nesting bound for inlined calls
     uint32_t MaxInlineSize = 48; ///< callee bytecode-length bound
 
+    /// Background compilation (orthogonal to everything above): compile
+    /// requests go to a compiler pool; each job compiles from a feedback
+    /// snapshot taken at enqueue time and publishes atomically, while the
+    /// executor keeps running baseline code. Off (the default) preserves
+    /// today's deterministic synchronous tier-up exactly.
+    bool BackgroundCompile = false;
+    /// Pool size when the Vm owns its pool (Pool == nullptr). Zero is the
+    /// deterministic test mode: jobs run only inside drainCompiles(), in
+    /// FIFO order, on the draining thread.
+    unsigned CompilerThreads = 2;
+    size_t CompileQueueCap = 256; ///< queue bound (backpressure)
+    /// A pool shared with other Vms (e.g. one pool, N executor threads).
+    /// Not owned; must outlive the Vm. Null: the Vm creates its own.
+    CompilerPool *Pool = nullptr;
+
     /// The deoptless view of this configuration (single source of truth
     /// for the knobs DeoptlessConfig shares with the Vm).
     DeoptlessConfig deoptlessView() const;
@@ -94,6 +144,9 @@ public:
     /// The inlining view: the InlineOptions every compile entry point
     /// (versions, OSR-in, deoptless continuations) receives.
     InlineOptions inlineView() const;
+
+    /// The version-compile view (knob copies compile jobs carry).
+    VersionCompileOpts versionView() const;
   };
 
   explicit Vm(Config Cfg);
@@ -127,21 +180,36 @@ public:
   /// uncompilable. Returns null when no version can be produced.
   FnVersion *compileVersion(Function *Fn, const CallContext &Ctx);
 
-  /// The active Vm (hooks are process-global).
+  /// The compiler pool serving this Vm (null without BackgroundCompile).
+  CompilerPool *pool() { return ActivePool; }
+
+  /// Barrier: waits until every compile request this Vm enqueued has been
+  /// compiled and published (with a 0-thread pool, runs them inline).
+  /// No-op without BackgroundCompile — synchronous tier-up never has
+  /// anything in flight.
+  void drainCompiles();
+
+  /// The active Vm of the calling thread (hooks are thread-local).
   static Vm *current();
 
 private:
   friend Value vmDispatchCall(ClosObj *, std::vector<Value> &&);
   friend void vmDeoptListener(Function *, const LowFunction &,
                               const DeoptMeta &, bool);
+  friend bool vmBackgroundOsrInHook(Function *, Env *, std::vector<Value> &,
+                                    int32_t, Value &);
+  friend bool vmAsyncContinuationCompile(Function *, const DeoptContext &);
 
   Config Cfg;
   Env *Global;
   std::vector<std::unique_ptr<Module>> Modules;
-  std::map<Function *, std::unique_ptr<TierState>> States;
+  TierRegistry States;
+  std::unique_ptr<CompilerPool> OwnPool;
+  CompilerPool *ActivePool = nullptr;
   /// Retired optimized code: activations of a version being retired are
   /// still on the stack when the deopt listener runs, so reclamation is
-  /// deferred to VM teardown (real VMs defer to a safepoint).
+  /// deferred to VM teardown (real VMs defer to a safepoint). Touched only
+  /// by the owning executor thread.
   std::vector<std::unique_ptr<LowFunction>> Graveyard;
 };
 

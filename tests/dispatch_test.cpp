@@ -151,10 +151,11 @@ std::unique_ptr<LowFunction> dummyLow() {
 TEST(VersionTable, MostSpecializedFirst) {
   VersionTable T;
   T.setCapacity(4);
+  VersionWriteGuard WG(T);
   FnVersion *G = T.insert(genericContext(1));
-  G->Code = dummyLow();
+  G->publish(dummyLow());
   FnVersion *S = T.insert(ctxOf({Tag::IntVec}, 1));
-  S->Code = dummyLow();
+  S->publish(dummyLow());
   // A typed call must land on the specialized entry even though the
   // generic root also matches.
   FnVersion *Hit = T.dispatch(ctxOf({Tag::IntVec}, 1));
@@ -169,6 +170,7 @@ TEST(VersionTable, MostSpecializedFirst) {
 TEST(VersionTable, BoundExemptsGenericRoot) {
   VersionTable T;
   T.setCapacity(1);
+  VersionWriteGuard WG(T);
   EXPECT_NE(T.insert(ctxOf({Tag::IntVec}, 1)), nullptr);
   EXPECT_EQ(T.insert(ctxOf({Tag::RealVec}, 1)), nullptr)
       << "specialized bound reached";
@@ -180,11 +182,12 @@ TEST(VersionTable, BoundExemptsGenericRoot) {
 TEST(VersionTable, RetiredEntriesKeepBookkeeping) {
   VersionTable T;
   T.setCapacity(4);
+  VersionWriteGuard WG(T);
   FnVersion *E = T.insert(ctxOf({Tag::IntVec}, 1));
-  E->Code = dummyLow();
-  const LowFunction *Code = E->Code.get();
+  E->publish(dummyLow());
+  const LowFunction *Code = E->code();
   EXPECT_EQ(T.owner(Code), E);
-  E->Code.reset(); // retire (deopt)
+  E->retire(); // retire (deopt); ownership would move to the graveyard
   E->DeoptCount = 7;
   EXPECT_EQ(T.dispatch(ctxOf({Tag::IntVec}, 1)), nullptr)
       << "retired entries never dispatch";
@@ -337,6 +340,6 @@ TEST(ContextDispatch, ZeroArityFunctionHasSingleGenericRoot) {
   TierState &TS = V.stateFor(Fn);
   EXPECT_EQ(TS.Versions.size(), 1u);
   EXPECT_EQ(TS.Versions.exact(genericContext(0)),
-            TS.Versions.entries().front().get())
+            TS.Versions.entries().front())
       << "the entry is the canonical root";
 }

@@ -14,17 +14,30 @@
 //    invalidation configurations) and every configuration must produce
 //    the byte-identical transcript. A final test asserts — via the VM
 //    stats — that the sweep actually took the multi-frame deopt and
-//    deoptless-continuation paths speculative inlining introduces.
+//    deoptless-continuation paths speculative inlining introduces;
+//
+//  * a *concurrent* differential mode: the same 500 programs re-run with
+//    BackgroundCompile on — N executor threads, each driving its own Vm,
+//    all sharing one compiler pool — and every transcript must stay
+//    byte-identical to the single-threaded synchronous baseline
+//    (drainCompiles() barriers at the phase changes). This is the
+//    workload the ThreadSanitizer CI job runs: racing publication,
+//    snapshot capture against a writing interpreter, and guard-failure
+//    paths against in-flight compiles.
 //
 // Failures print the generator seed for standalone reproduction.
 //
 //===----------------------------------------------------------------------===//
 
+#include "compile/pool.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "vm/vm.h"
 
 #include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
 
 using namespace rjit;
 
@@ -392,16 +405,20 @@ constexpr unsigned FuzzShards = 10;
 constexpr unsigned ProgramsPerShard = 50;
 constexpr unsigned TotalFuzzPrograms = FuzzShards * ProgramsPerShard;
 
+// Relaxed counters, defensively: only the synchronous single-threaded
+// sweep absorbs into these (the concurrent mode deliberately stays out,
+// see runProgramPlain), but a future test touching them off-thread must
+// not become a silent data race.
 struct FuzzCoverage {
-  uint64_t InlinedCalls = 0;
-  uint64_t MultiFrameDeopts = 0;
-  uint64_t InlineFramesMaterialized = 0;
-  uint64_t DeoptlessInlineDispatches = 0;
-  uint64_t DeoptlessCompiles = 0;
-  uint64_t Deopts = 0;
-  uint64_t Reoptimizations = 0;
-  uint64_t CtxDispatchHits = 0;
-  uint64_t Programs = 0;
+  RelaxedCounter InlinedCalls;
+  RelaxedCounter MultiFrameDeopts;
+  RelaxedCounter InlineFramesMaterialized;
+  RelaxedCounter DeoptlessInlineDispatches;
+  RelaxedCounter DeoptlessCompiles;
+  RelaxedCounter Deopts;
+  RelaxedCounter Reoptimizations;
+  RelaxedCounter CtxDispatchHits;
+  RelaxedCounter Programs;
 };
 
 FuzzCoverage &fuzzCoverage() {
@@ -481,6 +498,110 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
 // configurations (shards parallelize under `ctest -j`).
 INSTANTIATE_TEST_SUITE_P(Shards, DiffFuzz,
                          ::testing::Range(0, static_cast<int>(FuzzShards)));
+
+//===----------------------------------------------------------------------===//
+// Concurrent differential fuzzer: background compilation under executor
+// parallelism
+
+namespace {
+
+/// Executor threads per shard (the acceptance bar is >= 4 across the
+/// concurrent sweep; every shard runs this many).
+constexpr unsigned ConcurrentExecutors = 4;
+
+/// Like runProgram, but without absorbStats(): the process-global stats
+/// are meaningless while sibling executor threads reset and bump them
+/// concurrently, and absorbing that noise into fuzzCoverage could mask a
+/// coverage regression in the synchronous sweep.
+std::string runProgramPlain(const GenProg &P, Vm::Config C) {
+  Vm V(C);
+  V.eval(P.Setup);
+  std::string Out;
+  for (const std::string &D : P.Drivers)
+    Out += V.eval(D).show() + "\n";
+  return Out;
+}
+
+/// Runs a program under \p C with drain barriers at the phase changes
+/// (after setup, at the round boundary where the generator switches
+/// types, and at the end) and returns the transcript. The barriers pin
+/// down *which* compiles have landed at each phase edge; the transcript
+/// itself must be tier-independent regardless.
+std::string runProgramBackground(const GenProg &P, Vm::Config C) {
+  Vm V(C);
+  V.eval(P.Setup);
+  V.drainCompiles();
+  std::string Out;
+  size_t Half = P.Drivers.size() / 2;
+  for (size_t K = 0; K < P.Drivers.size(); ++K) {
+    if (K == Half)
+      V.drainCompiles();
+    Out += V.eval(P.Drivers[K]).show() + "\n";
+  }
+  V.drainCompiles();
+  return Out;
+}
+
+class ConcurrentDiffFuzz : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
+  // One shared compiler pool; ConcurrentExecutors executor threads each
+  // drive their own Vms over a slice of the shard's programs. Every
+  // bg-mode transcript must equal the thread's own single-threaded
+  // synchronous baseline byte for byte.
+  CompilerPool Pool(/*Threads=*/2);
+  std::mutex FailuresMu;
+  std::vector<std::string> Failures;
+
+  auto Executor = [&](unsigned Tid) {
+    for (unsigned K = Tid; K < ProgramsPerShard;
+         K += ConcurrentExecutors) {
+      uint64_t Seed =
+          static_cast<uint64_t>(GetParam()) * 10007 + K * 131 + 17;
+      ProgramGen G(Seed);
+      GenProg P = G.generate();
+
+      // The synchronous reference, computed on this thread (BaselineOnly
+      // never compiles, so the shared pool stays out of it).
+      std::string Base =
+          runProgramPlain(P, cfg(TierStrategy::BaselineOnly));
+
+      for (TierStrategy S :
+           {TierStrategy::Normal, TierStrategy::Deoptless}) {
+        Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
+        C.BackgroundCompile = true;
+        C.Pool = &Pool;
+        std::string Got = runProgramBackground(P, C);
+        if (Got != Base) {
+          std::lock_guard<std::mutex> L(FailuresMu);
+          Failures.push_back(
+              "seed " + std::to_string(Seed) + " strategy " +
+              std::to_string(static_cast<int>(S)) + " tid " +
+              std::to_string(Tid) + "\nprogram:\n" + P.Setup +
+              "drivers:\n" + driversOf(P) + "expected:\n" + Base +
+              "got:\n" + Got);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < ConcurrentExecutors; ++T)
+    Threads.emplace_back(Executor, T);
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (const std::string &F : Failures)
+    ADD_FAILURE() << F;
+}
+
+// The same 10 x 50 = 500 programs as the synchronous sweep, now with 4
+// executor threads per shard racing one shared compiler pool.
+INSTANTIATE_TEST_SUITE_P(Shards, ConcurrentDiffFuzz,
+                         ::testing::Range(0,
+                                          static_cast<int>(FuzzShards)));
 
 namespace {
 

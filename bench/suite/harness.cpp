@@ -97,6 +97,12 @@ void rjit::suite::printStats(const char *Label, const VmStats &S) {
            (unsigned long long)S.MultiFrameDeopts,
            (unsigned long long)S.InlineFramesMaterialized,
            (unsigned long long)S.DeoptlessInlineDispatches);
+  if (S.HoistedGuards || S.HoistedInstrs || S.EliminatedGuards)
+    printf("# stats[%s]: hoisted guards %llu, hoisted instrs %llu, "
+           "eliminated guards %llu\n",
+           Label, (unsigned long long)S.HoistedGuards,
+           (unsigned long long)S.HoistedInstrs,
+           (unsigned long long)S.EliminatedGuards);
   if (S.AsyncCompiles || S.WarmupPausesAvoided)
     printf("# stats[%s]: async compiles %llu, queue depth high-water "
            "%llu, warmup pauses avoided %llu\n",

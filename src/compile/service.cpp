@@ -58,6 +58,8 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
   OptOptions O;
   O.Speculate = Opts.Speculate;
   O.Inline = Opts.Inline;
+  O.Loop = Opts.Loop;
+  O.VerifyEachPass = Opts.VerifyBetweenPasses;
   EntryState Entry;
   if (!Want.isGeneric()) {
     // Seed inference with the argument types the dispatch guarantees.
@@ -262,7 +264,7 @@ bool rjit::requestVersionCompile(CompilerPool &Pool, const void *Owner,
 
 bool rjit::requestOsrCompile(CompilerPool &Pool, const void *Owner,
                              Function *Fn, const EntryState &Entry,
-                             OsrCache *Cache, const InlineOptions &Inline) {
+                             OsrCache *Cache, const OptOptions &Opts) {
   std::vector<uint32_t> Sig = osrSignature(Entry);
   CompileKey Key{Owner, Fn, CompileKind::OsrIn,
                  hashOsrSignature(Entry.Pc, Sig)};
@@ -272,10 +274,8 @@ bool rjit::requestOsrCompile(CompilerPool &Pool, const void *Owner,
     return false; // no room for another signature: stop requesting
   std::shared_ptr<FeedbackSnapshot> Snap = FeedbackSnapshot::capture(Fn);
   CompileJob Job{
-      Key, [Fn, Entry, Sig = std::move(Sig), Cache, Inline, Snap]() {
+      Key, [Fn, Entry, Sig = std::move(Sig), Cache, Opts, Snap]() {
         SnapshotScope Scope(*Snap);
-        OptOptions Opts;
-        Opts.Inline = Inline;
         std::unique_ptr<IrCode> Ir =
             optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
         if (Ir)
@@ -294,7 +294,7 @@ bool rjit::requestContinuationCompile(CompilerPool &Pool, const void *Owner,
                                       Function *Fn, const DeoptContext &Ctx,
                                       DeoptlessTable *Table,
                                       bool FeedbackCleanup,
-                                      const InlineOptions &Inline) {
+                                      const OptOptions &Opts) {
   CompileKey Key{Owner, Fn, CompileKind::Continuation,
                  hashDeoptContext(Ctx)};
   if (Pool.queue().pending(Key))
@@ -306,10 +306,10 @@ bool rjit::requestContinuationCompile(CompilerPool &Pool, const void *Owner,
   std::shared_ptr<FeedbackSnapshot> Snap = FeedbackSnapshot::capture(Fn);
   Snap->replace(Fn,
                 repairedContinuationFeedback(Fn, Ctx, FeedbackCleanup));
-  CompileJob Job{Key, [Fn, Ctx, Table, Inline, Snap]() {
+  CompileJob Job{Key, [Fn, Ctx, Table, Opts, Snap]() {
                    SnapshotScope Scope(*Snap);
                    std::unique_ptr<LowFunction> Code =
-                       compileContinuationCode(Fn, Ctx, Inline);
+                       compileContinuationCode(Fn, Ctx, Opts);
                    if (Code && Table->insert(Ctx, std::move(Code)))
                      ++stats().DeoptlessCompiles;
                  }};

@@ -51,6 +51,9 @@ namespace rjit {
 struct VersionCompileOpts {
   bool Speculate = true;
   InlineOptions Inline;
+  LoopOptOptions Loop;
+  /// Between-pass IR verification (Vm::Config::VerifyBetweenPasses).
+  bool VerifyBetweenPasses = VerifyPassesDefault;
   /// feedbackHash flavor: include call-site contexts (ContextDispatch).
   bool HashWithContexts = false;
 };
@@ -125,9 +128,11 @@ bool requestVersionCompile(CompilerPool &Pool, const void *Owner,
                            const VersionCompileOpts &Opts);
 
 /// Requests a background OSR-in compile for \p Entry into \p Cache.
+/// \p Opts carries the full optimizer knob set (inlining, loop opts,
+/// verification) the job compiles under.
 bool requestOsrCompile(CompilerPool &Pool, const void *Owner, Function *Fn,
                        const EntryState &Entry, OsrCache *Cache,
-                       const InlineOptions &Inline);
+                       const OptOptions &Opts);
 
 /// Requests a background deoptless-continuation compile for \p Ctx into
 /// \p Table. The profile repair (paper §4.3) runs now, on the executor —
@@ -135,7 +140,7 @@ bool requestOsrCompile(CompilerPool &Pool, const void *Owner, Function *Fn,
 bool requestContinuationCompile(CompilerPool &Pool, const void *Owner,
                                 Function *Fn, const DeoptContext &Ctx,
                                 DeoptlessTable *Table, bool FeedbackCleanup,
-                                const InlineOptions &Inline);
+                                const OptOptions &Opts);
 
 } // namespace rjit
 

@@ -198,7 +198,7 @@ bool IrCode::sweepDead() {
   for (BB *B : Reach)
     for (auto &I : B->Instrs)
       if (hasSideEffects(I->Op) || I->isTerminator() ||
-          I->Op == IrOp::Param)
+          I->Op == IrOp::Param || I->Anchor)
         if (!Live[I->Id]) {
           Live[I->Id] = true;
           Work.push_back(I.get());

@@ -131,6 +131,11 @@ public:
   /// FrameState of an inlined callee: the last operand is the caller's
   /// return-framestate (the frame-state chain of speculative inlining).
   bool HasParentFs = false;
+  /// Loop-header anchor (CheckpointIr only): emitted by the translator at
+  /// the top of every loop header so the loop optimizer can re-anchor
+  /// hoisted guards to the header-entry state. Anchored checkpoints are
+  /// sweepDead roots until opt/licm consumes and clears them.
+  bool Anchor = false;
   DeoptReasonKind RKind = DeoptReasonKind::Typecheck; ///< Assume
   std::vector<BB *> Incoming;     ///< Phi: predecessor blocks
   uint32_t Id = 0;                ///< stable printing id

@@ -65,6 +65,10 @@ void printInstr(const Instr &I, std::string &S) {
     S += std::string(" [") + deoptReasonName(I.RKind) + "@" +
          std::to_string(I.BcPc) + "]";
     break;
+  case IrOp::CheckpointIr:
+    if (I.Anchor)
+      S += " anchor"; // loop-header entry state (see opt/licm)
+    break;
   default:
     break;
   }

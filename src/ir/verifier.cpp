@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/cfg.h"
 #include "ir/instr.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace rjit;
@@ -72,10 +74,41 @@ std::string rjit::verify(const IrCode &C) {
     for (auto &I : B->Instrs)
       Known.insert(I.get());
 
+  // Dominance scaffolding (reachable blocks only; unreachable blocks are
+  // garbage awaiting sweepDead and exempt from SSA rules). Constants and
+  // undefs are position-independent — the backend materializes them once
+  // at entry — so they are exempt as operands.
+  DomTree DT(C);
+  std::unordered_map<const Instr *, size_t> PosIn; // within-block order
+  for (BB *B : DT.rpo())
+    for (size_t K = 0; K < B->Instrs.size(); ++K)
+      PosIn[B->Instrs[K].get()] = K;
+  auto DefDominatesUse = [&](const Instr *Def, const BB *UseB,
+                             size_t UsePos) {
+    if (Def->Op == IrOp::Const || Def->Op == IrOp::Undef)
+      return true;
+    const BB *DefB = Def->Parent;
+    if (!DefB || !DT.reachable(DefB))
+      return false;
+    if (DefB == UseB) {
+      auto It = PosIn.find(Def);
+      return It != PosIn.end() && It->second < UsePos;
+    }
+    return DT.dominates(DefB, UseB);
+  };
+  // The bytecode body a framestate's pc must lie in: the frame's function
+  // (inlined callee) or the code's origin. Hand-built IR without an
+  // origin skips the bound.
+  auto FrameBcSize = [&](const Instr &Fs) -> int64_t {
+    const Function *Fn = Fs.Target ? Fs.Target : C.Origin;
+    return Fn ? static_cast<int64_t>(Fn->BC.Instrs.size()) : -1;
+  };
+
   for (auto &B : C.Blocks) {
+    bool Reachable = DT.reachable(B.get());
     bool SeenTerm = false;
-    for (auto &IP : B->Instrs) {
-      Instr &I = *IP;
+    for (size_t Pos = 0; Pos < B->Instrs.size(); ++Pos) {
+      Instr &I = *B->Instrs[Pos];
       if (I.Parent != B.get())
         Fail("instr %" + std::to_string(I.Id) + " has wrong parent");
       if (SeenTerm)
@@ -93,6 +126,17 @@ std::string rjit::verify(const IrCode &C) {
         if (!Op || !Known.count(Op))
           Fail("instr %" + std::to_string(I.Id) + " has dangling operand");
       }
+      if (!Err.empty())
+        return Err; // dangling operands make the checks below unsafe
+
+      // Definitions must dominate uses (phi operands: dominate the end of
+      // their incoming block — the edge is where the value is read).
+      if (Reachable && I.Op != IrOp::Phi) {
+        for (Instr *Op : I.Ops)
+          if (!DefDominatesUse(Op, B.get(), Pos))
+            Fail("instr %" + std::to_string(I.Id) + ": operand %" +
+                 std::to_string(Op->Id) + " does not dominate the use");
+      }
 
       if (I.Op == IrOp::Phi) {
         if (I.Ops.size() != I.Incoming.size())
@@ -102,6 +146,21 @@ std::string rjit::verify(const IrCode &C) {
           Fail("phi %" + std::to_string(I.Id) + ": expected " +
                std::to_string(B->Preds.size()) + " incoming, has " +
                std::to_string(I.Ops.size()));
+        if (Reachable && I.Ops.size() == I.Incoming.size()) {
+          for (size_t K = 0; K < I.Ops.size(); ++K) {
+            if (I.Incoming[K] != B->Preds[K])
+              Fail("phi %" + std::to_string(I.Id) + ": incoming block " +
+                   std::to_string(K) + " does not match the pred list");
+            if (DT.reachable(I.Incoming[K]) &&
+                !(I.Ops[K]->Op == IrOp::Const ||
+                  I.Ops[K]->Op == IrOp::Undef) &&
+                !(I.Ops[K]->Parent == I.Incoming[K] ||
+                  DT.dominates(I.Ops[K]->Parent, I.Incoming[K])))
+              Fail("phi %" + std::to_string(I.Id) + ": operand %" +
+                   std::to_string(I.Ops[K]->Id) +
+                   " does not dominate its incoming edge");
+          }
+        }
       }
       if (I.Op == IrOp::FrameStateIr) {
         size_t Extra = I.HasParentFs ? 1 : 0;
@@ -112,6 +171,13 @@ std::string rjit::verify(const IrCode &C) {
                ": parent must be a framestate");
         if (I.BcPc < 0)
           Fail("framestate %" + std::to_string(I.Id) + ": missing pc");
+        // Pc consistency: the resume pc must address an instruction of
+        // the frame's own bytecode body.
+        int64_t BcSize = FrameBcSize(I);
+        if (BcSize >= 0 && I.BcPc >= BcSize)
+          Fail("framestate %" + std::to_string(I.Id) + ": pc " +
+               std::to_string(I.BcPc) + " out of range (bytecode has " +
+               std::to_string(BcSize) + " instructions)");
       }
       if (I.Op == IrOp::AssumeIr) {
         if (I.Ops.size() == 2 && I.Ops[1]->Op != IrOp::CheckpointIr)
@@ -126,10 +192,6 @@ std::string rjit::verify(const IrCode &C) {
     }
 
     // Reachable, non-empty blocks must be terminated.
-    bool Reachable = false;
-    for (BB *R : C.rpo())
-      if (R == B.get())
-        Reachable = true;
     if (Reachable && !B->terminated())
       Fail("BB" + std::to_string(B->Id) + " not terminated");
 

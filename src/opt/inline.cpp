@@ -215,6 +215,7 @@ private:
         NI->StackCount = IP->StackCount;
         NI->EnvSyms = IP->EnvSyms;
         NI->HasParentFs = IP->HasParentFs;
+        NI->Anchor = IP->Anchor;
         NI->RKind = IP->RKind;
         IMap[IP.get()] = NB->append(std::move(NI));
       }

@@ -10,6 +10,7 @@
 #include "opt/dce.h"
 #include "opt/inference.h"
 #include "opt/inline.h"
+#include "opt/licm.h"
 #include "opt/lowertyped.h"
 #include "support/stats.h"
 
@@ -86,25 +87,78 @@ std::unique_ptr<IrCode> rjit::optimizeToIr(Function *Fn, CallConv Conv,
                                            const OptOptions &Opts) {
   std::unique_ptr<IrCode> C;
   uint32_t Inlined = 0;
+  LoopOptStats Loop;
+
+  // The between-pass invariant gate (Opts.VerifyEachPass, debug/CI
+  // builds): every structural invariant — dominance of definitions over
+  // uses included — is re-checked after each pass, so a pass that breaks
+  // the IR fails the compile *at that pass* even when the final output
+  // would happen to verify or execute plausibly.
+  bool GateFailed = false;
+  auto Gate = [&](const char *Pass) {
+    if (!Opts.VerifyEachPass || GateFailed)
+      return !GateFailed;
+    std::string Err = verify(*C);
+    if (Err.empty())
+      return true;
+    fprintf(stderr, "rjit: IR verification failed after %s for '%s': %s\n",
+            Pass, symbolName(Fn->Name).c_str(), Err.c_str());
+    assert(false && "between-pass IR verification failed");
+    GateFailed = true;
+    return false;
+  };
+
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
     C = translate(Fn, Conv, Entry, Opts);
     if (!C)
+      return nullptr;
+    if (!Gate("translate"))
       return nullptr;
 
     // Inline before inference so the spliced callee bodies participate in
     // type refinement and typed lowering (unboxing) like native code.
     Inlined = inlineCalls(*C, Opts);
+    if (!Gate("inline"))
+      return nullptr;
 
-    bool Changed = true;
-    int Rounds = 0;
-    while (Changed && Rounds++ < 8) {
-      Changed = false;
-      Changed |= inferTypes(*C);
-      if (Opts.TypedOps)
-        Changed |= lowerTypedOps(*C);
-      if (Opts.FoldConstants)
-        Changed |= foldConstants(*C);
-      Changed |= deadCodeElim(*C);
+    auto Fixpoint = [&]() {
+      bool Changed = true;
+      int Rounds = 0;
+      while (Changed && Rounds++ < 8) {
+        Changed = false;
+        Changed |= inferTypes(*C);
+        if (!Gate("inference"))
+          return false;
+        if (Opts.TypedOps) {
+          Changed |= lowerTypedOps(*C);
+          if (!Gate("lowertyped"))
+            return false;
+        }
+        if (Opts.FoldConstants) {
+          Changed |= foldConstants(*C);
+          if (!Gate("constfold"))
+            return false;
+        }
+        Changed |= deadCodeElim(*C);
+        if (!Gate("dce"))
+          return false;
+      }
+      return true;
+    };
+    if (!Fixpoint())
+      return nullptr;
+
+    // The loop layer runs on the typed, folded IR (so strength-reduced
+    // arithmetic and refinement casts are what gets hoisted), then one
+    // more fixpoint cleans up behind it: spent anchors, detached
+    // checkpoints of moved guards, types refined by hoisted casts.
+    Loop = LoopOptStats();
+    if (Opts.Loop.Enabled) {
+      Loop = runLoopOpts(*C, Opts.Loop);
+      if (!Gate("loopopts"))
+        return nullptr;
+      if (!Fixpoint())
+        return nullptr;
     }
 
     if (!Opts.Speculate || !repairContradictedFeedback(*C, Fn))
@@ -121,5 +175,8 @@ std::unique_ptr<IrCode> rjit::optimizeToIr(Function *Fn, CallConv Conv,
     return nullptr;
   }
   stats().InlinedCalls += Inlined;
+  stats().HoistedInstrs += Loop.HoistedInstrs;
+  stats().HoistedGuards += Loop.HoistedGuards;
+  stats().EliminatedGuards += Loop.EliminatedGuards;
   return C;
 }

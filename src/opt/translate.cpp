@@ -115,6 +115,7 @@ private:
     int PredCount = 0; ///< reachable BC preds (+1 for prologue at entry)
     BB *Bb = nullptr;
     bool UsesPhis = false;
+    bool IsLoopHeader = false; ///< target of a bytecode back-edge
     std::vector<Instr *> StackPhis;
     std::map<Symbol, Instr *> LocalPhis;
     int IncomingSeen = 0;
@@ -230,8 +231,11 @@ private:
         continue;
       succsOf(BC, P, Ss);
       for (int32_t S : Ss)
-        if (auto It = Blocks.find(S); It != Blocks.end())
+        if (auto It = Blocks.find(S); It != Blocks.end()) {
           ++It->second.PredCount;
+          if (S <= P)
+            It->second.IsLoopHeader = true; // bytecode back-edge target
+        }
     }
     // The prologue feeds the entry block.
     ++Blocks[Entry.Pc].PredCount;
@@ -467,6 +471,19 @@ private:
         St.Locals[Sym] = Phi;
     } else {
       St = BI.EntrySt;
+    }
+
+    // Loop-header anchor: a checkpoint capturing the header-entry state
+    // (pc = header leader, values = the header phis). The loop optimizer
+    // re-anchors hoisted guards here — mapped through the phis to the
+    // preheader's incoming values, this is exactly the state with which a
+    // pre-loop deopt must resume: the interpreter re-executes the loop
+    // test, so a zero-trip loop stays correct. Anchored checkpoints are
+    // DCE roots until opt/licm consumes and clears them.
+    if (BI.IsLoopHeader && BI.UsesPhis && Opts.Speculate &&
+        Opts.Loop.Enabled && Opts.Loop.HoistGuards) {
+      CurPc = BI.Start;
+      checkpoint()->Anchor = true;
     }
 
     const Code &BC = Fn->BC;

@@ -63,6 +63,28 @@ struct InlineOptions {
   uint32_t MaxSize = 48; ///< callee bytecode-length bound
 };
 
+/// Loop optimization knobs (opt/licm): dominator/loop analysis feeding
+/// LICM, loop-invariant guard hoisting and redundant-guard elimination.
+/// One struct shared verbatim by every compile entry point (whole-function
+/// versions, OSR-in continuations, deoptless continuations) so the tiers
+/// cannot drift apart; Vm::Config::LoopOpts is the single source of truth.
+struct LoopOptOptions {
+  bool Enabled = true;            ///< master switch for the loop layer
+  bool HoistInstrs = true;        ///< LICM of safe pure instructions
+  bool HoistGuards = true;        ///< hoist loop-invariant guards
+  bool ElimRedundantGuards = true;///< drop guards dominated by equivalents
+};
+
+/// The one definition of "debug builds verify between passes": every
+/// config struct that carries the knob (Vm::Config, VersionCompileOpts,
+/// OsrInConfig, DeoptlessConfig) defaults from this constant so the tiers
+/// cannot drift apart.
+#ifndef NDEBUG
+inline constexpr bool VerifyPassesDefault = true;
+#else
+inline constexpr bool VerifyPassesDefault = false;
+#endif
+
 /// Translation/optimization knobs.
 struct OptOptions {
   bool Speculate = true;       ///< insert Assume guards from feedback
@@ -70,6 +92,11 @@ struct OptOptions {
   bool TypedOps = true;        ///< strength-reduce generic ops
   bool FoldConstants = true;
   InlineOptions Inline;
+  LoopOptOptions Loop;
+  /// Run the IR verifier between every optimization pass (the invariant
+  /// gate; structural breakage fails the compile at the pass that caused
+  /// it instead of at the end — or never, when output happens to match).
+  bool VerifyEachPass = VerifyPassesDefault;
 };
 
 /// Result of checking whether a function's environment can be elided.

@@ -108,7 +108,7 @@ std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
   Partial.replace(Fn, repairedContinuationFeedback(
                           Fn, Ctx, deoptlessConfig().FeedbackCleanup));
   SnapshotScope Scope(Partial);
-  return compileContinuationCode(Fn, Ctx, deoptlessConfig().Inline);
+  return compileContinuationCode(Fn, Ctx, deoptlessConfig().optView());
 }
 
 } // namespace
@@ -134,7 +134,7 @@ FeedbackTable rjit::repairedContinuationFeedback(Function *Fn,
 
 std::unique_ptr<LowFunction>
 rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
-                              const InlineOptions &Inline) {
+                              const OptOptions &Opts) {
   EntryState Entry;
   Entry.Pc = Ctx.Pc;
   for (unsigned K = 0; K < Ctx.StackSize; ++K)
@@ -143,8 +143,6 @@ rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
     Entry.EnvTypes.push_back(
         {Ctx.EnvEntries[K].first, RType::of(Ctx.EnvEntries[K].second)});
 
-  OptOptions Opts;
-  Opts.Inline = Inline;
   std::unique_ptr<IrCode> Ir =
       optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
   if (!Ir)

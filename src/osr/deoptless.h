@@ -92,6 +92,21 @@ struct DeoptlessConfig {
   /// Speculative inlining inside continuation compiles (mirrors the Vm's
   /// Inlining knobs so continuations keep the tier's code quality).
   InlineOptions Inline;
+  /// Loop optimization layer inside continuation compiles (mirrors
+  /// Vm::Config::LoopOpts): a continuation entered at a preheader-pc
+  /// frame state re-optimizes the loop it resumes into.
+  LoopOptOptions Loop;
+  /// Between-pass IR verification (Vm::Config::VerifyBetweenPasses).
+  bool VerifyBetweenPasses = VerifyPassesDefault;
+
+  /// The optimizer knob set a continuation compile runs under.
+  OptOptions optView() const {
+    OptOptions O;
+    O.Inline = Inline;
+    O.Loop = Loop;
+    O.VerifyEachPass = VerifyBetweenPasses;
+    return O;
+  }
   /// Background compilation: when set, a continuation miss *requests* an
   /// async compile through this hook and falls back to a true
   /// deoptimization for the current failure; once the continuation is
@@ -139,7 +154,7 @@ FeedbackTable repairedContinuationFeedback(Function *Fn,
 /// the compile readable from a background thread while the interpreter
 /// keeps writing the live profile.
 std::unique_ptr<LowFunction> compileContinuationCode(
-    Function *Fn, const DeoptContext &Ctx, const InlineOptions &Inline);
+    Function *Fn, const DeoptContext &Ctx, const OptOptions &Opts);
 
 } // namespace rjit
 

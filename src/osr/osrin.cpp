@@ -77,8 +77,7 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
 
   EntryState Entry = buildOsrEntryState(Fn, E, Stack, Pc);
 
-  OptOptions Opts;
-  Opts.Inline = osrInConfig().Inline;
+  OptOptions Opts = osrInConfig().optView();
   std::unique_ptr<IrCode> Ir = optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
   if (!Ir) {
     blacklist().insert(Fn);

@@ -29,6 +29,21 @@ struct OsrInConfig {
   /// Speculative inlining inside OSR-in continuation compiles (mirrors
   /// the Vm's Inlining knobs).
   InlineOptions Inline;
+  /// Loop optimization layer inside OSR-in compiles (mirrors
+  /// Vm::Config::LoopOpts). OSR-in entry blocks *are* loop headers, so
+  /// preheader synthesis and guard re-anchoring must hold here too.
+  LoopOptOptions Loop;
+  /// Between-pass IR verification (Vm::Config::VerifyBetweenPasses).
+  bool VerifyBetweenPasses = VerifyPassesDefault;
+
+  /// The optimizer knob set an OSR-in compile runs under.
+  OptOptions optView() const {
+    OptOptions O;
+    O.Inline = Inline;
+    O.Loop = Loop;
+    O.VerifyEachPass = VerifyBetweenPasses;
+    return O;
+  }
 };
 
 OsrInConfig &osrInConfig();

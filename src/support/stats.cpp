@@ -26,6 +26,9 @@ VmStats VmStats::operator-(const VmStats &O) const {
   R.CtxDispatchHits = CtxDispatchHits - O.CtxDispatchHits;
   R.CtxDispatchMisses = CtxDispatchMisses - O.CtxDispatchMisses;
   R.InlinedCalls = InlinedCalls - O.InlinedCalls;
+  R.HoistedInstrs = HoistedInstrs - O.HoistedInstrs;
+  R.HoistedGuards = HoistedGuards - O.HoistedGuards;
+  R.EliminatedGuards = EliminatedGuards - O.EliminatedGuards;
   R.MultiFrameDeopts = MultiFrameDeopts - O.MultiFrameDeopts;
   R.InlineFramesMaterialized =
       InlineFramesMaterialized - O.InlineFramesMaterialized;

@@ -47,6 +47,12 @@ struct VmStats {
   RelaxedCounter CtxDispatchMisses;   ///< context-dispatch calls that fell back
                                       ///< to the generic version or baseline
   RelaxedCounter InlinedCalls;        ///< call sites spliced by opt/inline
+  RelaxedCounter HoistedInstrs;       ///< pure instructions LICM moved into
+                                      ///< a loop preheader
+  RelaxedCounter HoistedGuards;       ///< loop-invariant guards re-anchored
+                                      ///< to a preheader frame state
+  RelaxedCounter EliminatedGuards;    ///< guards removed as dominated by an
+                                      ///< equivalent guard
   RelaxedCounter MultiFrameDeopts;    ///< OSR-outs that rebuilt >1 frame
   RelaxedCounter InlineFramesMaterialized; ///< interpreter frames synthesized
                                       ///< for inlined callers on OSR-out /

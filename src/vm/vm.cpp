@@ -40,6 +40,8 @@ DeoptlessConfig Vm::Config::deoptlessView() const {
   D.FeedbackCleanup = FeedbackCleanup;
   D.MaxContinuations = MaxContinuations;
   D.Inline = inlineView();
+  D.Loop = LoopOpts;
+  D.VerifyBetweenPasses = VerifyBetweenPasses;
   return D;
 }
 
@@ -55,6 +57,8 @@ VersionCompileOpts Vm::Config::versionView() const {
   VersionCompileOpts V;
   V.Speculate = Speculate;
   V.Inline = inlineView();
+  V.Loop = LoopOpts;
+  V.VerifyBetweenPasses = VerifyBetweenPasses;
   V.HashWithContexts = ContextDispatch;
   return V;
 }
@@ -250,7 +254,7 @@ bool vmBackgroundOsrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
     return true;
   }
   if (requestOsrCompile(*V->ActivePool, V, Fn, Entry, &TS.Osr,
-                        osrInConfig().Inline))
+                        osrInConfig().optView()))
     ++stats().WarmupPausesAvoided;
   return false;
 }
@@ -265,7 +269,7 @@ bool vmAsyncContinuationCompile(Function *Fn, const DeoptContext &Ctx) {
   return requestContinuationCompile(*V->ActivePool, V, Fn, Ctx,
                                     &deoptlessTableFor(Fn),
                                     V->Cfg.FeedbackCleanup,
-                                    V->Cfg.inlineView());
+                                    deoptlessConfig().optView());
 }
 
 } // namespace rjit
@@ -303,6 +307,8 @@ Vm::Vm(Config C) : Cfg(C) {
 
   osrInConfig().Enabled = Cfg.OsrIn;
   osrInConfig().Inline = Cfg.inlineView();
+  osrInConfig().Loop = Cfg.LoopOpts;
+  osrInConfig().VerifyBetweenPasses = Cfg.VerifyBetweenPasses;
   DeoptlessConfig D = Cfg.deoptlessView();
   if (Cfg.BackgroundCompile)
     D.AsyncCompile = vmAsyncContinuationCompile;

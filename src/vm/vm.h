@@ -122,6 +122,19 @@ public:
     uint32_t MaxInlineDepth = 2; ///< nesting bound for inlined calls
     uint32_t MaxInlineSize = 48; ///< callee bytecode-length bound
 
+    /// Loop optimization layer (orthogonal to Strategy, on by default):
+    /// dominator/loop analysis drives LICM, loop-invariant guard hoisting
+    /// (guards re-anchored to a preheader frame state, so a failure
+    /// deopts *before* the loop) and redundant-guard elimination. The
+    /// struct carries per-pass off switches; LoopOpts.Enabled = false
+    /// reproduces the previous per-iteration-guard behavior exactly.
+    LoopOptOptions LoopOpts;
+    /// Run the IR verifier between every optimization pass (structural
+    /// breakage fails the compile at the offending pass). Defaults on in
+    /// debug builds — the invariant gate CI's sanitizer jobs rely on —
+    /// and off in release builds.
+    bool VerifyBetweenPasses = VerifyPassesDefault;
+
     /// Background compilation (orthogonal to everything above): compile
     /// requests go to a compiler pool; each job compiles from a feedback
     /// snapshot taken at enqueue time and publishes atomically, while the

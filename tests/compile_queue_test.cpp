@@ -219,6 +219,43 @@ std::string drainedRun(uint64_t &Compilations, uint64_t &CtxVersions) {
 
 } // namespace
 
+TEST(BackgroundCompile, LoopOptsKeepDrainTranscriptsIdentical) {
+  // Preheader synthesis must preserve bench-harness determinism: for a
+  // guard-free workload (Speculate off, so the loop layer can only move
+  // pure instructions and synthesize blocks) the drained transcript is
+  // byte-identical with the layer on and off, including the compile
+  // schedule the zero-thread pool replays.
+  auto Run = [](bool LoopOpts, uint64_t &Compilations) {
+    Vm::Config C = backgroundCfg(/*Threads=*/0);
+    C.Speculate = false;
+    C.LoopOpts.Enabled = LoopOpts;
+    Vm V(C);
+    V.eval("colsum <- function(m, nr, nc) {\n"
+           "  s <- 0\n"
+           "  for (j in 1:nc)\n"
+           "    for (i in 1:nr)\n"
+           "      s <- s + m[[(j - 1L) * nr + i]]\n"
+           "  s\n"
+           "}\n"
+           "d <- as.numeric(1:12)\n");
+    std::string Out;
+    for (int K = 0; K < 4; ++K)
+      Out += V.eval("colsum(d, 4L, 3L)").show() + "\n";
+    V.drainCompiles();
+    for (int K = 0; K < 4; ++K)
+      Out += V.eval("colsum(d, 3L, 4L)").show() + "\n";
+    V.drainCompiles();
+    Compilations = stats().Compilations;
+    return Out;
+  };
+  uint64_t CompOn = 0, CompOff = 0;
+  std::string On = Run(true, CompOn);
+  std::string Off = Run(false, CompOff);
+  EXPECT_EQ(On, Off);
+  EXPECT_EQ(CompOn, CompOff);
+  EXPECT_GT(CompOn, 0u);
+}
+
 TEST(BackgroundCompile, DrainBarrierIsDeterministic) {
   uint64_t Compiles1 = 0, Ctx1 = 0, Compiles2 = 0, Ctx2 = 0;
   std::string R1 = drainedRun(Compiles1, Ctx1);

@@ -272,6 +272,67 @@ TEST_F(OptFixture, FrameStatesDescribeInterpreterState) {
 }
 
 //===----------------------------------------------------------------------===//
+// IR verifier: structural invariants the between-pass gate enforces
+
+TEST(Verifier, RejectsDominanceViolation) {
+  // entry branches to B1/B2; a value defined in B1 is used in B2. Neither
+  // block dominates the other, so the use is invalid — the verifier must
+  // say so (this is what VerifyBetweenPasses catches when a pass moves an
+  // instruction somewhere its operands do not reach).
+  IrCode C;
+  BB *B1 = C.newBlock();
+  BB *B2 = C.newBlock();
+  BB *Entry = C.newBlock();
+  C.Entry = Entry;
+
+  auto Cond = C.make(IrOp::Const, RType::of(Tag::Lgl));
+  Cond->Cst = Value::lgl(true);
+  Instr *CondI = Entry->append(std::move(Cond));
+  auto Br = C.make(IrOp::BranchIr, RType::none());
+  Br->Ops.push_back(CondI);
+  Entry->append(std::move(Br));
+  Entry->setSuccs(B1, B2);
+
+  // B1 defines a (non-constant) value and returns it.
+  auto Len = C.make(IrOp::LengthIr, RType::of(Tag::Int));
+  Len->Ops.push_back(CondI);
+  Instr *LenI = B1->append(std::move(Len));
+  auto Ret1 = C.make(IrOp::Ret, RType::none());
+  Ret1->Ops.push_back(LenI);
+  B1->append(std::move(Ret1));
+
+  // B2 uses B1's value: a dominance violation.
+  auto Ret2 = C.make(IrOp::Ret, RType::none());
+  Ret2->Ops.push_back(LenI);
+  B2->append(std::move(Ret2));
+
+  std::string Err = verify(C);
+  EXPECT_NE(Err.find("does not dominate"), std::string::npos) << Err;
+}
+
+TEST_F(OptFixture, VerifierRejectsFrameStatePcOutOfRange) {
+  Function *F = warm(R"(
+    f <- function(v) v[[1]] + 1
+    x <- c(1.5)
+    f(x); f(x)
+  )");
+  auto C = optimizeToIr(F, CallConv::FullElided, EntryState(), DefaultOpts);
+  ASSERT_TRUE(C);
+  ASSERT_EQ(verify(*C), "");
+  // Corrupt a framestate's resume pc past the bytecode body: the
+  // frame-state/pc consistency check must reject it.
+  Instr *Fs = nullptr;
+  C->eachInstr([&](Instr *I) {
+    if (!Fs && I->Op == IrOp::FrameStateIr)
+      Fs = I;
+  });
+  ASSERT_NE(Fs, nullptr);
+  Fs->BcPc = static_cast<int32_t>(F->BC.Instrs.size()) + 100;
+  std::string Err = verify(*C);
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
 // Feedback cleanup (paper §4.3 "Incomplete Profile Data")
 
 TEST_F(OptFixture, CleanupInjectsActualType) {

@@ -9,12 +9,15 @@
 //
 //  * a seeded random-program differential fuzzer: a small generator emits
 //    programs over scalars, vectors, lists, branches, calls, higher-order
-//    calls and recursion, with type phase-changes; each program runs under
-//    all strategy x dispatch x inlining combinations (plus random-
-//    invalidation configurations) and every configuration must produce
-//    the byte-identical transcript. A final test asserts — via the VM
-//    stats — that the sweep actually took the multi-frame deopt and
-//    deoptless-continuation paths speculative inlining introduces;
+//    calls, recursion, nested loops with loop-carried dependencies,
+//    loop-invariant subexpressions and guarded invariant calls, with type
+//    phase-changes; each program runs under all strategy x dispatch x
+//    inlining x loop-opts combinations (plus random-invalidation
+//    configurations) and every configuration must produce the
+//    byte-identical transcript. A final test asserts — via the VM stats —
+//    that the sweep actually took the multi-frame deopt and deoptless-
+//    continuation paths speculative inlining introduces, and that the
+//    loop layer provably hoisted and eliminated guards across the corpus;
 //
 //  * a *concurrent* differential mode: the same 500 programs re-run with
 //    BackgroundCompile on — N executor threads, each driving its own Vm,
@@ -346,6 +349,35 @@ private:
     // kR: recursion (reads its own name; never inlined, always guarded).
     S += std::string("kR <- function(n) if (n > 0L) kR(n - 1L) ") +
          addSub() + " " + intLit() + " else " + intLit() + "\n";
+    // kH: a guarded *invariant* call inside a loop — the callee-identity
+    // guard on g is per-iteration until the loop layer hoists it to the
+    // preheader (the LoopOpts shape).
+    S += std::string("kH <- function(g, x, n) {\n  s <- 0L\n  for (i in "
+                     "1:n) s <- s ") +
+         addSub() + " g(x)\n  s\n}\n";
+    // kP: the same callee guarded twice in straight line — the dominated
+    // duplicate is redundant-guard-elimination fodder.
+    S += std::string("kP <- function(g, x) g(x) ") + addSub() + " g(x)\n";
+    // kN: nested loops, a loop-carried accumulator crossing both levels,
+    // and a subexpression invariant in both (LICM fodder).
+    S += std::string("kN <- function(v, n, w) {\n  s <- 0L\n"
+                     "  for (i in 1:n) {\n"
+                     "    for (j in 1:n) s <- s ") +
+         addSub() + " (v[[j]] " + addSub() + " (w " + arith() + " " +
+         intLit() + "))\n    s <- s " + addSub() +
+         " i\n  }\n  s\n}\n";
+    // kW: a *while* loop that can run zero iterations — the body must
+    // never execute speculatively: a hoisted guard may deopt early but
+    // no hoisted instruction may raise on the zero-trip entry.
+    S += std::string("kW <- function(g, x, k) {\n  s <- 0L\n"
+                     "  while (k > 0L) { s <- s ") +
+         addSub() + " g(x)\n    k <- k - 1L }\n  s\n}\n";
+    // kZ: a faulting invariant subexpression (integer %%) in a while
+    // body; the zero-divisor call below only ever runs zero-trip, so any
+    // speculative hoist of the %% turns a silent loop-skip into an error.
+    S += "kZ <- function(a, b, k) {\n  s <- 0L\n"
+         "  while (k > 0L) { s <- s + (a %% b)\n    k <- k - 1L }\n"
+         "  s\n}\n";
     // Data: int/real vectors and lists for the two phases.
     int M = 4 + static_cast<int>(R.below(5));
     S += "m <- " + std::to_string(M) + "L\n";
@@ -368,7 +400,7 @@ private:
     int N = 10 + static_cast<int>(R.below(5));
     for (int K = 0; K < N; ++K) {
       int Phase = K >= N / 2; // type switch halfway through
-      switch (R.below(7)) {
+      switch (R.below(12)) {
       case 0:
         Lines.push_back("kA(" + scalar(Phase) + ", " + scalar(Phase) + ")");
         break;
@@ -388,6 +420,31 @@ private:
         break;
       case 5:
         Lines.push_back("kR(" + std::to_string(2 + R.below(5)) + "L)");
+        break;
+      case 6:
+        Lines.push_back("kH(kF, " + scalar(Phase) + ", m)");
+        break;
+      case 7:
+        Lines.push_back("kP(kF, " + scalar(Phase) + ")");
+        break;
+      case 8:
+        Lines.push_back(std::string("kN(") + (Phase ? "vr" : "vi") +
+                        ", m, " + scalar(Phase) + ")");
+        break;
+      case 9:
+        // Trip count 0..3: the zero-trip case is the one a speculative
+        // hoist gets wrong.
+        Lines.push_back("kW(kF, " + scalar(Phase) + ", " +
+                        std::to_string(R.below(4)) + "L)");
+        break;
+      case 10:
+        // Alternate a running %% with a zero-divisor zero-trip call: the
+        // latter must stay a silent 0L in every configuration.
+        if (R.below(2))
+          Lines.push_back("kZ(" + intLit() + ", " + intLit() + ", " +
+                          std::to_string(1 + R.below(3)) + "L)");
+        else
+          Lines.push_back("kZ(" + intLit() + ", 0L, 0L)");
         break;
       default:
         Lines.push_back("kA(kB(" + scalar(Phase) + ", " + scalar(Phase) +
@@ -418,6 +475,9 @@ struct FuzzCoverage {
   RelaxedCounter Deopts;
   RelaxedCounter Reoptimizations;
   RelaxedCounter CtxDispatchHits;
+  RelaxedCounter HoistedGuards;
+  RelaxedCounter HoistedInstrs;
+  RelaxedCounter EliminatedGuards;
   RelaxedCounter Programs;
 };
 
@@ -437,6 +497,9 @@ void absorbStats() {
   C.Deopts += S.Deopts;
   C.Reoptimizations += S.Reoptimizations;
   C.CtxDispatchHits += S.CtxDispatchHits;
+  C.HoistedGuards += S.HoistedGuards;
+  C.HoistedInstrs += S.HoistedInstrs;
+  C.EliminatedGuards += S.EliminatedGuards;
 }
 
 std::string driversOf(const GenProg &P) {
@@ -474,10 +537,15 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
                            TierStrategy::ProfileDrivenReopt})
       for (bool Ctx : {false, true})
         for (bool Inl : {false, true})
-          ASSERT_EQ(Base, runProgram(P, cfg(S, Ctx, Inl)))
-              << "seed " << Seed << " strategy " << static_cast<int>(S)
-              << " ctx=" << Ctx << " inl=" << Inl << "\nprogram:\n"
-              << P.Setup << "drivers:\n" << driversOf(P);
+          for (bool Loop : {false, true}) {
+            Vm::Config C = cfg(S, Ctx, Inl);
+            C.LoopOpts.Enabled = Loop;
+            ASSERT_EQ(Base, runProgram(P, C))
+                << "seed " << Seed << " strategy " << static_cast<int>(S)
+                << " ctx=" << Ctx << " inl=" << Inl << " loop=" << Loop
+                << "\nprogram:\n"
+                << P.Setup << "drivers:\n" << driversOf(P);
+          }
 
     // Random invalidation on top of inlining: injected guard failures
     // land inside spliced callees too, forcing the multi-frame OSR-out
@@ -494,7 +562,7 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
   }
 }
 
-// 10 shards x 50 programs = 500 random programs, each checked under 15
+// 10 shards x 50 programs = 500 random programs, each checked under 27
 // configurations (shards parallelize under `ctest -j`).
 INSTANTIATE_TEST_SUITE_P(Shards, DiffFuzz,
                          ::testing::Range(0, static_cast<int>(FuzzShards)));
@@ -573,6 +641,11 @@ TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
         Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
         C.BackgroundCompile = true;
         C.Pool = &Pool;
+        // LoopOpts axis, alternated per (program, strategy) so both
+        // settings race the shared pool across the corpus without
+        // doubling the TSan-heavy concurrent sweep.
+        C.LoopOpts.Enabled =
+            ((K + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) == 0;
         std::string Got = runProgramBackground(P, C);
         if (Got != Base) {
           std::lock_guard<std::mutex> L(FailuresMu);
@@ -631,6 +704,15 @@ public:
     EXPECT_GT(C.CtxDispatchHits, 0u)
         << "the ContextDispatch axis never dispatched a specialized "
            "version";
+    EXPECT_GT(C.HoistedGuards, 0u)
+        << "the loop layer never hoisted a guard — the kH corpus shape "
+           "must exercise invariant-guard hoisting";
+    EXPECT_GT(C.HoistedInstrs, 0u)
+        << "LICM never moved an instruction — the kN corpus shape must "
+           "exercise invariant subexpressions";
+    EXPECT_GT(C.EliminatedGuards, 0u)
+        << "redundant-guard elimination never fired — the kP corpus "
+           "shape must produce dominated duplicate guards";
   }
 };
 

@@ -109,4 +109,10 @@ void rjit::suite::printStats(const char *Label, const VmStats &S) {
            Label, (unsigned long long)S.AsyncCompiles,
            (unsigned long long)S.CompileQueueDepth,
            (unsigned long long)S.WarmupPausesAvoided);
+  if (S.NativeCompiles || S.NativeEnters || S.GraveyardSize)
+    printf("# stats[%s]: native compiles %llu, native enters %llu, "
+           "graveyard %llu\n",
+           Label, (unsigned long long)S.NativeCompiles,
+           (unsigned long long)S.NativeEnters,
+           (unsigned long long)S.GraveyardSize);
 }

@@ -60,6 +60,7 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
   O.Inline = Opts.Inline;
   O.Loop = Opts.Loop;
   O.VerifyEachPass = Opts.VerifyBetweenPasses;
+  O.Backend = Opts.Backend;
   EntryState Entry;
   if (!Want.isGeneric()) {
     // Seed inference with the argument types the dispatch guarantees.
@@ -100,7 +101,8 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
     return nullptr;
   }
 
-  std::unique_ptr<LowFunction> Low = lowerToLow(*Ir);
+  std::unique_ptr<ExecutableCode> Exec =
+      prepareExecutable(Opts.Backend, lowerToLow(*Ir));
   {
     VersionWriteGuard G(Table);
     // Guard-failure blacklisting may have raced ahead of this
@@ -112,7 +114,7 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
     if (!E->live()) {
       E->FeedbackHash = feedbackHash(*Fn, Opts.HashWithContexts);
       E->CallsSinceSample = 0;
-      E->publish(std::move(Low));
+      E->publish(std::move(Exec));
       ++stats().Compilations;
       if (!Want.isGeneric())
         ++stats().CtxVersions;
@@ -141,7 +143,7 @@ bool OsrCache::invalidate(const LowFunction *Code) {
   std::lock_guard<std::mutex> L(WriterMu);
   const std::vector<Entry *> &Cur = List.read();
   for (size_t K = 0; K < Cur.size(); ++K)
-    if (Cur[K]->Code.get() == Code) {
+    if (Cur[K]->Code && Cur[K]->Code->lowPtr() == Code) {
       List.removeAt(K);
       return true;
     }
@@ -149,7 +151,7 @@ bool OsrCache::invalidate(const LowFunction *Code) {
 }
 
 void OsrCache::publish(int32_t Pc, std::vector<uint32_t> Sig,
-                       std::unique_ptr<LowFunction> Code) {
+                       std::unique_ptr<ExecutableCode> Code) {
   std::lock_guard<std::mutex> L(WriterMu);
   const std::vector<Entry *> &Cur = List.read();
   if (Cur.size() >= Cap)
@@ -283,7 +285,8 @@ bool rjit::requestOsrCompile(CompilerPool &Pool, const void *Owner,
         // Null code is published as a failure marker: the executor stops
         // requesting this signature instead of re-enqueueing forever.
         Cache->publish(Entry.Pc, std::move(Sig),
-                       Ir ? lowerToLow(*Ir) : nullptr);
+                       Ir ? prepareExecutable(Opts.Backend, lowerToLow(*Ir))
+                          : nullptr);
       }};
   CompileQueue::Push R = Pool.queue().push(std::move(Job));
   return R == CompileQueue::Push::Enqueued ||
@@ -308,7 +311,7 @@ bool rjit::requestContinuationCompile(CompilerPool &Pool, const void *Owner,
                 repairedContinuationFeedback(Fn, Ctx, FeedbackCleanup));
   CompileJob Job{Key, [Fn, Ctx, Table, Opts, Snap]() {
                    SnapshotScope Scope(*Snap);
-                   std::unique_ptr<LowFunction> Code =
+                   std::unique_ptr<ExecutableCode> Code =
                        compileContinuationCode(Fn, Ctx, Opts);
                    if (Code && Table->insert(Ctx, std::move(Code)))
                      ++stats().DeoptlessCompiles;

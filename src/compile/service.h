@@ -36,6 +36,7 @@
 
 #include "compile/pool.h"
 #include "dispatch/version.h"
+#include "exec/backend.h"
 #include "osr/deoptless.h"
 #include "support/cowlist.h"
 
@@ -56,6 +57,10 @@ struct VersionCompileOpts {
   bool VerifyBetweenPasses = VerifyPassesDefault;
   /// feedbackHash flavor: include call-site contexts (ContextDispatch).
   bool HashWithContexts = false;
+  /// Execution backend the compiled code is prepared for (null =
+  /// interpreter). Backends are thread-safe: jobs call prepare() from
+  /// compiler threads.
+  ExecBackend *Backend = nullptr;
 };
 
 /// Resolves which context to (re)compile (blacklisted / unplaceable
@@ -82,17 +87,17 @@ public:
   struct Entry {
     int32_t Pc;
     std::vector<uint32_t> Sig;
-    std::unique_ptr<LowFunction> Code; ///< null: compile failed
+    std::unique_ptr<ExecutableCode> Code; ///< null: compile failed
   };
 
   struct Hit {
     bool Found = false;
-    LowFunction *Code = nullptr;
+    ExecutableCode *Code = nullptr;
   };
 
   Hit lookup(int32_t Pc, const std::vector<uint32_t> &Sig) const;
   void publish(int32_t Pc, std::vector<uint32_t> Sig,
-               std::unique_ptr<LowFunction> Code);
+               std::unique_ptr<ExecutableCode> Code);
   bool full() const;
   size_t size() const { return List.read().size(); }
 

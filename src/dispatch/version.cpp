@@ -68,8 +68,9 @@ FnVersion *VersionTable::owner(const LowFunction *Code) {
   if (!Code)
     return nullptr;
   for (FnVersion *E : snapshot())
-    if (E->code() == Code)
-      return E;
+    if (ExecutableCode *X = E->code())
+      if (X->lowPtr() == Code)
+        return E;
   return nullptr;
 }
 

@@ -34,6 +34,7 @@
 #define RJIT_DISPATCH_VERSION_H
 
 #include "dispatch/context.h"
+#include "exec/backend.h"
 #include "lowcode/lowcode.h"
 #include "support/cowlist.h"
 
@@ -59,26 +60,29 @@ struct FnVersion {
   uint64_t CallsSinceSample = 0; ///< ProfileDrivenReopt period counter
   uint64_t FeedbackHash = 0;     ///< profile snapshot at compile time
 
-  /// The published code (acquire), or null when retired / not yet built.
-  LowFunction *code() const { return Code.load(std::memory_order_acquire); }
+  /// The published executable (acquire), or null when retired / not yet
+  /// built. Backend-produced: interpreter-backed or native machine code.
+  ExecutableCode *code() const {
+    return Code.load(std::memory_order_acquire);
+  }
   bool live() const { return code() != nullptr; }
 
   /// Installs \p C as this version's code (release). Writer lock required.
-  void publish(std::unique_ptr<LowFunction> C) {
+  void publish(std::unique_ptr<ExecutableCode> C) {
     Owner = std::move(C);
     Code.store(Owner.get(), std::memory_order_release);
   }
 
   /// Retires the code, returning ownership (the caller graveyards it:
   /// activations may still be on the stack). Writer lock required.
-  std::unique_ptr<LowFunction> retire() {
+  std::unique_ptr<ExecutableCode> retire() {
     Code.store(nullptr, std::memory_order_release);
     return std::move(Owner);
   }
 
 private:
-  std::atomic<LowFunction *> Code{nullptr};
-  std::unique_ptr<LowFunction> Owner;
+  std::atomic<ExecutableCode *> Code{nullptr};
+  std::unique_ptr<ExecutableCode> Owner;
 };
 
 /// Per-function dispatch table over context-specialized versions.
@@ -100,7 +104,9 @@ public:
   /// the generic root always fits. Requires a live VersionWriteGuard.
   FnVersion *insert(const CallContext &Ctx);
 
-  /// Entry owning \p Code, or null (e.g. continuation/OSR-in code).
+  /// Entry whose executable was prepared from \p Code, or null (e.g.
+  /// continuation/OSR-in code). The deopt runtime identifies code by its
+  /// LowFunction — the one identity both backends share.
   FnVersion *owner(const LowFunction *Code);
 
   /// The least specialized live entry (dispatch order is most specialized

@@ -1,0 +1,103 @@
+//===-- exec/backend.h - Pluggable execution backends ------------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-backend seam: optimized code is lowered to LowCode (the
+/// portable description carrying the deopt metadata) and then *prepared*
+/// by a backend into an ExecutableCode — the unit every publication point
+/// (FnVersion, OsrCache, deoptless Continuation) stores and every dispatch
+/// point invokes. Two backends exist:
+///
+///  * the threaded-interpreter backend (always available, portable):
+///    prepare() is a thin wrapper and run() is runLow();
+///  * the x86-64 template JIT (src/native/): prepare() stitches per-LowOp
+///    machine-code templates into a W^X code cache; guards become a test
+///    plus a side-exit stub that materializes the live-slot map and calls
+///    the same DeoptMeta-indexed hook, so true deopt, deoptless dispatch
+///    and multi-frame OSR-out work unchanged from native frames.
+///
+/// Backends must be callable from compiler threads (prepare) while
+/// executors run previously prepared code (run); prepare() never fails —
+/// a backend that cannot improve on interpretation returns an
+/// interpreter-equivalent executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_EXEC_BACKEND_H
+#define RJIT_EXEC_BACKEND_H
+
+#include "lowcode/lowcode.h"
+
+#include <memory>
+#include <vector>
+
+namespace rjit {
+
+class Env;
+
+/// A backend-produced executable unit. Owns the LowFunction it was
+/// prepared from: the deopt runtime, the version tables and the printers
+/// all keep speaking LowCode — low() is the stable identity every
+/// "which code does this guard belong to" lookup uses.
+class ExecutableCode {
+public:
+  virtual ~ExecutableCode() = default;
+  ExecutableCode(const ExecutableCode &) = delete;
+  ExecutableCode &operator=(const ExecutableCode &) = delete;
+
+  /// The portable description (slots, instructions, DeoptMetas).
+  const LowFunction &low() const { return *Low; }
+  LowFunction *lowPtr() const { return Low.get(); }
+
+  /// Runs the executable; the contract of runLow(): \p Args fill the
+  /// parameter slots, \p CurEnv is the live environment for real-env
+  /// code (null for elided conventions), \p ParentEnv the lexical parent.
+  virtual Value run(std::vector<Value> &&Args, Env *CurEnv,
+                    Env *ParentEnv) = 0;
+
+  /// Name of the backend that produced this code ("interp", "native-x64").
+  virtual const char *backendName() const = 0;
+
+protected:
+  explicit ExecutableCode(std::unique_ptr<LowFunction> L)
+      : Low(std::move(L)) {}
+
+private:
+  std::unique_ptr<LowFunction> Low;
+};
+
+/// A code-producing execution tier. prepare() is called on whatever thread
+/// compiled the LowCode (the executor in synchronous mode, a compiler
+/// thread under BackgroundCompile) and must be internally thread-safe;
+/// the returned executable may then be invoked from any executor thread
+/// that observes its publication.
+class ExecBackend {
+public:
+  virtual ~ExecBackend() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Wraps \p Low into an executable. Never returns null.
+  virtual std::unique_ptr<ExecutableCode>
+  prepare(std::unique_ptr<LowFunction> Low) = 0;
+};
+
+/// The interpreter backend (stateless process-wide singleton).
+ExecBackend &interpBackend();
+
+/// Resolves a possibly-null backend pointer (configs default to null =
+/// interpreter) to a usable backend.
+inline ExecBackend &backendOr(ExecBackend *B) {
+  return B ? *B : interpBackend();
+}
+
+/// Convenience used by every compile site: lower + prepare in one step.
+std::unique_ptr<ExecutableCode> prepareExecutable(ExecBackend *Backend,
+                                                  std::unique_ptr<LowFunction> Low);
+
+} // namespace rjit
+
+#endif // RJIT_EXEC_BACKEND_H

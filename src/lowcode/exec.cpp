@@ -6,6 +6,7 @@
 
 #include "lowcode/exec.h"
 #include "bc/interp.h"
+#include "lowcode/step.h"
 #include "runtime/builtins.h"
 #include "support/stats.h"
 
@@ -201,15 +202,256 @@ double realArithApply(BinOp Op, double X, double Y) {
   }
 }
 
+//===--------------------------------------------------------------------===//
+// Op bodies shared by the threaded dispatch loop and stepLowInstr (the
+// native backend's per-op fallback): one implementation per nontrivial
+// operation, so the two backends cannot drift apart. All take raw slot
+// pointers — the interpreter passes its vectors' data, the native frame
+// its arrays.
+//===--------------------------------------------------------------------===//
+
+inline void loadConstOp(const LowFunction &F, const LowInstr &I, Value *S,
+                        double *D, int32_t *Iv) {
+  const Value &V = F.Consts[I.Imm];
+  switch (static_cast<SlotClass>(I.B)) {
+  case SlotClass::Boxed:
+    S[I.Dst] = V;
+    break;
+  case SlotClass::RawReal:
+    D[I.Dst] = V.asRealUnchecked();
+    break;
+  case SlotClass::RawInt:
+    Iv[I.Dst] = V.asIntUnchecked();
+    break;
+  }
+}
+
+inline void moveOp(const LowInstr &I, Value *S, double *D, int32_t *Iv) {
+  switch (static_cast<SlotClass>(I.B)) {
+  case SlotClass::Boxed:
+    if (I.C)
+      S[I.Dst] = std::move(S[I.A]); // source slot is dead
+    else
+      S[I.Dst] = S[I.A];
+    break;
+  case SlotClass::RawReal:
+    D[I.Dst] = D[I.A];
+    break;
+  case SlotClass::RawInt:
+    Iv[I.Dst] = Iv[I.A];
+    break;
+  }
+}
+
+inline void boxOp(const LowInstr &I, Value *S, const double *D,
+                  const int32_t *Iv) {
+  S[I.Dst] = static_cast<SlotClass>(I.C) == SlotClass::RawReal
+                 ? Value::real(D[I.A])
+                 : Value::integer(Iv[I.A]);
+}
+
+inline void unboxOp(const LowInstr &I, const Value *S, double *D,
+                    int32_t *Iv) {
+  if (static_cast<SlotClass>(I.C) == SlotClass::RawReal)
+    D[I.Dst] = S[I.A].asRealUnchecked();
+  else
+    Iv[I.Dst] = S[I.A].asIntUnchecked();
+}
+
+inline void ldEnvOp(const LowInstr &I, Value *S, Env *ReadEnv) {
+  if (!ReadEnv)
+    rerror("unbound variable (no environment)");
+  S[I.Dst] = ReadEnv->get(static_cast<Symbol>(I.Imm));
+}
+
+inline void stEnvSuperOp(const LowInstr &I, Value *S, Env *CurEnv,
+                         Env *ParentEnv) {
+  if (CurEnv)
+    CurEnv->setSuper(static_cast<Symbol>(I.Imm), S[I.A]);
+  else
+    superAssignFrom(ParentEnv, static_cast<Symbol>(I.Imm), S[I.A]);
+}
+
+inline void callValOp(const LowInstr &I, Value *S) {
+  std::vector<Value> CallArgs(I.Imm);
+  for (int32_t K = 0; K < I.Imm; ++K)
+    CallArgs[K] = std::move(S[I.B + K]);
+  S[I.Dst] = callValue(S[I.A], std::move(CallArgs));
+}
+
+inline void setElem2Op(const LowInstr &I, Value *S) {
+  bool Steal = I.C & 0x100;
+  Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
+  S[I.Dst] = assign2(std::move(Obj), S[I.B].toInt(), S[I.Imm]);
+}
+
+inline void setIdxEnvOp(const LowInstr &I, Value *S, Env *CurEnv) {
+  assert(CurEnv && "env-indexed store requires an environment");
+  Symbol Sym = static_cast<Symbol>(I.Imm2);
+  Value *Slot = CurEnv->findLocal(Sym);
+  if (!Slot) {
+    CurEnv->set(Sym, CurEnv->get(Sym));
+    Slot = CurEnv->findLocal(Sym);
+  }
+  *Slot = assign2(std::move(*Slot), S[I.A].toInt(), S[I.B]);
+  S[I.Dst] = S[I.B];
+}
+
+inline void coerceOp(const LowInstr &I, Value *S, double *D, int32_t *Iv) {
+  Tag Target = static_cast<Tag>(I.C & 0xFF);
+  SlotClass SrcK = static_cast<SlotClass>(I.C >> 8);
+  SlotClass DstK = static_cast<SlotClass>(I.B);
+  if (DstK == SlotClass::RawReal) {
+    D[I.Dst] = SrcK == SlotClass::RawReal  ? D[I.A]
+               : SrcK == SlotClass::RawInt ? static_cast<double>(Iv[I.A])
+                                           : S[I.A].toReal();
+  } else if (DstK == SlotClass::RawInt) {
+    Iv[I.Dst] = SrcK == SlotClass::RawInt ? Iv[I.A]
+                : SrcK == SlotClass::RawReal
+                    ? static_cast<int32_t>(D[I.A])
+                    : S[I.A].toInt();
+  } else {
+    Value Src = SrcK == SlotClass::RawReal  ? Value::real(D[I.A])
+                : SrcK == SlotClass::RawInt ? Value::integer(Iv[I.A])
+                                            : S[I.A];
+    S[I.Dst] = coerceValue(Src, Target);
+  }
+}
+
+inline void arithTypedOp(const LowInstr &I, Value *S, double *D,
+                         int32_t *Iv) {
+  BinOp Op = static_cast<BinOp>(I.C >> 2);
+  int Rank = I.C & 3;
+  if (Rank == 2) {
+    if (isCmpOp(Op))
+      S[I.Dst] = Value::lgl(cmpApply(Op, D[I.A], D[I.B]));
+    else
+      D[I.Dst] = realArithApply(Op, D[I.A], D[I.B]);
+  } else if (Rank == 1) {
+    if (isCmpOp(Op))
+      S[I.Dst] = Value::lgl(cmpApply(Op, Iv[I.A], Iv[I.B]));
+    else
+      Iv[I.Dst] = intArithApply(Op, Iv[I.A], Iv[I.B]);
+  } else {
+    S[I.Dst] =
+        cplxArith(Op, S[I.A].asCplxUnchecked(), S[I.B].asCplxUnchecked());
+  }
+}
+
+inline void extract2TypedOp(const LowInstr &I, Value *S, double *D,
+                            int32_t *Iv) {
+  // A vector-typed operand may hold the corresponding *scalar* at run
+  // time (RType's widened semantics: R scalars are length-one vectors);
+  // contexts dispatch scalar calls to vector versions, so the typed path
+  // must honor that.
+  const Value &Obj = S[I.A];
+  int64_t Idx = Iv[I.B];
+  switch (static_cast<Tag>(I.C)) {
+  case Tag::Real: {
+    if (Obj.tag() == Tag::Real) {
+      if (Idx != 1)
+        rerror("subscript out of bounds: " + std::to_string(Idx));
+      D[I.Dst] = Obj.asRealUnchecked();
+      break;
+    }
+    const auto &Dd = Obj.realVecObj()->D;
+    if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+      rerror("subscript out of bounds: " + std::to_string(Idx));
+    D[I.Dst] = Dd[Idx - 1];
+    break;
+  }
+  case Tag::Int: {
+    if (Obj.tag() == Tag::Int) {
+      if (Idx != 1)
+        rerror("subscript out of bounds: " + std::to_string(Idx));
+      Iv[I.Dst] = Obj.asIntUnchecked();
+      break;
+    }
+    const auto &Dd = Obj.intVecObj()->D;
+    if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+      rerror("subscript out of bounds: " + std::to_string(Idx));
+    Iv[I.Dst] = Dd[Idx - 1];
+    break;
+  }
+  case Tag::Cplx: {
+    if (Obj.tag() == Tag::Cplx) {
+      if (Idx != 1)
+        rerror("subscript out of bounds: " + std::to_string(Idx));
+      S[I.Dst] = Obj;
+      break;
+    }
+    const auto &Dd = Obj.cplxVecObj()->D;
+    if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+      rerror("subscript out of bounds: " + std::to_string(Idx));
+    S[I.Dst] = Value::cplx(Dd[Idx - 1]);
+    break;
+  }
+  default: {
+    if (Obj.tag() == Tag::Lgl) {
+      if (Idx != 1)
+        rerror("subscript out of bounds: " + std::to_string(Idx));
+      S[I.Dst] = Obj;
+      break;
+    }
+    const auto &Dd = Obj.lglVecObj()->D;
+    if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
+      rerror("subscript out of bounds: " + std::to_string(Idx));
+    S[I.Dst] = Value::lgl(Dd[Idx - 1] != 0);
+    break;
+  }
+  }
+}
+
+inline void setElem2TypedOp(const LowInstr &I, Value *S, double *D,
+                            int32_t *Iv) {
+  bool Steal = I.C & 0x100;
+  Tag Kind = static_cast<Tag>(I.C & 0xFF);
+  Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
+  int64_t Idx = Iv[I.B];
+  // Widened semantics (see extract2TypedOp): promote a scalar operand to
+  // its length-one vector before the raw element store.
+  switch (Obj.tag()) {
+  case Tag::Real:
+    Obj = Value::realVec({Obj.asRealUnchecked()});
+    break;
+  case Tag::Int:
+    Obj = Value::intVec({Obj.asIntUnchecked()});
+    break;
+  case Tag::Cplx:
+    Obj = Value::cplxVec({Obj.asCplxUnchecked()});
+    break;
+  case Tag::Lgl:
+    Obj = Value::lglVec({static_cast<int8_t>(Obj.asLglUnchecked())});
+    break;
+  default:
+    break;
+  }
+  switch (Kind) {
+  case Tag::Real:
+    S[I.Dst] = setTypedElem<RealVecObj, double>(std::move(Obj),
+                                                Tag::RealVec, Idx, D[I.Imm]);
+    break;
+  case Tag::Int:
+    S[I.Dst] = setTypedElem<IntVecObj, int32_t>(std::move(Obj), Tag::IntVec,
+                                                Idx, Iv[I.Imm]);
+    break;
+  case Tag::Cplx:
+    S[I.Dst] = setTypedElem<CplxVecObj, Complex>(
+        std::move(Obj), Tag::CplxVec, Idx, S[I.Imm].asCplxUnchecked());
+    break;
+  default:
+    S[I.Dst] = setTypedElem<LglVecObj, int8_t>(
+        std::move(Obj), Tag::LglVec, Idx,
+        static_cast<int8_t>(S[I.Imm].asLglUnchecked() ? 1 : 0));
+    break;
+  }
+}
+
 } // namespace
 
-Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
-                   Env *CurEnv, Env *ParentEnv) {
+void rjit::spillLowArgs(const LowFunction &F, std::vector<Value> &&Args,
+                        Value *S, double *D, int32_t *Iv) {
   assert(Args.size() == F.NumParams && "argument count mismatch");
-  std::vector<Value> S(F.NumSlots);
-  std::vector<double> D(F.NumSlotsD);
-  std::vector<int32_t> Iv(F.NumSlotsI);
-
   // Incoming arguments land in their class home; raw homes are unboxed
   // here (their types were guaranteed by the caller/context).
   for (size_t K = 0; K < Args.size(); ++K) {
@@ -225,6 +467,14 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       break;
     }
   }
+}
+
+Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
+                   Env *CurEnv, Env *ParentEnv) {
+  std::vector<Value> S(F.NumSlots);
+  std::vector<double> D(F.NumSlotsD);
+  std::vector<int32_t> Iv(F.NumSlotsI);
+  spillLowArgs(F, std::move(Args), S.data(), D.data(), Iv.data());
 
   LowHooks &H = lowHooks();
   Env *ReadEnv = CurEnv ? CurEnv : ParentEnv;
@@ -258,80 +508,32 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
     switch (I.Op) {
 #endif
     VMCASE(LoadConst) {
-      const Value &V = F.Consts[I.Imm];
-      switch (static_cast<SlotClass>(I.B)) {
-      case SlotClass::Boxed:
-        S[I.Dst] = V;
-        break;
-      case SlotClass::RawReal:
-        D[I.Dst] = V.asRealUnchecked();
-        break;
-      case SlotClass::RawInt:
-        Iv[I.Dst] = V.asIntUnchecked();
-        break;
-      }
+      loadConstOp(F, I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(Move) {
-      switch (static_cast<SlotClass>(I.B)) {
-      case SlotClass::Boxed:
-        if (I.C)
-          S[I.Dst] = std::move(S[I.A]); // source slot is dead
-        else
-          S[I.Dst] = S[I.A];
-        break;
-      case SlotClass::RawReal:
-        D[I.Dst] = D[I.A];
-        break;
-      case SlotClass::RawInt:
-        Iv[I.Dst] = Iv[I.A];
-        break;
-      }
+      moveOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(Box) {
-      S[I.Dst] = static_cast<SlotClass>(I.C) == SlotClass::RawReal
-                     ? Value::real(D[I.A])
-                     : Value::integer(Iv[I.A]);
+      boxOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(Unbox) {
-      if (static_cast<SlotClass>(I.C) == SlotClass::RawReal)
-        D[I.Dst] = S[I.A].asRealUnchecked();
-      else
-        Iv[I.Dst] = S[I.A].asIntUnchecked();
+      unboxOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(Coerce) {
-      Tag Target = static_cast<Tag>(I.C & 0xFF);
-      SlotClass SrcK = static_cast<SlotClass>(I.C >> 8);
-      SlotClass DstK = static_cast<SlotClass>(I.B);
-      if (DstK == SlotClass::RawReal) {
-        D[I.Dst] = SrcK == SlotClass::RawReal  ? D[I.A]
-                   : SrcK == SlotClass::RawInt ? static_cast<double>(Iv[I.A])
-                                               : S[I.A].toReal();
-      } else if (DstK == SlotClass::RawInt) {
-        Iv[I.Dst] = SrcK == SlotClass::RawInt ? Iv[I.A]
-                    : SrcK == SlotClass::RawReal
-                        ? static_cast<int32_t>(D[I.A])
-                        : S[I.A].toInt();
-      } else {
-        Value Src = SrcK == SlotClass::RawReal  ? Value::real(D[I.A])
-                    : SrcK == SlotClass::RawInt ? Value::integer(Iv[I.A])
-                                                : S[I.A];
-        S[I.Dst] = coerceValue(Src, Target);
-      }
+      coerceOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(LdEnv) {
-      if (!ReadEnv)
-        rerror("unbound variable (no environment)");
-      S[I.Dst] = ReadEnv->get(static_cast<Symbol>(I.Imm));
+      ldEnvOp(I, S.data(), ReadEnv);
       ++Pc;
       VMSTEP();
     }
@@ -342,10 +544,7 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       VMSTEP();
     }
     VMCASE(StEnvSuper) {
-      if (CurEnv)
-        CurEnv->setSuper(static_cast<Symbol>(I.Imm), S[I.A]);
-      else
-        superAssignFrom(ParentEnv, static_cast<Symbol>(I.Imm), S[I.A]);
+      stEnvSuperOp(I, S.data(), CurEnv, ParentEnv);
       ++Pc;
       VMSTEP();
     }
@@ -357,10 +556,7 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
     }
     VMCASE(CallValLow)
     VMCASE(CallStaticLow) {
-      std::vector<Value> CallArgs(I.Imm);
-      for (int32_t K = 0; K < I.Imm; ++K)
-        CallArgs[K] = std::move(S[I.B + K]);
-      S[I.Dst] = callValue(S[I.A], std::move(CallArgs));
+      callValOp(I, S.data());
       ++Pc;
       VMSTEP();
     }
@@ -371,22 +567,7 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       VMSTEP();
     }
     VMCASE(ArithTyped) {
-      BinOp Op = static_cast<BinOp>(I.C >> 2);
-      int Rank = I.C & 3;
-      if (Rank == 2) {
-        if (isCmpOp(Op))
-          S[I.Dst] = Value::lgl(cmpApply(Op, D[I.A], D[I.B]));
-        else
-          D[I.Dst] = realArithApply(Op, D[I.A], D[I.B]);
-      } else if (Rank == 1) {
-        if (isCmpOp(Op))
-          S[I.Dst] = Value::lgl(cmpApply(Op, Iv[I.A], Iv[I.B]));
-        else
-          Iv[I.Dst] = intArithApply(Op, Iv[I.A], Iv[I.B]);
-      } else {
-        S[I.Dst] = cplxArith(Op, S[I.A].asCplxUnchecked(),
-                             S[I.B].asCplxUnchecked());
-      }
+      arithTypedOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
@@ -421,132 +602,23 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       VMSTEP();
     }
     VMCASE(Extract2Typed) {
-      // A vector-typed operand may hold the corresponding *scalar* at run
-      // time (RType's widened semantics: R scalars are length-one
-      // vectors); contexts dispatch scalar calls to vector versions, so
-      // the typed path must honor that.
-      const Value &Obj = S[I.A];
-      int64_t Idx = Iv[I.B];
-      switch (static_cast<Tag>(I.C)) {
-      case Tag::Real: {
-        if (Obj.tag() == Tag::Real) {
-          if (Idx != 1)
-            rerror("subscript out of bounds: " + std::to_string(Idx));
-          D[I.Dst] = Obj.asRealUnchecked();
-          break;
-        }
-        const auto &Dd = Obj.realVecObj()->D;
-        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
-          rerror("subscript out of bounds: " + std::to_string(Idx));
-        D[I.Dst] = Dd[Idx - 1];
-        break;
-      }
-      case Tag::Int: {
-        if (Obj.tag() == Tag::Int) {
-          if (Idx != 1)
-            rerror("subscript out of bounds: " + std::to_string(Idx));
-          Iv[I.Dst] = Obj.asIntUnchecked();
-          break;
-        }
-        const auto &Dd = Obj.intVecObj()->D;
-        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
-          rerror("subscript out of bounds: " + std::to_string(Idx));
-        Iv[I.Dst] = Dd[Idx - 1];
-        break;
-      }
-      case Tag::Cplx: {
-        if (Obj.tag() == Tag::Cplx) {
-          if (Idx != 1)
-            rerror("subscript out of bounds: " + std::to_string(Idx));
-          S[I.Dst] = Obj;
-          break;
-        }
-        const auto &Dd = Obj.cplxVecObj()->D;
-        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
-          rerror("subscript out of bounds: " + std::to_string(Idx));
-        S[I.Dst] = Value::cplx(Dd[Idx - 1]);
-        break;
-      }
-      default: {
-        if (Obj.tag() == Tag::Lgl) {
-          if (Idx != 1)
-            rerror("subscript out of bounds: " + std::to_string(Idx));
-          S[I.Dst] = Obj;
-          break;
-        }
-        const auto &Dd = Obj.lglVecObj()->D;
-        if (Idx < 1 || static_cast<size_t>(Idx) > Dd.size())
-          rerror("subscript out of bounds: " + std::to_string(Idx));
-        S[I.Dst] = Value::lgl(Dd[Idx - 1] != 0);
-        break;
-      }
-      }
+      extract2TypedOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(SetElem2Low) {
-      bool Steal = I.C & 0x100;
-      Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
-      S[I.Dst] = assign2(std::move(Obj), S[I.B].toInt(), S[I.Imm]);
+      setElem2Op(I, S.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(SetElem2Typed) {
-      bool Steal = I.C & 0x100;
-      Tag Kind = static_cast<Tag>(I.C & 0xFF);
-      Value Obj = Steal ? std::move(S[I.A]) : S[I.A];
-      int64_t Idx = Iv[I.B];
-      // Widened semantics (see Extract2Typed): promote a scalar operand to
-      // its length-one vector before the raw element store.
-      switch (Obj.tag()) {
-      case Tag::Real:
-        Obj = Value::realVec({Obj.asRealUnchecked()});
-        break;
-      case Tag::Int:
-        Obj = Value::intVec({Obj.asIntUnchecked()});
-        break;
-      case Tag::Cplx:
-        Obj = Value::cplxVec({Obj.asCplxUnchecked()});
-        break;
-      case Tag::Lgl:
-        Obj = Value::lglVec({static_cast<int8_t>(Obj.asLglUnchecked())});
-        break;
-      default:
-        break;
-      }
-      switch (Kind) {
-      case Tag::Real:
-        S[I.Dst] = setTypedElem<RealVecObj, double>(
-            std::move(Obj), Tag::RealVec, Idx, D[I.Imm]);
-        break;
-      case Tag::Int:
-        S[I.Dst] = setTypedElem<IntVecObj, int32_t>(
-            std::move(Obj), Tag::IntVec, Idx, Iv[I.Imm]);
-        break;
-      case Tag::Cplx:
-        S[I.Dst] = setTypedElem<CplxVecObj, Complex>(
-            std::move(Obj), Tag::CplxVec, Idx, S[I.Imm].asCplxUnchecked());
-        break;
-      default:
-        S[I.Dst] = setTypedElem<LglVecObj, int8_t>(
-            std::move(Obj), Tag::LglVec, Idx,
-            static_cast<int8_t>(S[I.Imm].asLglUnchecked() ? 1 : 0));
-        break;
-      }
+      setElem2TypedOp(I, S.data(), D.data(), Iv.data());
       ++Pc;
       VMSTEP();
     }
     VMCASE(SetIdx2EnvLow)
     VMCASE(SetIdx1EnvLow) {
-      assert(CurEnv && "env-indexed store requires an environment");
-      Symbol Sym = static_cast<Symbol>(I.Imm2);
-      Value *Slot = CurEnv->findLocal(Sym);
-      if (!Slot) {
-        CurEnv->set(Sym, CurEnv->get(Sym));
-        Slot = CurEnv->findLocal(Sym);
-      }
-      *Slot = assign2(std::move(*Slot), S[I.A].toInt(), S[I.B]);
-      S[I.Dst] = S[I.B];
+      setIdxEnvOp(I, S.data(), CurEnv);
       ++Pc;
       VMSTEP();
     }
@@ -557,23 +629,7 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
     }
     VMCASE(GuardCond) {
       const DeoptMeta &M = F.Deopts[I.Imm];
-      bool Ok;
-      switch (I.C) {
-      case 0:
-        Ok = S[I.A].tag() == M.ExpectedTag;
-        break;
-      case 1:
-        Ok = S[I.A].tag() == Tag::Clos &&
-             S[I.A].closObj()->Fn == M.ExpectedFun;
-        break;
-      case 2:
-        Ok = S[I.A].tag() == Tag::Builtin &&
-             S[I.A].builtinId() == M.ExpectedBuiltin;
-        break;
-      default:
-        Ok = S[I.A].tag() == Tag::Lgl && S[I.A].asLglUnchecked();
-        break;
-      }
+      bool Ok = lowGuardHolds(I, M, S.data());
       ++stats().AssumeChecks;
       bool Injected = false;
       // Builtin-stability guards (C == 2) model what Ř implements as a
@@ -612,20 +668,8 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
       VMSTEP();
     }
     VMCASE(CmpBranch) {
-      bool SenseTrue = I.C & 0x8000;
-      uint16_t Packed = I.C & 0x7FFF;
-      BinOp Op = static_cast<BinOp>(Packed >> 2);
-      int Rank = Packed & 3;
-      bool Cond;
-      if (Rank == 2)
-        Cond = cmpApply(Op, D[I.A], D[I.B]);
-      else if (Rank == 1)
-        Cond = cmpApply(Op, Iv[I.A], Iv[I.B]);
-      else
-        Cond = cplxArith(Op, S[I.A].asCplxUnchecked(),
-                         S[I.B].asCplxUnchecked())
-                   .asLglUnchecked();
-      Pc = (Cond == SenseTrue) ? I.Imm : Pc + 1;
+      Pc = stepCmpBranchTaken(I, S.data(), D.data(), Iv.data()) ? I.Imm
+                                                                : Pc + 1;
       VMSTEP();
     }
     VMCASE(RetLow)
@@ -639,4 +683,132 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
 #endif
   assert(false && "fell off the end of LowCode");
   rerror("internal: malformed LowCode");
+}
+
+//===----------------------------------------------------------------------===//
+// Single-instruction execution (lowcode/step.h): the native backend's
+// per-op fallback path. Shares every op body/helper with the dispatch
+// loop above — this is a second *driver*, not a second implementation.
+//===----------------------------------------------------------------------===//
+
+bool rjit::lowGuardHolds(const LowInstr &I, const DeoptMeta &M,
+                         const Value *S) {
+  switch (I.C) {
+  case 0:
+    return S[I.A].tag() == M.ExpectedTag;
+  case 1:
+    return S[I.A].tag() == Tag::Clos &&
+           S[I.A].closObj()->Fn == M.ExpectedFun;
+  case 2:
+    return S[I.A].tag() == Tag::Builtin &&
+           S[I.A].builtinId() == M.ExpectedBuiltin;
+  default:
+    return S[I.A].tag() == Tag::Lgl && S[I.A].asLglUnchecked();
+  }
+}
+
+bool rjit::stepCmpBranchTaken(const LowInstr &I, const Value *S,
+                              const double *D, const int32_t *Iv) {
+  bool SenseTrue = I.C & 0x8000;
+  uint16_t Packed = I.C & 0x7FFF;
+  BinOp Op = static_cast<BinOp>(Packed >> 2);
+  int Rank = Packed & 3;
+  bool Cond;
+  if (Rank == 2)
+    Cond = cmpApply(Op, D[I.A], D[I.B]);
+  else if (Rank == 1)
+    Cond = cmpApply(Op, Iv[I.A], Iv[I.B]);
+  else
+    Cond = cplxArith(Op, S[I.A].asCplxUnchecked(), S[I.B].asCplxUnchecked())
+               .asLglUnchecked();
+  return Cond == SenseTrue;
+}
+
+void rjit::stepLowInstr(const LowFunction &F, const LowInstr &I, Value *S,
+                        double *D, int32_t *Iv, Env *CurEnv, Env *ParentEnv,
+                        Env *ReadEnv) {
+  switch (I.Op) {
+  case LowOp::LoadConst:
+    loadConstOp(F, I, S, D, Iv);
+    break;
+  case LowOp::Move:
+    moveOp(I, S, D, Iv);
+    break;
+  case LowOp::Box:
+    boxOp(I, S, D, Iv);
+    break;
+  case LowOp::Unbox:
+    unboxOp(I, S, D, Iv);
+    break;
+  case LowOp::Coerce:
+    coerceOp(I, S, D, Iv);
+    break;
+  case LowOp::LdEnv:
+    ldEnvOp(I, S, ReadEnv);
+    break;
+  case LowOp::StEnv:
+    assert(CurEnv && "store requires a real environment");
+    CurEnv->set(static_cast<Symbol>(I.Imm), S[I.A]);
+    break;
+  case LowOp::StEnvSuper:
+    stEnvSuperOp(I, S, CurEnv, ParentEnv);
+    break;
+  case LowOp::MkClosLow:
+    assert(CurEnv && "closures capture a real environment");
+    S[I.Dst] = Value::closure(F.Origin->InnerFns[I.Imm], CurEnv);
+    break;
+  case LowOp::CallValLow:
+  case LowOp::CallStaticLow:
+    callValOp(I, S);
+    break;
+  case LowOp::CallBiLow:
+    S[I.Dst] = callBuiltin(static_cast<BuiltinId>(I.C), &S[I.B],
+                           static_cast<size_t>(I.Imm));
+    break;
+  case LowOp::ArithTyped:
+    arithTypedOp(I, S, D, Iv);
+    break;
+  case LowOp::BinGenLow:
+    S[I.Dst] = genericBinary(static_cast<BinOp>(I.C), S[I.A], S[I.B]);
+    break;
+  case LowOp::NegLow:
+    S[I.Dst] = genericNeg(S[I.A]);
+    break;
+  case LowOp::NotLow:
+    S[I.Dst] = genericNot(S[I.A]);
+    break;
+  case LowOp::AsCondLow:
+    S[I.Dst] = Value::lgl(S[I.A].asCondition());
+    break;
+  case LowOp::Extract2Low:
+    S[I.Dst] = extract2(S[I.A], S[I.B].toInt());
+    break;
+  case LowOp::Extract1Low:
+    S[I.Dst] = extract1(S[I.A], S[I.B]);
+    break;
+  case LowOp::Extract2Typed:
+    extract2TypedOp(I, S, D, Iv);
+    break;
+  case LowOp::SetElem2Low:
+    setElem2Op(I, S);
+    break;
+  case LowOp::SetElem2Typed:
+    setElem2TypedOp(I, S, D, Iv);
+    break;
+  case LowOp::SetIdx2EnvLow:
+  case LowOp::SetIdx1EnvLow:
+    setIdxEnvOp(I, S, CurEnv);
+    break;
+  case LowOp::LengthLow:
+    Iv[I.Dst] = static_cast<int32_t>(S[I.A].length());
+    break;
+  case LowOp::GuardCond:
+  case LowOp::JumpLow:
+  case LowOp::BranchFalseLow:
+  case LowOp::BranchTrueLow:
+  case LowOp::CmpBranch:
+  case LowOp::RetLow:
+    assert(false && "control-flow op reached the fallback stepper");
+    rerror("internal: control-flow op in stepLowInstr");
+  }
 }

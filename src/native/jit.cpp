@@ -1,0 +1,776 @@
+//===-- native/jit.cpp - x86-64 template-JIT backend ----------------------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// Template stitching: one machine-code template per LowCode instruction,
+// emitted in bytecode order with rel32 fixups between them, guard side
+// exits collected as out-of-line stubs after the body (the hot path pays
+// one not-taken jcc per guard), and a shared epilogue every "activation
+// ended" path funnels through. See native/native.h for the design.
+//
+// Register plan (all callee-saved, so helper calls preserve them):
+//   rbx = NativeFrame*       r12 = boxed slots (Value*)
+//   r13 = raw double slots   r14 = raw int32 slots
+//   r15   (reserved scratch) rax/rcx/rsi/rdi/xmm0 = template scratch
+//
+// Exceptions never unwind through JIT frames (there is no unwind info for
+// them): every helper catches at the boundary, parks the exception in the
+// frame, and the generated code returns through the epilogue; run()
+// rethrows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/native.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) &&                              \
+    (defined(__unix__) || defined(__APPLE__))
+#define RJIT_NATIVE_X64 1
+#else
+#define RJIT_NATIVE_X64 0
+#endif
+
+#if RJIT_NATIVE_X64
+
+#include "lowcode/exec.h"
+#include "lowcode/step.h"
+#include "native/arena.h"
+#include "native/emitter.h"
+#include "support/stats.h"
+
+#include <cstddef>
+#include <cstring>
+#include <exception>
+
+// ClosObj (vtable) and NativeFrame (non-trivial members) are not
+// standard-layout, so offsetof on them is "conditionally supported" —
+// GCC and Clang, the only compilers this backend builds under, compute
+// it correctly for any class without virtual bases.
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+
+using namespace rjit;
+
+namespace rjit {
+
+/// Friend of Value: the layout constants the templates hard-code.
+struct ValueLayout {
+  static constexpr int32_t Tag = offsetof(Value, T);
+  static constexpr int32_t Payload = offsetof(Value, I);
+};
+
+} // namespace rjit
+
+static_assert(sizeof(Value) == 24, "templates hard-code the Value stride");
+
+namespace {
+
+/// The run-time frame generated code executes against. Built afresh per
+/// activation by NativeExecutable::run on the executor's stack.
+struct NativeFrame {
+  const LowFunction *F = nullptr;
+  Value *S = nullptr;
+  double *D = nullptr;
+  int32_t *Iv = nullptr;
+  /// The boxed-slot vector itself: guard side exits hand it to the deopt
+  /// hook (whose contract is the interpreter's slot vector).
+  std::vector<Value> *SlotVec = nullptr;
+  Env *CurEnv = nullptr;
+  Env *ParentEnv = nullptr;
+  Env *ReadEnv = nullptr;
+  LowHooks *Hooks = nullptr;
+  Value Result;
+  std::exception_ptr Exc;
+};
+
+using NativeEntry = void (*)(NativeFrame *);
+
+constexpr int32_t ValueStride = static_cast<int32_t>(sizeof(Value));
+
+/// Offsets of std::vector<T>'s begin/end pointers, probed at run time —
+/// the typed-extract template loads vector storage directly, and the
+/// library's internal layout is not something to hard-code. When the
+/// probe fails (an exotic layout), Valid stays false and the extract
+/// falls back to its helper: slower, never wrong.
+struct VecInternals {
+  bool Valid = false;
+  int32_t BeginOff = 0;
+  int32_t EndOff = 0;
+};
+
+template <typename T> const VecInternals &vecInternals() {
+  static const VecInternals L = [] {
+    VecInternals R;
+    // Capacity strictly above size: with size == capacity the end and
+    // end-of-storage pointers are equal and the scan could mistake the
+    // capacity pointer for the length pointer — which would turn the
+    // fast path's bounds check into a capacity check.
+    std::vector<T> V;
+    V.reserve(4);
+    V.resize(2);
+    const char *Base = reinterpret_cast<const char *>(&V);
+    const void *Data = V.data();
+    const void *End = V.data() + 2;
+    bool HaveBegin = false, HaveEnd = false;
+    for (size_t Off = 0; Off + sizeof(void *) <= sizeof(V);
+         Off += sizeof(void *)) {
+      const void *P;
+      std::memcpy(&P, Base + Off, sizeof(void *));
+      if (!HaveBegin && P == Data) {
+        R.BeginOff = static_cast<int32_t>(Off);
+        HaveBegin = true;
+      } else if (!HaveEnd && P == End) {
+        R.EndOff = static_cast<int32_t>(Off);
+        HaveEnd = true;
+      }
+    }
+    R.Valid = HaveBegin && HaveEnd;
+    return R;
+  }();
+  return L;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Helpers the templates call. extern "C": plain symbols, no mangling, and
+// a guaranteed-simple calling convention for the stitcher. All catch at
+// the JIT boundary.
+//===----------------------------------------------------------------------===//
+
+extern "C" {
+
+/// Fallback: executes the (non-control-flow) op at \p Pc via the
+/// interpreter's own handler. 0 = continue at Pc+1, -1 = exception parked.
+static int64_t rjit_nat_step(NativeFrame *Fr, int32_t Pc) {
+  try {
+    stepLowInstr(*Fr->F, Fr->F->Code[Pc], Fr->S, Fr->D, Fr->Iv, Fr->CurEnv,
+                 Fr->ParentEnv, Fr->ReadEnv);
+    return 0;
+  } catch (...) {
+    Fr->Exc = std::current_exception();
+    return -1;
+  }
+}
+
+/// Boxed branch condition: 1 = truthy, 0 = falsy, -1 = exception parked.
+static int64_t rjit_nat_cond(NativeFrame *Fr, int32_t Slot) {
+  try {
+    return Fr->S[Slot].asCondition() ? 1 : 0;
+  } catch (...) {
+    Fr->Exc = std::current_exception();
+    return -1;
+  }
+}
+
+/// Complex-rank CmpBranch: 1 = branch taken, 0 = fall through, -1 =
+/// exception parked.
+static int64_t rjit_nat_cmpbranch(NativeFrame *Fr, int32_t Pc) {
+  try {
+    return stepCmpBranchTaken(Fr->F->Code[Pc], Fr->S, Fr->D, Fr->Iv) ? 1
+                                                                     : 0;
+  } catch (...) {
+    Fr->Exc = std::current_exception();
+    return -1;
+  }
+}
+
+/// RetLow: parks the result; the template jumps to the epilogue.
+static void rjit_nat_ret(NativeFrame *Fr, int32_t Slot) {
+  Fr->Result = std::move(Fr->S[Slot]);
+}
+
+} // extern "C"
+
+namespace {
+
+/// The guard-failure protocol of the interpreter's GuardCond case: count
+/// the failure and (tail-)call the installed deopt hook — its result is
+/// the result of this activation. Always ends the activation.
+void guardDeopt(NativeFrame *Fr, int32_t Pc, bool Injected) {
+  const LowInstr &I = Fr->F->Code[Pc];
+  try {
+    ++stats().AssumeFailures;
+    LowHooks &H = *Fr->Hooks;
+    if (!H.Deopt)
+      rerror("speculation failed and no deoptimization handler is "
+             "installed");
+    Fr->Result = H.Deopt(*Fr->F, *Fr->SlotVec, I.Imm, Fr->CurEnv,
+                         Fr->ParentEnv, Injected);
+  } catch (...) {
+    Fr->Exc = std::current_exception();
+  }
+}
+
+} // namespace
+
+extern "C" {
+
+/// Side exit for a guard whose inline test failed (the fact is false).
+static void rjit_nat_guard_fail(NativeFrame *Fr, int32_t Pc) {
+  guardDeopt(Fr, Pc, /*Injected=*/false);
+}
+
+/// Slow path for a *passing* dynamic guard while the random-invalidation
+/// countdown is armed (§5.1 test mode): decrement, and on zero inject a
+/// spurious failure. 0 = continue, 1 = activation ended.
+static int64_t rjit_nat_guard_tick(NativeFrame *Fr, int32_t Pc) {
+  LowHooks &H = *Fr->Hooks;
+  if (--H.InvalidationCountdown != 0)
+    return 0;
+  H.rearmInvalidation();
+  ++stats().InjectedFailures;
+  guardDeopt(Fr, Pc, /*Injected=*/true);
+  return 1;
+}
+
+} // extern "C"
+
+//===----------------------------------------------------------------------===//
+// The stitcher
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Stitcher {
+public:
+  explicit Stitcher(const LowFunction &F) : F(F) {}
+
+  /// Compiles F into \p Out. Returns false when the function has no code
+  /// (callers fall back to the interpreter executable).
+  bool compile(std::vector<uint8_t> &Out) {
+    if (F.Code.empty())
+      return false;
+
+    emitPrologue();
+    for (int32_t Pc = 0; Pc < static_cast<int32_t>(F.Code.size()); ++Pc) {
+      InstrOff.push_back(A.size());
+      emitInstr(Pc, F.Code[Pc]);
+    }
+    A.ud2(); // falling off the end is malformed LowCode
+
+    emitStubs();
+    size_t Epi = emitEpilogue();
+
+    for (size_t Site : EpiFix)
+      A.patchRel32(Site, Epi);
+    for (const auto &[Site, Pc] : PcFix)
+      A.patchRel32(Site, InstrOff[Pc]);
+
+    Out = std::move(A.Buf);
+    return true;
+  }
+
+private:
+  const LowFunction &F;
+  X64Emitter A;
+  std::vector<size_t> InstrOff;
+  std::vector<std::pair<size_t, int32_t>> PcFix; ///< rel32 -> LowCode pc
+  std::vector<size_t> EpiFix;                    ///< rel32 -> epilogue
+
+  struct Stub {
+    enum Kind {
+      GuardFail, ///< side exit: deopt protocol, then epilogue
+      GuardTick, ///< armed invalidation countdown on a passing guard
+      StepSlow,  ///< run the op via the interpreter handler, resume
+    };
+    int32_t Pc;
+    Kind K;
+    std::vector<size_t> Sites; ///< rel32 fields jumping to this stub
+    size_t Resume = 0;         ///< body offset to resume at (tick/slow)
+  };
+  std::vector<Stub> Stubs;
+
+  //===-- Frame/slot addressing -------------------------------------------//
+
+  static int32_t sOff(uint16_t Slot, int32_t Member = 0) {
+    return static_cast<int32_t>(Slot) * ValueStride + Member;
+  }
+  static int32_t dOff(uint16_t Slot) {
+    return static_cast<int32_t>(Slot) * 8;
+  }
+  static int32_t iOff(uint16_t Slot) {
+    return static_cast<int32_t>(Slot) * 4;
+  }
+
+  //===-- Common sequences ------------------------------------------------//
+
+  template <typename Fn> void helperCall(Fn *Target, int32_t Arg) {
+    A.movRegReg64(RDI, RBX);
+    A.movRegImm32(RSI, static_cast<uint32_t>(Arg));
+    A.movRegImm64(RAX, reinterpret_cast<uint64_t>(
+                           reinterpret_cast<void *>(Target)));
+    A.callReg(RAX);
+  }
+
+  /// Fallback template: run the op via the interpreter handler, bail to
+  /// the epilogue on a parked exception.
+  void emitStep(int32_t Pc) {
+    helperCall(rjit_nat_step, Pc);
+    A.testRegReg64(RAX, RAX);
+    EpiFix.push_back(A.jcc32(CcS));
+  }
+
+  void emitPrologue() {
+    // 5 callee-saved pushes + the return address = 48 bytes: rsp stays
+    // 16-byte aligned at every helper call site.
+    A.pushReg(RBX);
+    A.pushReg(R12);
+    A.pushReg(R13);
+    A.pushReg(R14);
+    A.pushReg(R15);
+    A.movRegReg64(RBX, RDI);
+    A.movRegMem64(R12, RBX, offsetof(NativeFrame, S));
+    A.movRegMem64(R13, RBX, offsetof(NativeFrame, D));
+    A.movRegMem64(R14, RBX, offsetof(NativeFrame, Iv));
+  }
+
+  size_t emitEpilogue() {
+    size_t At = A.size();
+    A.popReg(R15);
+    A.popReg(R14);
+    A.popReg(R13);
+    A.popReg(R12);
+    A.popReg(RBX);
+    A.ret();
+    return At;
+  }
+
+  void emitStubs() {
+    for (const Stub &St : Stubs) {
+      size_t Here = A.size();
+      for (size_t Site : St.Sites)
+        A.patchRel32(Site, Here);
+      switch (St.K) {
+      case Stub::GuardFail:
+        helperCall(rjit_nat_guard_fail, St.Pc);
+        EpiFix.push_back(A.jmp32());
+        break;
+      case Stub::GuardTick:
+        helperCall(rjit_nat_guard_tick, St.Pc);
+        A.testRegReg64(RAX, RAX);
+        EpiFix.push_back(A.jcc32(CcNe)); // 1 = activation ended
+        A.patchRel32(A.jmp32(), St.Resume);
+        break;
+      case Stub::StepSlow:
+        helperCall(rjit_nat_step, St.Pc);
+        A.testRegReg64(RAX, RAX);
+        EpiFix.push_back(A.jcc32(CcS)); // -1 = exception parked
+        A.patchRel32(A.jmp32(), St.Resume);
+        break;
+      }
+    }
+  }
+
+  //===-- Per-op templates ------------------------------------------------//
+
+  void emitInstr(int32_t Pc, const LowInstr &I) {
+    switch (I.Op) {
+    case LowOp::LoadConst: {
+      SlotClass K = static_cast<SlotClass>(I.B);
+      if (K == SlotClass::RawReal) {
+        double V = F.Consts[I.Imm].asRealUnchecked();
+        uint64_t Bits;
+        std::memcpy(&Bits, &V, 8);
+        A.movRegImm64(RAX, Bits);
+        A.movMemReg64(R13, dOff(I.Dst), RAX);
+      } else if (K == SlotClass::RawInt) {
+        A.movMem32Imm32(R14, iOff(I.Dst),
+                        static_cast<uint32_t>(
+                            F.Consts[I.Imm].asIntUnchecked()));
+      } else {
+        emitStep(Pc); // boxed: refcounted store
+      }
+      return;
+    }
+    case LowOp::Move: {
+      SlotClass K = static_cast<SlotClass>(I.B);
+      if (K == SlotClass::RawReal) {
+        A.movRegMem64(RAX, R13, dOff(I.A));
+        A.movMemReg64(R13, dOff(I.Dst), RAX);
+      } else if (K == SlotClass::RawInt) {
+        A.movRegMem32(RAX, R14, iOff(I.A));
+        A.movMemReg32(R14, iOff(I.Dst), RAX);
+      } else {
+        emitStep(Pc); // boxed: refcounted copy/steal
+      }
+      return;
+    }
+    case LowOp::Unbox:
+      // Reading a payload needs no refcount traffic: bit-copy it into the
+      // raw home (the tag was guaranteed by the guard that dominates
+      // every Unbox).
+      if (static_cast<SlotClass>(I.C) == SlotClass::RawReal) {
+        A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
+        A.movMemReg64(R13, dOff(I.Dst), RAX);
+      } else {
+        A.movRegMem32(RAX, R12, sOff(I.A, ValueLayout::Payload));
+        A.movMemReg32(R14, iOff(I.Dst), RAX);
+      }
+      return;
+    case LowOp::Coerce: {
+      SlotClass SrcK = static_cast<SlotClass>(I.C >> 8);
+      SlotClass DstK = static_cast<SlotClass>(I.B);
+      if (DstK == SlotClass::RawReal && SrcK == SlotClass::RawReal) {
+        A.movRegMem64(RAX, R13, dOff(I.A));
+        A.movMemReg64(R13, dOff(I.Dst), RAX);
+      } else if (DstK == SlotClass::RawReal && SrcK == SlotClass::RawInt) {
+        A.cvtsi2sdXmmMem32(0, R14, iOff(I.A));
+        A.movsdMemXmm(R13, dOff(I.Dst), 0);
+      } else if (DstK == SlotClass::RawInt && SrcK == SlotClass::RawInt) {
+        A.movRegMem32(RAX, R14, iOff(I.A));
+        A.movMemReg32(R14, iOff(I.Dst), RAX);
+      } else if (DstK == SlotClass::RawInt && SrcK == SlotClass::RawReal) {
+        // cvttsd2si truncates toward zero = the handler's static_cast.
+        A.cvttsd2siRegMem(RAX, R13, dOff(I.A));
+        A.movMemReg32(R14, iOff(I.Dst), RAX);
+      } else {
+        emitStep(Pc); // boxed source or destination
+      }
+      return;
+    }
+    case LowOp::ArithTyped: {
+      BinOp Op = static_cast<BinOp>(I.C >> 2);
+      int Rank = I.C & 3;
+      if (Rank == 2 && (Op == BinOp::Add || Op == BinOp::Sub ||
+                        Op == BinOp::Mul || Op == BinOp::Div)) {
+        A.movsdXmmMem(0, R13, dOff(I.A));
+        switch (Op) {
+        case BinOp::Add:
+          A.addsdXmmMem(0, R13, dOff(I.B));
+          break;
+        case BinOp::Sub:
+          A.subsdXmmMem(0, R13, dOff(I.B));
+          break;
+        case BinOp::Mul:
+          A.mulsdXmmMem(0, R13, dOff(I.B));
+          break;
+        default:
+          A.divsdXmmMem(0, R13, dOff(I.B));
+          break;
+        }
+        A.movsdMemXmm(R13, dOff(I.Dst), 0);
+      } else if (Rank == 1 && (Op == BinOp::Add || Op == BinOp::Sub ||
+                               Op == BinOp::Mul)) {
+        // x86 two's-complement wraparound = the handler's unsigned-wrap
+        // semantics.
+        A.movRegMem32(RAX, R14, iOff(I.A));
+        switch (Op) {
+        case BinOp::Add:
+          A.addRegMem32(RAX, R14, iOff(I.B));
+          break;
+        case BinOp::Sub:
+          A.subRegMem32(RAX, R14, iOff(I.B));
+          break;
+        default:
+          A.imulRegMem32(RAX, R14, iOff(I.B));
+          break;
+        }
+        A.movMemReg32(R14, iOff(I.Dst), RAX);
+      } else {
+        // Compares box their result; %%, %/%, ^ and complex arithmetic
+        // have error paths / libm calls — all through the handler.
+        emitStep(Pc);
+      }
+      return;
+    }
+    case LowOp::Extract2Typed:
+      emitExtract2Typed(Pc, I);
+      return;
+    case LowOp::GuardCond:
+      emitGuard(Pc, I);
+      return;
+    case LowOp::JumpLow:
+      PcFix.push_back({A.jmp32(), I.Imm});
+      return;
+    case LowOp::BranchFalseLow:
+    case LowOp::BranchTrueLow:
+      helperCall(rjit_nat_cond, I.A);
+      A.testRegReg64(RAX, RAX);
+      EpiFix.push_back(A.jcc32(CcS)); // -1: exception parked
+      PcFix.push_back(
+          {A.jcc32(I.Op == LowOp::BranchFalseLow ? CcE : CcNe), I.Imm});
+      return;
+    case LowOp::CmpBranch:
+      emitCmpBranch(Pc, I);
+      return;
+    case LowOp::RetLow:
+      helperCall(rjit_nat_ret, I.A);
+      EpiFix.push_back(A.jmp32());
+      return;
+    default:
+      emitStep(Pc);
+      return;
+    }
+  }
+
+  /// Signed-integer condition code for a compare operator.
+  static Cc intCc(BinOp Op) {
+    switch (Op) {
+    case BinOp::Eq:
+      return CcE;
+    case BinOp::Ne:
+      return CcNe;
+    case BinOp::Lt:
+      return CcL;
+    case BinOp::Le:
+      return CcLe;
+    case BinOp::Gt:
+      return CcG;
+    default:
+      return CcGe;
+    }
+  }
+
+  void emitCmpBranch(int32_t Pc, const LowInstr &I) {
+    bool Sense = I.C & 0x8000;
+    uint16_t Packed = I.C & 0x7FFF;
+    BinOp Op = static_cast<BinOp>(Packed >> 2);
+    int Rank = Packed & 3;
+
+    if (Rank == 1) {
+      A.movRegMem32(RAX, R14, iOff(I.A));
+      A.cmpRegMem32(RAX, R14, iOff(I.B));
+      Cc C = intCc(Op);
+      PcFix.push_back({A.jcc32(Sense ? C : ccNot(C)), I.Imm});
+      return;
+    }
+    if (Rank == 2) {
+      // NaN discipline: C++'s `a < b` is false when unordered. After
+      // `ucomisd x, m` the unordered case sets CF (and PF), so the
+      // "condition true" codes below are never taken on NaN, and their
+      // ccNot twins (CF-based) always are — exactly the C++ negation.
+      // Lt/Le compare with the operands swapped (a<b == b>a) so the
+      // above-style codes apply in every direction.
+      if (Op == BinOp::Eq || Op == BinOp::Ne) {
+        A.movsdXmmMem(0, R13, dOff(I.A));
+        A.ucomisdXmmMem(0, R13, dOff(I.B));
+        bool BranchOnEq = (Op == BinOp::Eq) == Sense;
+        if (BranchOnEq) {
+          // Taken iff ordered-equal: parity (unordered) skips.
+          size_t Skip = A.jcc32(CcP);
+          PcFix.push_back({A.jcc32(CcE), I.Imm});
+          A.patchRel32(Skip, A.size());
+        } else {
+          // Taken iff not ordered-equal: != or unordered.
+          PcFix.push_back({A.jcc32(CcNe), I.Imm});
+          PcFix.push_back({A.jcc32(CcP), I.Imm});
+        }
+        return;
+      }
+      bool Swap = Op == BinOp::Lt || Op == BinOp::Le;
+      Cc C = (Op == BinOp::Lt || Op == BinOp::Gt) ? CcA : CcAe;
+      A.movsdXmmMem(0, R13, dOff(Swap ? I.B : I.A));
+      A.ucomisdXmmMem(0, R13, dOff(Swap ? I.A : I.B));
+      PcFix.push_back({A.jcc32(Sense ? C : ccNot(C)), I.Imm});
+      return;
+    }
+    // Complex rank: the handler computes taken-ness.
+    helperCall(rjit_nat_cmpbranch, Pc);
+    A.testRegReg64(RAX, RAX);
+    EpiFix.push_back(A.jcc32(CcS));
+    PcFix.push_back({A.jcc32(CcNe), I.Imm});
+  }
+
+  /// Typed element load: inline fast path for the real/int *vector* case
+  /// (tag test, storage pointers, unsigned bounds check, indexed load);
+  /// everything else — the widened length-one-scalar case, out-of-bounds
+  /// errors, complex/logical kinds — takes the out-of-line interpreter
+  /// handler, which re-executes the op from scratch.
+  void emitExtract2Typed(int32_t Pc, const LowInstr &I) {
+    Tag K = static_cast<Tag>(I.C);
+    const VecInternals &VI = K == Tag::Real ? vecInternals<double>()
+                                            : vecInternals<int32_t>();
+    if ((K != Tag::Real && K != Tag::Int) || !VI.Valid) {
+      emitStep(Pc);
+      return;
+    }
+    int32_t DMember =
+        K == Tag::Real
+            ? static_cast<int32_t>(offsetof(RealVecObj, D))
+            : static_cast<int32_t>(offsetof(IntVecObj, D));
+    Tag VecTag = K == Tag::Real ? Tag::RealVec : Tag::IntVec;
+    uint8_t ScaleLog = K == Tag::Real ? 3 : 2;
+
+    Stub Slow{Pc, Stub::StepSlow, {}, 0};
+    A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
+                  static_cast<uint8_t>(VecTag));
+    Slow.Sites.push_back(A.jcc32(CcNe));
+    A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
+    A.movRegMem64(RCX, RAX, DMember + VI.BeginOff);
+    A.movRegMem64(RDX, RAX, DMember + VI.EndOff);
+    A.subRegReg64(RDX, RCX);
+    A.shrRegImm8(RDX, ScaleLog); // element count
+    A.movsxdRegMem32(RSI, R14, iOff(I.B));
+    A.subRegImm8(RSI, 1); // 1-based -> 0-based
+    A.cmpRegReg64(RSI, RDX);
+    Slow.Sites.push_back(A.jcc32(CcAe)); // unsigned: catches idx < 1 too
+    if (K == Tag::Real) {
+      A.movsdXmmMemIndex(0, RCX, RSI, ScaleLog);
+      A.movsdMemXmm(R13, dOff(I.Dst), 0);
+    } else {
+      A.movRegMemIndex32(RAX, RCX, RSI, ScaleLog);
+      A.movMemReg32(R14, iOff(I.Dst), RAX);
+    }
+    Slow.Resume = A.size();
+    Stubs.push_back(std::move(Slow));
+  }
+
+  void emitGuard(int32_t Pc, const LowInstr &I) {
+    const DeoptMeta &M = F.Deopts[I.Imm];
+    // AssumeChecks counts every execution, passing or failing — bump it
+    // first, exactly like the interpreter. lock inc: the counter is a
+    // relaxed atomic shared with instrumented C++ readers.
+    A.movRegImm64(RAX,
+                  reinterpret_cast<uint64_t>(&stats().AssumeChecks));
+    A.lockIncMem64(RAX, 0);
+
+    Stub Fail{Pc, Stub::GuardFail, {}, 0};
+    switch (I.C) {
+    case 0: // tag speculation
+      A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
+                    static_cast<uint8_t>(M.ExpectedTag));
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      break;
+    case 1: // closure identity
+      A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
+                    static_cast<uint8_t>(Tag::Clos));
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
+      A.movRegImm64(RCX, reinterpret_cast<uint64_t>(M.ExpectedFun));
+      A.cmpMemReg64(RAX, static_cast<int32_t>(offsetof(ClosObj, Fn)),
+                    RCX);
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      break;
+    case 2: // builtin stability
+      A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
+                    static_cast<uint8_t>(Tag::Builtin));
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      A.cmpMem32Imm32(R12, sOff(I.A, ValueLayout::Payload),
+                      static_cast<uint32_t>(M.ExpectedBuiltin));
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      break;
+    default: // scalar-logical truth
+      A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
+                    static_cast<uint8_t>(Tag::Lgl));
+      Fail.Sites.push_back(A.jcc32(CcNe));
+      A.cmpMem32Imm32(R12, sOff(I.A, ValueLayout::Payload), 0);
+      Fail.Sites.push_back(A.jcc32(CcE));
+      break;
+    }
+    Stubs.push_back(std::move(Fail));
+
+    // Random-invalidation countdown (builtin guards are exempt — they
+    // model watchpoint-invalidated global assumptions, see exec.cpp).
+    // The fast path is one load + one compare when the mode is off.
+    if (I.C != 2) {
+      Stub Tick{Pc, Stub::GuardTick, {}, 0};
+      A.movRegMem64(RAX, RBX, offsetof(NativeFrame, Hooks));
+      A.cmpMem64Imm32(
+          RAX, static_cast<int32_t>(offsetof(LowHooks,
+                                             InvalidationCountdown)),
+          0);
+      Tick.Sites.push_back(A.jcc32(CcNe));
+      Tick.Resume = A.size();
+      Stubs.push_back(std::move(Tick));
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Backend / executable
+//===----------------------------------------------------------------------===//
+
+class NativeExecutable final : public ExecutableCode {
+public:
+  NativeExecutable(std::unique_ptr<LowFunction> L, const void *Entry)
+      : ExecutableCode(std::move(L)),
+        Entry(reinterpret_cast<NativeEntry>(
+            const_cast<void *>(Entry))) {}
+
+  Value run(std::vector<Value> &&Args, Env *CurEnv,
+            Env *ParentEnv) override {
+    const LowFunction &F = low();
+    std::vector<Value> S(F.NumSlots);
+    std::vector<double> D(F.NumSlotsD);
+    std::vector<int32_t> Iv(F.NumSlotsI);
+    spillLowArgs(F, std::move(Args), S.data(), D.data(), Iv.data());
+
+    NativeFrame Fr;
+    Fr.F = &F;
+    Fr.S = S.data();
+    Fr.D = D.data();
+    Fr.Iv = Iv.data();
+    Fr.SlotVec = &S;
+    Fr.CurEnv = CurEnv;
+    Fr.ParentEnv = ParentEnv;
+    Fr.ReadEnv = CurEnv ? CurEnv : ParentEnv;
+    Fr.Hooks = &lowHooks();
+
+    ++stats().NativeEnters;
+    Entry(&Fr);
+    if (Fr.Exc)
+      std::rethrow_exception(Fr.Exc);
+    return std::move(Fr.Result);
+  }
+
+  const char *backendName() const override { return "native-x64"; }
+
+private:
+  NativeEntry Entry;
+};
+
+class NativeBackend final : public ExecBackend {
+public:
+  const char *name() const override { return "native-x64"; }
+
+  std::unique_ptr<ExecutableCode>
+  prepare(std::unique_ptr<LowFunction> Low) override {
+    std::vector<uint8_t> Code;
+    Stitcher St(*Low);
+    if (!St.compile(Code))
+      return interpBackend().prepare(std::move(Low));
+    const void *Entry = Arena.install(Code);
+    if (!Entry) // mapping denied (hardened host): portable fallback
+      return interpBackend().prepare(std::move(Low));
+    ++stats().NativeCompiles;
+    return std::make_unique<NativeExecutable>(std::move(Low), Entry);
+  }
+
+private:
+  CodeArena Arena;
+};
+
+} // namespace
+
+bool rjit::nativeBackendSupported() {
+  // One-time probe: emit, seal and execute a trivial function. Verifies
+  // both the architecture (compile-time above) and that the host actually
+  // permits RX mappings.
+  static const bool Ok = [] {
+    CodeArena Arena;
+    X64Emitter E;
+    E.movRegImm32(RAX, 42);
+    E.ret();
+    const void *P = Arena.install(E.Buf);
+    if (!P)
+      return false;
+    using Probe = int (*)();
+    return reinterpret_cast<Probe>(const_cast<void *>(P))() == 42;
+  }();
+  return Ok;
+}
+
+std::unique_ptr<ExecBackend> rjit::makeNativeBackend() {
+  if (!nativeBackendSupported())
+    return nullptr;
+  return std::make_unique<NativeBackend>();
+}
+
+#else // !RJIT_NATIVE_X64
+
+bool rjit::nativeBackendSupported() { return false; }
+
+std::unique_ptr<rjit::ExecBackend> rjit::makeNativeBackend() {
+  return nullptr;
+}
+
+#endif

@@ -85,6 +85,8 @@ inline constexpr bool VerifyPassesDefault = true;
 inline constexpr bool VerifyPassesDefault = false;
 #endif
 
+class ExecBackend;
+
 /// Translation/optimization knobs.
 struct OptOptions {
   bool Speculate = true;       ///< insert Assume guards from feedback
@@ -97,6 +99,11 @@ struct OptOptions {
   /// gate; structural breakage fails the compile at the pass that caused
   /// it instead of at the end — or never, when output happens to match).
   bool VerifyEachPass = VerifyPassesDefault;
+  /// Execution backend the lowered code is prepared for (exec/backend.h);
+  /// null means the interpreter backend. Carried here — not read from any
+  /// thread-local — so background compile jobs prepare code for the Vm
+  /// that enqueued them.
+  ExecBackend *Backend = nullptr;
 };
 
 /// Result of checking whether a function's environment can be elided.

@@ -13,7 +13,9 @@
 #include "osr/deopt.h"
 #include "support/stats.h"
 
-#include <map>
+#include <array>
+#include <thread>
+#include <unordered_map>
 
 using namespace rjit;
 
@@ -30,13 +32,76 @@ void rjit::configureDeoptless(const DeoptlessConfig &Cfg) {
 
 namespace {
 
-std::map<Function *, DeoptlessTable> &tables() {
-  // Thread-local: functions (and thus their continuation tables) belong to
-  // one executor thread's Vm. Background continuation jobs reach a table
-  // through the DeoptlessTable* captured at enqueue time, never through
-  // this registry, and the tables themselves are publication-safe.
-  static thread_local std::map<Function *, DeoptlessTable> T;
-  return T;
+/// The owner tag new tables are attributed to: the thread's active Vm
+/// (installed alongside its other hooks), or null outside any Vm.
+thread_local const void *TableOwner = nullptr;
+
+/// The process-wide continuation registry, mutex-sharded the way
+/// TierRegistry is: with many executor threads (each driving its own Vm
+/// over its own functions) table creation contends on a shard's mutex,
+/// not on one global lock — the ROADMAP's >8-executor scaling item.
+/// Entries are tagged with both the installed owner token (the creating
+/// Vm) and the creating thread: releaseDeoptlessTables(owner) lets a Vm
+/// teardown reclaim its tables from *any* thread (tables must not
+/// outlive the Vm whose native code arena their executables point into),
+/// while clearDeoptlessTables() keeps the thread-scoped reset for
+/// standalone tests; sibling executors' tables are untouched by either.
+/// Background continuation jobs reach a table through the
+/// DeoptlessTable* captured at enqueue time, never through this
+/// registry; tables are node-stable (unique_ptr values) and
+/// publication-safe internally.
+class DeoptlessRegistry {
+public:
+  DeoptlessTable &tableFor(Function *Fn) {
+    Shard &S = shardOf(Fn);
+    std::lock_guard<std::mutex> L(S.Mu);
+    Entry &E = S.Map[Fn];
+    if (!E.Table) {
+      E.Owner = TableOwner;
+      E.OwnerThread = std::this_thread::get_id();
+      E.Table = std::make_unique<DeoptlessTable>();
+    }
+    return *E.Table;
+  }
+
+  void clearOwnedByCaller() {
+    std::thread::id Self = std::this_thread::get_id();
+    erase([Self](const Entry &E) { return E.OwnerThread == Self; });
+  }
+
+  void release(const void *Owner) {
+    if (!Owner)
+      return;
+    erase([Owner](const Entry &E) { return E.Owner == Owner; });
+  }
+
+private:
+  static constexpr size_t NumShards = 8;
+  struct Entry {
+    const void *Owner = nullptr;
+    std::thread::id OwnerThread;
+    std::unique_ptr<DeoptlessTable> Table;
+  };
+  struct Shard {
+    std::mutex Mu;
+    std::unordered_map<Function *, Entry> Map;
+  };
+  template <typename Pred> void erase(Pred Drop) {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      for (auto It = S.Map.begin(); It != S.Map.end();)
+        It = Drop(It->second) ? S.Map.erase(It) : std::next(It);
+    }
+  }
+  Shard &shardOf(Function *Fn) {
+    return Shards[(reinterpret_cast<uintptr_t>(Fn) >> 4) % NumShards];
+  }
+  std::array<Shard, NumShards> Shards;
+};
+
+DeoptlessRegistry &registry() {
+  static DeoptlessRegistry R;
+  return R;
 }
 
 /// Call depths at which a deoptless continuation is currently running.
@@ -99,8 +164,8 @@ bool deoptlessCondition(const LowFunction &F, const DeoptMeta &Meta,
 
 /// Compiles a continuation for \p Ctx (with repaired feedback), the
 /// synchronous path: repair and compile inline on the executor thread.
-std::unique_ptr<LowFunction> compileContinuation(Function *Fn,
-                                                 const DeoptContext &Ctx) {
+std::unique_ptr<ExecutableCode> compileContinuation(Function *Fn,
+                                                    const DeoptContext &Ctx) {
   // Compile against the repaired profile. The partial snapshot overrides
   /// only \p Fn — inlined callees read (and repair) their live tables,
   // which is safe here: this thread owns them.
@@ -132,7 +197,7 @@ FeedbackTable rjit::repairedContinuationFeedback(Function *Fn,
   return cleanupFeedback(*Fn, Snap, Repair);
 }
 
-std::unique_ptr<LowFunction>
+std::unique_ptr<ExecutableCode>
 rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
                               const OptOptions &Opts) {
   EntryState Entry;
@@ -147,7 +212,7 @@ rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
       optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
   if (!Ir)
     return nullptr;
-  return lowerToLow(*Ir);
+  return prepareExecutable(Opts.Backend, lowerToLow(*Ir));
 }
 
 DeoptlessTable::DeoptlessTable()
@@ -164,7 +229,7 @@ Continuation *DeoptlessTable::dispatch(const DeoptContext &Ctx) {
 }
 
 bool DeoptlessTable::insert(DeoptContext Ctx,
-                            std::unique_ptr<LowFunction> Code) {
+                            std::unique_ptr<ExecutableCode> Code) {
   std::lock_guard<std::mutex> L(WriterMu);
   const std::vector<Continuation *> &Cur = snapshot();
   if (Cur.size() >= Cap)
@@ -186,13 +251,18 @@ bool DeoptlessTable::insert(DeoptContext Ctx,
 }
 
 DeoptlessTable &rjit::deoptlessTableFor(Function *Fn) {
-  // try_emplace: DeoptlessTable is immovable (it owns published
-  // snapshots); map nodes give it a stable address background jobs can
-  // hold across the executor's later insertions.
-  return tables().try_emplace(Fn).first->second;
+  return registry().tableFor(Fn);
 }
 
-void rjit::clearDeoptlessTables() { tables().clear(); }
+void rjit::setDeoptlessTableOwner(const void *Owner) {
+  TableOwner = Owner;
+}
+
+void rjit::releaseDeoptlessTables(const void *Owner) {
+  registry().release(Owner);
+}
+
+void rjit::clearDeoptlessTables() { registry().clearOwnedByCaller(); }
 
 bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
                         const DeoptMeta &Meta, Env *ParentEnv, bool Injected,
@@ -234,7 +304,7 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
       }
       ++stats().DeoptlessHits;
     } else {
-      std::unique_ptr<LowFunction> Code = compileContinuation(Fn, Ctx);
+      std::unique_ptr<ExecutableCode> Code = compileContinuation(Fn, Ctx);
       if (!Code || Table.full()) {
         ++stats().DeoptlessRejected;
         return false;
@@ -263,8 +333,8 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
 
   continuationDepths().push_back(lowHooks().CallDepth);
   try {
-    Result = runLow(*Cont->Code, std::move(Args), /*CurEnv=*/nullptr,
-                    ParentEnv);
+    Result = Cont->Code->run(std::move(Args), /*CurEnv=*/nullptr,
+                             ParentEnv);
   } catch (...) {
     continuationDepths().pop_back();
     throw;

@@ -19,6 +19,7 @@
 #ifndef RJIT_OSR_DEOPTLESS_H
 #define RJIT_OSR_DEOPTLESS_H
 
+#include "exec/backend.h"
 #include "opt/translate.h"
 #include "osr/reason.h"
 #include "support/cowlist.h"
@@ -33,7 +34,7 @@ namespace rjit {
 /// publication except Hits, which only the owning executor touches.
 struct Continuation {
   DeoptContext Ctx;
-  std::unique_ptr<LowFunction> Code;
+  std::unique_ptr<ExecutableCode> Code;
   uint32_t Hits = 0;
 };
 
@@ -60,7 +61,7 @@ public:
   /// Inserts \p Code for \p Ctx; returns false when the table is full or
   /// an exact entry for \p Ctx already exists (a background job lost a
   /// publication race).
-  bool insert(DeoptContext Ctx, std::unique_ptr<LowFunction> Code);
+  bool insert(DeoptContext Ctx, std::unique_ptr<ExecutableCode> Code);
 
   size_t size() const { return snapshot().size(); }
   bool full() const { return size() >= Cap; }
@@ -98,6 +99,9 @@ struct DeoptlessConfig {
   LoopOptOptions Loop;
   /// Between-pass IR verification (Vm::Config::VerifyBetweenPasses).
   bool VerifyBetweenPasses = VerifyPassesDefault;
+  /// Execution backend continuations are prepared for (null =
+  /// interpreter); installed by the Vm alongside the other knobs.
+  ExecBackend *Backend = nullptr;
 
   /// The optimizer knob set a continuation compile runs under.
   OptOptions optView() const {
@@ -105,6 +109,7 @@ struct DeoptlessConfig {
     O.Inline = Inline;
     O.Loop = Loop;
     O.VerifyEachPass = VerifyBetweenPasses;
+    O.Backend = Backend;
     return O;
   }
   /// Background compilation: when set, a continuation miss *requests* an
@@ -123,10 +128,28 @@ const DeoptlessConfig &deoptlessConfig();
 void configureDeoptless(const DeoptlessConfig &Cfg);
 
 /// Side table: per-function dispatch tables (owned here so lower layers
-/// need no knowledge of the VM's tier bookkeeping).
+/// need no knowledge of the VM's tier bookkeeping). The registry is
+/// mutex-sharded like TierRegistry — >8-executor workloads each creating
+/// tables for their own functions contend on a shard, never on one global
+/// lock — and tables are node-stable: pointers handed to background
+/// continuation jobs stay valid until the owning executor clears them.
 DeoptlessTable &deoptlessTableFor(Function *Fn);
 
-/// Drops all dispatch tables (benchmark harness phase resets).
+/// Installs the opaque owner tag (the active Vm) new tables created on
+/// this thread are attributed to; null reverts to plain thread-identity
+/// tagging (standalone tests). Installed by the Vm alongside its hooks.
+void setDeoptlessTableOwner(const void *Owner);
+
+/// Drops the dispatch tables attributed to \p Owner. Callable from any
+/// thread — Vm teardown reclaims its tables even when the Vm object is
+/// destroyed off its executor thread — and never touches tables of
+/// concurrently running executors.
+void releaseDeoptlessTables(const void *Owner);
+
+/// Drops the dispatch tables created by *this thread* (standalone-test
+/// resets). Other executors' tables are untouched — with the sharded
+/// registry a reset must not free tables whose functions belong to a
+/// concurrently running executor.
 void clearDeoptlessTables();
 
 /// Attempts the deoptless path for a failing guard. Returns true and sets
@@ -148,12 +171,12 @@ FeedbackTable repairedContinuationFeedback(Function *Fn,
                                            const DeoptContext &Ctx,
                                            bool CleanupEnabled);
 
-/// Compiles the continuation code for \p Ctx. The caller must have made
-/// the repaired profile visible to the optimizer first (a SnapshotScope
-/// whose table for \p Fn is the repaired feedback) — this is what keeps
-/// the compile readable from a background thread while the interpreter
-/// keeps writing the live profile.
-std::unique_ptr<LowFunction> compileContinuationCode(
+/// Compiles the continuation code for \p Ctx (prepared for Opts.Backend).
+/// The caller must have made the repaired profile visible to the
+/// optimizer first (a SnapshotScope whose table for \p Fn is the repaired
+/// feedback) — this is what keeps the compile readable from a background
+/// thread while the interpreter keeps writing the live profile.
+std::unique_ptr<ExecutableCode> compileContinuationCode(
     Function *Fn, const DeoptContext &Ctx, const OptOptions &Opts);
 
 } // namespace rjit

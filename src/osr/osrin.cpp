@@ -5,7 +5,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "osr/osrin.h"
-#include "lowcode/exec.h"
 #include "lowcode/lower.h"
 #include "opt/pipeline.h"
 #include "support/stats.h"
@@ -52,11 +51,12 @@ EntryState rjit::buildOsrEntryState(Function *Fn, Env *E,
   return Entry;
 }
 
-Value rjit::enterOsrContinuation(const LowFunction &Low,
+Value rjit::enterOsrContinuation(ExecutableCode &Code,
                                  const EntryState &Entry, Env *E,
                                  std::vector<Value> &Stack) {
   // The interpreter's live values become arguments: stack first, then (for
   // elided code) the environment bindings in the entry order.
+  const LowFunction &Low = Code.low();
   std::vector<Value> Args;
   Args.reserve(Stack.size() + Entry.EnvTypes.size());
   for (Value &V : Stack)
@@ -66,8 +66,8 @@ Value rjit::enterOsrContinuation(const LowFunction &Low,
       Args.push_back(E->get(Sym));
 
   ++stats().OsrInEntries;
-  return runLow(Low, std::move(Args), Low.NeedsEnv ? E : nullptr,
-                E->parent());
+  return Code.run(std::move(Args), Low.NeedsEnv ? E : nullptr,
+                  E->parent());
 }
 
 bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
@@ -83,9 +83,10 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
     blacklist().insert(Fn);
     return false;
   }
-  std::unique_ptr<LowFunction> Low = lowerToLow(*Ir);
+  std::unique_ptr<ExecutableCode> Code =
+      prepareExecutable(Opts.Backend, lowerToLow(*Ir));
   ++stats().OsrInCompilations;
 
-  Result = enterOsrContinuation(*Low, Entry, E, Stack);
+  Result = enterOsrContinuation(*Code, Entry, E, Stack);
   return true;
 }

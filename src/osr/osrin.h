@@ -17,6 +17,7 @@
 #define RJIT_OSR_OSRIN_H
 
 #include "bc/interp.h"
+#include "exec/backend.h"
 #include "lowcode/lowcode.h"
 #include "opt/translate.h"
 #include "runtime/env.h"
@@ -35,6 +36,9 @@ struct OsrInConfig {
   LoopOptOptions Loop;
   /// Between-pass IR verification (Vm::Config::VerifyBetweenPasses).
   bool VerifyBetweenPasses = VerifyPassesDefault;
+  /// Execution backend OSR-in continuations are prepared for (null =
+  /// interpreter); installed by the Vm alongside the other knobs.
+  ExecBackend *Backend = nullptr;
 
   /// The optimizer knob set an OSR-in compile runs under.
   OptOptions optView() const {
@@ -42,6 +46,7 @@ struct OsrInConfig {
     O.Inline = Inline;
     O.Loop = Loop;
     O.VerifyEachPass = VerifyBetweenPasses;
+    O.Backend = Backend;
     return O;
   }
 };
@@ -61,7 +66,7 @@ EntryState buildOsrEntryState(Function *Fn, Env *E,
 /// Enters compiled OSR-in code with the interpreter's live values (stack
 /// first, then — for elided code — the environment bindings in the entry
 /// order) and returns the activation's result.
-Value enterOsrContinuation(const LowFunction &Low, const EntryState &Entry,
+Value enterOsrContinuation(ExecutableCode &Code, const EntryState &Entry,
                            Env *E, std::vector<Value> &Stack);
 
 /// Per-thread OSR-in compile blacklist (functions whose continuation

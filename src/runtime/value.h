@@ -405,6 +405,10 @@ public:
   }
 
 private:
+  /// The native backend's template JIT emits direct loads of the tag and
+  /// payload; the friend computes the layout offsets (native/jit.cpp).
+  friend struct ValueLayout;
+
   void retainPayload() const {
     if (!isScalarTag(T) && T != Tag::Null && T != Tag::Builtin && P)
       P->retain();

@@ -40,6 +40,11 @@ VmStats VmStats::operator-(const VmStats &O) const {
   // difference carries the later snapshot's high-water.
   R.CompileQueueDepth = CompileQueueDepth;
   R.WarmupPausesAvoided = WarmupPausesAvoided - O.WarmupPausesAvoided;
+  R.NativeCompiles = NativeCompiles - O.NativeCompiles;
+  R.NativeEnters = NativeEnters - O.NativeEnters;
+  // Like CompileQueueDepth: a gauge — the difference carries the later
+  // snapshot's population, not a meaningless subtraction.
+  R.GraveyardSize = GraveyardSize;
   return R;
 }
 

@@ -65,6 +65,14 @@ struct VmStats {
                                       ///< baseline while a background
                                       ///< compile was pending instead of
                                       ///< pausing to compile synchronously
+  RelaxedCounter NativeCompiles;      ///< executables emitted by the x86-64
+                                      ///< template-JIT backend
+  RelaxedCounter NativeEnters;        ///< activations entered through
+                                      ///< native (template-JIT) code
+  RelaxedCounter GraveyardSize;       ///< retired executables awaiting
+                                      ///< teardown reclamation (a gauge:
+                                      ///< ++ on retire, drained when the
+                                      ///< owning Vm reclaims them)
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

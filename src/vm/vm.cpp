@@ -12,13 +12,28 @@
 #include "lang/parser.h"
 #include "lowcode/exec.h"
 #include "lowcode/lower.h"
+#include "native/native.h"
 #include "opt/pipeline.h"
 #include "osr/deopt.h"
 #include "osr/osrin.h"
 #include "runtime/builtins.h"
 #include "support/stats.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 using namespace rjit;
+
+bool rjit::nativeTierDefault() {
+  // Cached: Config's member initializer calls this for every Config ever
+  // built (the fuzzer builds tens of thousands), and the environment
+  // cannot change after process start.
+  static const bool D = [] {
+    const char *E = std::getenv("RJIT_NATIVE_TIER");
+    return E && *E && *E != '0';
+  }();
+  return D;
+}
 
 namespace {
 
@@ -42,6 +57,7 @@ DeoptlessConfig Vm::Config::deoptlessView() const {
   D.Inline = inlineView();
   D.Loop = LoopOpts;
   D.VerifyBetweenPasses = VerifyBetweenPasses;
+  D.Backend = Backend;
   return D;
 }
 
@@ -60,6 +76,7 @@ VersionCompileOpts Vm::Config::versionView() const {
   V.Loop = LoopOpts;
   V.VerifyBetweenPasses = VerifyBetweenPasses;
   V.HashWithContexts = ContextDispatch;
+  V.Backend = Backend;
   return V;
 }
 
@@ -111,7 +128,7 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
     if (feedbackHash(*Fn, CtxDispatch) != Ver->FeedbackHash) {
       {
         VersionWriteGuard G(TS.Versions);
-        V->Graveyard.push_back(Ver->retire());
+        V->toGraveyard(Ver->retire());
       }
       if (V->Cfg.BackgroundCompile)
         requestVersionCompile(*V->ActivePool, V, Fn, Ver->Ctx,
@@ -142,7 +159,7 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
   // they fall back to the generic root or the baseline. Calls with a
   // generic context (e.g. zero-arity functions) have nothing to
   // specialize and stay out of the ratio.
-  LowFunction *Code = Ver ? Ver->code() : nullptr;
+  ExecutableCode *Code = Ver ? Ver->code() : nullptr;
   if (!Code) {
     if (CtxDispatch && !Ctx.isGeneric() && TS.Versions.size() > 0)
       ++stats().CtxDispatchMisses;
@@ -157,14 +174,14 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
       ++stats().CtxDispatchMisses;
   }
 
-  LowFunction &Low = *Code;
+  const LowFunction &Low = Code->low();
   if (Args.size() != Fn->Params.size())
     rerror("call to '" + symbolName(Fn->Name) + "': expected " +
            std::to_string(Fn->Params.size()) + " arguments, got " +
            std::to_string(Args.size()));
 
   if (Low.Conv == CallConv::FullElided)
-    return runLow(Low, std::move(Args), /*CurEnv=*/nullptr, Clos->Enclosing);
+    return Code->run(std::move(Args), /*CurEnv=*/nullptr, Clos->Enclosing);
 
   // FullEnv: build the environment like the baseline would.
   Env *E = new Env(Clos->Enclosing);
@@ -173,7 +190,7 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
     E->set(Fn->Params[K], std::move(Args[K]));
   Value Result;
   try {
-    Result = runLow(Low, {}, E, Clos->Enclosing);
+    Result = Code->run({}, E, Clos->Enclosing);
   } catch (...) {
     E->release();
     throw;
@@ -224,7 +241,7 @@ void vmDeoptListener(Function *Fn, const LowFunction &Code,
   // The version cannot be freed yet — its frames (and the DeoptMeta being
   // processed) are still live — so it moves to the graveyard.
   if (Ver->live())
-    V->Graveyard.push_back(Ver->retire());
+    V->toGraveyard(Ver->retire());
   ++Ver->DeoptCount;
   if (Ver->DeoptCount >= V->Cfg.DeoptBlacklist)
     Ver->Blacklisted = true;
@@ -282,6 +299,19 @@ Vm::Vm(Config C) : Cfg(C) {
   Global->retain();
   installBuiltins(*Global);
 
+  // Resolve the execution backend: an injected one wins; otherwise the
+  // native tier when requested *and* constructible on this host (runtime
+  // architecture detection — non-x86-64 hosts keep the interpreter); the
+  // threaded interpreter as the portable fallback.
+  ActiveBackend = Cfg.Backend;
+  if (!ActiveBackend && Cfg.NativeTier) {
+    OwnBackend = makeNativeBackend();
+    ActiveBackend = OwnBackend.get();
+  }
+  if (!ActiveBackend)
+    ActiveBackend = &interpBackend();
+  Cfg.Backend = ActiveBackend; // views (versionView etc.) carry it to jobs
+
   if (Cfg.BackgroundCompile) {
     ActivePool = Cfg.Pool;
     if (!ActivePool) {
@@ -300,6 +330,7 @@ Vm::Vm(Config C) : Cfg(C) {
 
   installOsrRuntime();
   setDeoptListener(vmDeoptListener);
+  setDeoptlessTableOwner(this);
   lowHooks().InvalidationRate = Cfg.InvalidationRate;
   lowHooks().TestRng.reseed(Cfg.InvalidationSeed);
   lowHooks().rearmInvalidation();
@@ -309,6 +340,7 @@ Vm::Vm(Config C) : Cfg(C) {
   osrInConfig().Inline = Cfg.inlineView();
   osrInConfig().Loop = Cfg.LoopOpts;
   osrInConfig().VerifyBetweenPasses = Cfg.VerifyBetweenPasses;
+  osrInConfig().Backend = ActiveBackend;
   DeoptlessConfig D = Cfg.deoptlessView();
   if (Cfg.BackgroundCompile)
     D.AsyncCompile = vmAsyncContinuationCompile;
@@ -319,16 +351,36 @@ Vm::~Vm() {
   // In-flight compile jobs hold pointers into this Vm's tier states,
   // continuation tables and functions: the barrier must come first.
   drainCompiles();
-  clearDeoptlessTables();
+  // Reclaim by owner identity, not by thread: the registry must drop
+  // this Vm's tables (their executables point into its code arena) even
+  // when the Vm object is destroyed off its executor thread.
+  releaseDeoptlessTables(this);
+  setDeoptlessTableOwner(nullptr);
   interpHooks() = InterpHooks();
   lowHooks() = LowHooks();
   setDeoptListener(nullptr);
   configureDeoptless(DeoptlessConfig());
   osrInConfig() = OsrInConfig();
   States.clear();
+  // Teardown is the safepoint: no activation of retired code can still be
+  // on the stack, so the graveyard is reclaimed (and the gauge drained)
+  // here — before the native backend's code arena goes away with the Vm.
+  // Clamped drain: resetStats() may have zeroed the gauge mid-lifetime
+  // (bench harness phase resets), and a blind fetch_sub would wrap the
+  // gauge to ~2^64 for the rest of the process.
+  stats().GraveyardSize -=
+      std::min<uint64_t>(stats().GraveyardSize, Graveyard.size());
+  Graveyard.clear();
   Modules.clear();
   Global->release();
   CurrentVm = nullptr;
+}
+
+void Vm::toGraveyard(std::unique_ptr<ExecutableCode> Code) {
+  if (!Code)
+    return;
+  ++stats().GraveyardSize;
+  Graveyard.push_back(std::move(Code));
 }
 
 void Vm::drainCompiles() {
@@ -342,7 +394,7 @@ TierState &Vm::stateFor(Function *Fn) {
   return States.stateFor(Fn, Cfg.MaxVersions);
 }
 
-LowFunction *Vm::compileFunction(Function *Fn) {
+ExecutableCode *Vm::compileFunction(Function *Fn) {
   FnVersion *Ver = compileVersion(Fn, genericContext(Fn->Params.size()));
   return Ver ? Ver->code() : nullptr;
 }

@@ -48,6 +48,12 @@
 
 namespace rjit {
 
+/// The process-wide default for Vm::Config::NativeTier: true when the
+/// RJIT_NATIVE_TIER environment variable is set to a non-zero value.
+/// Lets CI (and users) run every existing test/bench under the native
+/// backend without touching each Vm construction site.
+bool nativeTierDefault();
+
 enum class TierStrategy : uint8_t {
   BaselineOnly,      ///< never optimize (reference semantics)
   Normal,            ///< speculate; deopt retires the version (Fig. 1)
@@ -135,6 +141,16 @@ public:
     /// and off in release builds.
     bool VerifyBetweenPasses = VerifyPassesDefault;
 
+    /// Native execution tier (orthogonal to everything above): optimized
+    /// code is prepared by the x86-64 template JIT (src/native/) instead
+    /// of the threaded LowCode interpreter. Requires an x86-64 host with
+    /// a GNU-compatible toolchain — on any other platform (or when the
+    /// backend cannot be constructed) the Vm silently keeps the
+    /// interpreter backend, so this knob is always safe to set. Defaults
+    /// from the RJIT_NATIVE_TIER environment variable (CI runs the full
+    /// suite both ways); unset means off.
+    bool NativeTier = nativeTierDefault();
+
     /// Background compilation (orthogonal to everything above): compile
     /// requests go to a compiler pool; each job compiles from a feedback
     /// snapshot taken at enqueue time and publishes atomically, while the
@@ -149,6 +165,11 @@ public:
     /// A pool shared with other Vms (e.g. one pool, N executor threads).
     /// Not owned; must outlive the Vm. Null: the Vm creates its own.
     CompilerPool *Pool = nullptr;
+
+    /// An injected execution backend (advanced embedding / tests). Not
+    /// owned; must outlive the Vm. Null: the Vm resolves one from
+    /// NativeTier (its own native backend, or the interpreter).
+    ExecBackend *Backend = nullptr;
 
     /// The deoptless view of this configuration (single source of truth
     /// for the knobs DeoptlessConfig shares with the Vm).
@@ -185,8 +206,8 @@ public:
   TierState &stateFor(Function *Fn);
 
   /// Compiles the generic root version of \p Fn now (ignoring thresholds);
-  /// returns the code or null.
-  LowFunction *compileFunction(Function *Fn);
+  /// returns the backend-prepared executable or null.
+  ExecutableCode *compileFunction(Function *Fn);
 
   /// Compiles (or returns) the version of \p Fn for \p Ctx, falling back
   /// to the generic root when the context is blacklisted, unplaceable or
@@ -195,6 +216,10 @@ public:
 
   /// The compiler pool serving this Vm (null without BackgroundCompile).
   CompilerPool *pool() { return ActivePool; }
+
+  /// The execution backend optimized code is prepared for (never null:
+  /// the interpreter backend when no native tier is active).
+  ExecBackend *backend() { return ActiveBackend; }
 
   /// Barrier: waits until every compile request this Vm enqueued has been
   /// compiled and published (with a 0-thread pool, runs them inline).
@@ -216,14 +241,26 @@ private:
   Config Cfg;
   Env *Global;
   std::vector<std::unique_ptr<Module>> Modules;
+  /// The native backend when NativeTier is on and supported (owns the
+  /// per-Vm executable-code arena). Declared before every container that
+  /// can hold native executables — TierRegistry, the graveyard — so the
+  /// arena outlives the code pointing into it even if ~Vm's explicit
+  /// teardown order ever changes.
+  std::unique_ptr<ExecBackend> OwnBackend;
+  ExecBackend *ActiveBackend = nullptr;
   TierRegistry States;
   std::unique_ptr<CompilerPool> OwnPool;
   CompilerPool *ActivePool = nullptr;
   /// Retired optimized code: activations of a version being retired are
   /// still on the stack when the deopt listener runs, so reclamation is
   /// deferred to VM teardown (real VMs defer to a safepoint). Touched only
-  /// by the owning executor thread.
-  std::vector<std::unique_ptr<LowFunction>> Graveyard;
+  /// by the owning executor thread. Population is mirrored in the
+  /// GraveyardSize stats gauge (incremented on retire, drained at
+  /// teardown) so tests can observe the retire/reclaim lifecycle.
+  std::vector<std::unique_ptr<ExecutableCode>> Graveyard;
+
+  /// Moves retired code to the graveyard and bumps the gauge.
+  void toGraveyard(std::unique_ptr<ExecutableCode> Code);
 };
 
 } // namespace rjit

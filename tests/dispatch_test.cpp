@@ -139,11 +139,11 @@ TEST(CallContext, WrongArityDropsCorrectArityFlag) {
 
 namespace {
 
-std::unique_ptr<LowFunction> dummyLow() {
+std::unique_ptr<ExecutableCode> dummyLow() {
   auto F = std::make_unique<LowFunction>();
   F->Code.push_back({LowOp::RetLow});
   F->NumSlots = 1;
-  return F;
+  return interpBackend().prepare(std::move(F));
 }
 
 } // namespace
@@ -185,7 +185,7 @@ TEST(VersionTable, RetiredEntriesKeepBookkeeping) {
   VersionWriteGuard WG(T);
   FnVersion *E = T.insert(ctxOf({Tag::IntVec}, 1));
   E->publish(dummyLow());
-  const LowFunction *Code = E->code();
+  const LowFunction *Code = E->code()->lowPtr();
   EXPECT_EQ(T.owner(Code), E);
   E->retire(); // retire (deopt); ownership would move to the graveyard
   E->DeoptCount = 7;

@@ -1,0 +1,276 @@
+//===-- tests/native_test.cpp - Execution-backend seam & template JIT ------===//
+//
+// Unit and end-to-end coverage for the pluggable-backend refactor:
+//
+//  * the seam itself — prepare() wrapping, low() identity, the interpreter
+//    backend as the portable fallback;
+//  * the x86-64 template JIT — hand-built LowCode run natively, end-to-end
+//    parity with the interpreter backend across tier strategies, guard
+//    side exits feeding the unchanged deopt machinery (true deopt,
+//    deoptless dispatch, multi-frame OSR-out from inlined frames), and
+//    the injected-invalidation slow path through native guards.
+//
+// Native cases skip (not fail) on hosts without the backend; the seam
+// cases run everywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/native.h"
+#include "support/stats.h"
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rjit;
+
+namespace {
+
+/// Hand-built "return the integer constant 7" LowCode.
+std::unique_ptr<LowFunction> const7() {
+  auto F = std::make_unique<LowFunction>();
+  F->NumSlots = 1;
+  F->Consts.push_back(Value::integer(7));
+  LowInstr Ld;
+  Ld.Op = LowOp::LoadConst;
+  Ld.Dst = 0;
+  Ld.B = static_cast<uint16_t>(SlotClass::Boxed);
+  Ld.Imm = 0;
+  F->Code.push_back(Ld);
+  LowInstr Ret;
+  Ret.Op = LowOp::RetLow;
+  Ret.A = 0;
+  F->Code.push_back(Ret);
+  return F;
+}
+
+Vm::Config cfg(TierStrategy S, bool Native) {
+  Vm::Config C;
+  C.Strategy = S;
+  C.CompileThreshold = 2;
+  C.OsrThreshold = 100;
+  C.NativeTier = Native;
+  return C;
+}
+
+/// Runs Setup once and Driver \p Reps times under \p C; returns the last
+/// value rendered.
+std::string runUnder(Vm::Config C, const std::string &Setup,
+                     const std::string &Driver, int Reps = 8) {
+  Vm V(C);
+  V.eval(Setup);
+  Value R;
+  for (int K = 0; K < Reps; ++K)
+    R = V.eval(Driver);
+  return R.show();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The seam
+
+TEST(BackendSeam, InterpBackendWrapsAndRuns) {
+  std::unique_ptr<LowFunction> Low = const7();
+  const LowFunction *Raw = Low.get();
+  std::unique_ptr<ExecutableCode> X =
+      interpBackend().prepare(std::move(Low));
+  ASSERT_NE(X, nullptr);
+  EXPECT_STREQ(X->backendName(), "interp");
+  EXPECT_EQ(X->lowPtr(), Raw) << "low() must be the identity the deopt "
+                                 "runtime keys on";
+  Value R = X->run({}, nullptr, nullptr);
+  EXPECT_EQ(R.asIntUnchecked(), 7);
+}
+
+TEST(BackendSeam, NullBackendResolvesToInterp) {
+  EXPECT_EQ(&backendOr(nullptr), &interpBackend());
+}
+
+TEST(BackendSeam, UnsupportedHostsReportNoNativeBackend) {
+  // On supported hosts makeNativeBackend() must produce a backend; on
+  // unsupported ones it must return null (and the Vm falls back).
+  std::unique_ptr<ExecBackend> B = makeNativeBackend();
+  EXPECT_EQ(B != nullptr, nativeBackendSupported());
+}
+
+//===----------------------------------------------------------------------===//
+// The template JIT
+
+TEST(NativeJit, RunsHandBuiltCode) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  std::unique_ptr<ExecBackend> B = makeNativeBackend();
+  ASSERT_NE(B, nullptr);
+  std::unique_ptr<ExecutableCode> X = B->prepare(const7());
+  ASSERT_NE(X, nullptr);
+  EXPECT_STREQ(X->backendName(), "native-x64");
+  EXPECT_EQ(X->run({}, nullptr, nullptr).asIntUnchecked(), 7);
+}
+
+TEST(NativeJit, TypedLoopMatchesInterpreter) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  const char *Setup = R"(
+    f <- function(n) {
+      s <- 0
+      for (i in 1:n) s <- s + i * 0.5
+      s
+    }
+  )";
+  std::string Interp =
+      runUnder(cfg(TierStrategy::Normal, false), Setup, "f(5000L)");
+  resetStats();
+  std::string Native =
+      runUnder(cfg(TierStrategy::Normal, true), Setup, "f(5000L)");
+  EXPECT_EQ(Interp, Native);
+  EXPECT_GT(stats().NativeCompiles, 0u);
+  EXPECT_GT(stats().NativeEnters, 0u) << "the JIT must actually run";
+}
+
+TEST(NativeJit, RealCompareBranchesMatchInterpreter) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  // Drives the fused double compare-branch templates (ucomisd with
+  // swapped-operand encodings and the parity fixups of ==/!=), which
+  // the int-typed grids never reach — including NaN operands, where
+  // C++'s "unordered compares are false" must survive the jcc mapping.
+  const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+  for (const char *Op : Ops) {
+    std::string Setup =
+        std::string("g <- function(a, b) {\n  n <- 0L\n"
+                    "  for (i in 1:10) if (a ") +
+        Op + " b) n <- n + 1L else n <- n - 1L\n  n\n}\n";
+    for (const char *Args :
+         {"2.5, 2.5", "1.5, 2.5", "2.5, 1.5", "0 / 0, 1.0",
+          "1.0, 0 / 0", "0 / 0, 0 / 0"}) {
+      std::string Driver = std::string("g(") + Args + ")";
+      std::string Interp =
+          runUnder(cfg(TierStrategy::Normal, false), Setup, Driver);
+      std::string Native =
+          runUnder(cfg(TierStrategy::Normal, true), Setup, Driver);
+      EXPECT_EQ(Interp, Native) << "op " << Op << " args " << Args;
+    }
+  }
+}
+
+TEST(NativeJit, GuardSideExitDrivesTrueDeopt) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  const char *Setup = R"(
+    sum_data <- function(data) {
+      total <- 0L
+      for (i in 1:length(data)) total <- total + data[[i]]
+      total
+    }
+  )";
+  Vm V(cfg(TierStrategy::Normal, true));
+  V.eval(Setup);
+  for (int K = 0; K < 5; ++K)
+    V.eval("sum_data(1:40)");
+  ASSERT_GT(stats().NativeEnters, 0u);
+  // Phase change: a native guard must side-exit into the unchanged OSR
+  // machinery and produce the interpreter's exact result.
+  EXPECT_EQ(V.eval("sum_data(as.numeric(1:40)) + 0.5").show(), "820.5");
+  EXPECT_GT(stats().Deopts, 0u) << "the side exit must reach OSR-out";
+}
+
+TEST(NativeJit, GuardSideExitDrivesDeoptlessDispatch) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  const char *Setup = R"(
+    sum_data <- function(data) {
+      total <- 0L
+      for (i in 1:length(data)) total <- total + data[[i]]
+      total
+    }
+  )";
+  Vm V(cfg(TierStrategy::Deoptless, true));
+  V.eval(Setup);
+  for (int K = 0; K < 5; ++K)
+    V.eval("sum_data(1:40)");
+  std::string R1 = V.eval("sum_data(as.numeric(1:40))").show();
+  std::string R2 = V.eval("sum_data(as.numeric(1:40))").show();
+  EXPECT_EQ(R1, "820");
+  EXPECT_EQ(R2, "820");
+  EXPECT_GT(stats().DeoptlessCompiles + stats().DeoptlessHits, 0u)
+      << "native guard failures must dispatch through deoptless";
+  EXPECT_EQ(stats().Deopts, 0u)
+      << "deoptless must have absorbed the phase change";
+}
+
+TEST(NativeJit, MultiFrameOsrOutFromInlinedFrames) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  // The kD shape of the fuzzer: a list element (type invisible to the
+  // caller) flows into an inlined callee; the callee's guard fails in
+  // native code and OSR-out must rebuild the whole frame chain.
+  const char *Setup = R"(
+    kA <- function(a, b) {
+      acc <- a
+      for (i in 1:3) acc <- acc + (b - 1L)
+      acc
+    }
+    kD <- function(l, i) kA(l[[i]], 2L)
+    li <- list(3L, 2L, 3L, 8L)
+    lr <- list(8.5, 9.5, 2.5, 7.5)
+  )";
+  Vm::Config C = cfg(TierStrategy::Normal, true);
+  C.Inlining = true;
+  Vm V(C);
+  V.eval(Setup);
+  for (int K = 0; K < 6; ++K)
+    V.eval("kD(li, 1L)");
+  ASSERT_GT(stats().InlinedCalls, 0u) << "kA must be inlined into kD";
+  ASSERT_GT(stats().NativeEnters, 0u);
+  EXPECT_EQ(V.eval("kD(lr, 2L)").show(), "12.5");
+  EXPECT_GT(stats().MultiFrameDeopts, 0u)
+      << "the native side exit must materialize the inlined frames";
+}
+
+TEST(NativeJit, InjectedInvalidationKeepsResults) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  const char *Setup = R"(
+    work <- function(n) {
+      v <- integer(n)
+      for (i in 1:n) v[[i]] <- (i * 7L) %% 13L
+      s <- 0L
+      for (i in 1:n) if (v[[i]] > 6L) s <- s + v[[i]]
+      s
+    }
+  )";
+  std::string Base = runUnder(cfg(TierStrategy::BaselineOnly, false),
+                              Setup, "work(400L)", 20);
+  for (TierStrategy S :
+       {TierStrategy::Normal, TierStrategy::Deoptless}) {
+    Vm::Config C = cfg(S, true);
+    // Low rate, many repetitions: loop-invariant guards are hoisted, so
+    // steady state executes only a handful of checks per call and the
+    // countdown needs density to provably fire.
+    C.InvalidationRate = 20;
+    C.InvalidationSeed = 99;
+    resetStats();
+    EXPECT_EQ(runUnder(C, Setup, "work(400L)", 20), Base)
+        << "strategy " << static_cast<int>(S);
+    EXPECT_GT(stats().InjectedFailures, 0u)
+        << "the countdown slow path must have fired in native guards";
+  }
+}
+
+TEST(NativeJit, BackgroundCompilePublishesNativeCode) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  Vm::Config C = cfg(TierStrategy::Normal, true);
+  C.BackgroundCompile = true;
+  C.CompilerThreads = 2;
+  Vm V(C);
+  V.eval("f <- function(n) { s <- 0L\n for (i in 1:n) s <- s + i\n s }");
+  for (int K = 0; K < 4; ++K)
+    V.eval("f(50L)");
+  V.drainCompiles();
+  Value R = V.eval("f(50L)");
+  EXPECT_EQ(R.asIntUnchecked(), 1275);
+  EXPECT_GT(stats().NativeEnters, 0u)
+      << "the drained background compile must have published native "
+         "code through the snapshot/COW discipline";
+}

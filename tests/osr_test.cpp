@@ -169,11 +169,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 namespace {
 
-std::unique_ptr<LowFunction> dummyCode() {
+std::unique_ptr<ExecutableCode> dummyCode() {
   auto F = std::make_unique<LowFunction>();
   F->Code.push_back({LowOp::RetLow});
   F->NumSlots = 1;
-  return F;
+  return interpBackend().prepare(std::move(F));
 }
 
 /// Installs a configuration with the given table bound (the knob is owned

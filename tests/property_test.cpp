@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "compile/pool.h"
+#include "native/native.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "vm/vm.h"
@@ -55,6 +56,16 @@ Vm::Config cfg(TierStrategy S, bool CtxDispatch = false,
   C.ContextDispatch = CtxDispatch;
   C.Inlining = Inlining;
   return C;
+}
+
+/// The NativeTier sweep axis: both backends where the template JIT can
+/// run, the interpreter alone elsewhere (the axis then degenerates and
+/// the sweep is unchanged — non-x86-64 hosts still run the full matrix).
+const std::vector<bool> &nativeAxis() {
+  static const std::vector<bool> Axis =
+      nativeBackendSupported() ? std::vector<bool>{false, true}
+                               : std::vector<bool>{false};
+  return Axis;
 }
 
 /// Runs a program (setup + 8x driver) under one configuration; returns the
@@ -478,6 +489,8 @@ struct FuzzCoverage {
   RelaxedCounter HoistedGuards;
   RelaxedCounter HoistedInstrs;
   RelaxedCounter EliminatedGuards;
+  RelaxedCounter NativeEnters;
+  RelaxedCounter NativeCompiles;
   RelaxedCounter Programs;
 };
 
@@ -500,6 +513,8 @@ void absorbStats() {
   C.HoistedGuards += S.HoistedGuards;
   C.HoistedInstrs += S.HoistedInstrs;
   C.EliminatedGuards += S.EliminatedGuards;
+  C.NativeEnters += S.NativeEnters;
+  C.NativeCompiles += S.NativeCompiles;
 }
 
 std::string driversOf(const GenProg &P) {
@@ -537,28 +552,36 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
                            TierStrategy::ProfileDrivenReopt})
       for (bool Ctx : {false, true})
         for (bool Inl : {false, true})
-          for (bool Loop : {false, true}) {
-            Vm::Config C = cfg(S, Ctx, Inl);
-            C.LoopOpts.Enabled = Loop;
-            ASSERT_EQ(Base, runProgram(P, C))
-                << "seed " << Seed << " strategy " << static_cast<int>(S)
-                << " ctx=" << Ctx << " inl=" << Inl << " loop=" << Loop
-                << "\nprogram:\n"
-                << P.Setup << "drivers:\n" << driversOf(P);
-          }
+          for (bool Loop : {false, true})
+            for (bool Native : nativeAxis()) {
+              Vm::Config C = cfg(S, Ctx, Inl);
+              C.LoopOpts.Enabled = Loop;
+              C.NativeTier = Native;
+              ASSERT_EQ(Base, runProgram(P, C))
+                  << "seed " << Seed << " strategy "
+                  << static_cast<int>(S) << " ctx=" << Ctx
+                  << " inl=" << Inl << " loop=" << Loop
+                  << " native=" << Native << "\nprogram:\n"
+                  << P.Setup << "drivers:\n" << driversOf(P);
+            }
 
     // Random invalidation on top of inlining: injected guard failures
     // land inside spliced callees too, forcing the multi-frame OSR-out
-    // and deoptless-continuation paths without changing any result.
-    for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless}) {
-      Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
-      C.InvalidationRate = 60 + (Seed % 90);
-      C.InvalidationSeed = Seed | 1;
-      ASSERT_EQ(Base, runProgram(P, C))
-          << "seed " << Seed << " injected strategy "
-          << static_cast<int>(S) << "\nprogram:\n"
-          << P.Setup << "drivers:\n" << driversOf(P);
-    }
+    // and deoptless-continuation paths without changing any result. The
+    // native axis drives them through the template JIT's side-exit
+    // stubs and countdown slow path.
+    for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless})
+      for (bool Native : nativeAxis()) {
+        Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
+        C.InvalidationRate = 60 + (Seed % 90);
+        C.InvalidationSeed = Seed | 1;
+        C.NativeTier = Native;
+        ASSERT_EQ(Base, runProgram(P, C))
+            << "seed " << Seed << " injected strategy "
+            << static_cast<int>(S) << " native=" << Native
+            << "\nprogram:\n"
+            << P.Setup << "drivers:\n" << driversOf(P);
+      }
   }
 }
 
@@ -646,6 +669,14 @@ TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
         // doubling the TSan-heavy concurrent sweep.
         C.LoopOpts.Enabled =
             ((K + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) == 0;
+        // NativeTier alternated at half the rate: over K mod 4 every
+        // (loop, native) combination races the shared pool — compiler
+        // threads emit and seal W^X pages while executors run previously
+        // published native code.
+        C.NativeTier =
+            nativeBackendSupported() &&
+            (((K >> 1) + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) ==
+                0;
         std::string Got = runProgramBackground(P, C);
         if (Got != Base) {
           std::lock_guard<std::mutex> L(FailuresMu);
@@ -713,6 +744,13 @@ public:
     EXPECT_GT(C.EliminatedGuards, 0u)
         << "redundant-guard elimination never fired — the kP corpus "
            "shape must produce dominated duplicate guards";
+    if (nativeBackendSupported()) {
+      EXPECT_GT(C.NativeCompiles, 0u)
+          << "the NativeTier axis never produced template-JIT code";
+      EXPECT_GT(C.NativeEnters, 0u)
+          << "the NativeTier axis never entered native code — the "
+             "sweep's transcripts did not actually cover the JIT";
+    }
   }
 };
 

@@ -1,5 +1,6 @@
 //===-- tests/vm_test.cpp - Tier manager & OSR integration tests -----------===//
 
+#include "native/native.h"
 #include "osr/deoptless.h"
 #include "support/stats.h"
 #include "vm/vm.h"
@@ -385,6 +386,46 @@ TEST(VmReopt, SamplingRecompilesOnProfileChange) {
   for (int K = 0; K < 40; ++K)
     V.eval("mix(b)");
   EXPECT_GE(stats().Reoptimizations + stats().Deopts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Graveyard lifecycle (groundwork for the ROADMAP GC item): a retired
+// executable — LowCode- or native-backed — must land in the graveyard
+// (its frames may still be live when the deopt listener runs) and be
+// reclaimed exactly at Vm teardown, observable through the GraveyardSize
+// gauge.
+
+TEST(VmGraveyard, RetiredExecutablesAreReclaimedAtTeardown) {
+  for (bool Native : {false, true}) {
+    if (Native && !nativeBackendSupported())
+      continue;
+    Vm::Config C = cfg(TierStrategy::Normal);
+    C.NativeTier = Native;
+    {
+      Vm V(C);
+      V.eval(SumProgram);
+      for (int K = 0; K < 5; ++K)
+        V.eval("sum_data(1:50)");
+      ASSERT_EQ(stats().GraveyardSize, 0u)
+          << "nothing retired yet (native=" << Native << ")";
+      // Phase change: the int-speculated version deopts and is retired.
+      V.eval("sum_data(as.numeric(1:50))");
+      EXPECT_GT(stats().Deopts, 0u);
+      EXPECT_GT(stats().GraveyardSize, 0u)
+          << "the retired executable must be graveyarded, not freed "
+             "(native="
+          << Native << ")";
+      if (Native) {
+        EXPECT_GT(stats().NativeCompiles, 0u);
+        EXPECT_GT(stats().NativeEnters, 0u)
+            << "the retired code must actually have run natively";
+      }
+    }
+    // Teardown is the safepoint: the graveyard drains with the Vm.
+    EXPECT_EQ(stats().GraveyardSize, 0u)
+        << "teardown must reclaim retired executables (native=" << Native
+        << ")";
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json reports against checked-in baselines.
+
+The fig benches emit machine-readable reports (see bench/suite/harness.h):
+absolute times vary with the host, but the `headlines` block carries
+machine-independent ratios (speedups of one mode over another measured in
+the same process). This script diffs the `speedup_*` headlines of freshly
+produced reports against the baselines in bench/baselines/ and fails when
+a speedup regressed by more than --tolerance (default 20%).
+
+Usage:
+  python3 bench/compare_bench.py [--baseline-dir bench/baselines]
+                                 [--current-dir .] [--tolerance 0.20]
+
+Exit status: 0 when every compared headline is within tolerance (missing
+baselines or reports only warn), 1 on any regression or unreadable file.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative drop of a speedup headline (0.20 = 20%%)",
+    )
+    args = ap.parse_args()
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json"))
+    )
+    if not baselines:
+        print(f"error: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    for bpath in baselines:
+        name = os.path.basename(bpath)
+        cpath = os.path.join(args.current_dir, name)
+        if not os.path.exists(cpath):
+            print(f"warn: {name}: no current report, skipping")
+            continue
+        try:
+            base, cur = load(bpath), load(cpath)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {name}: {e}", file=sys.stderr)
+            failures += 1
+            continue
+
+        for key, bval in sorted(base.get("headlines", {}).items()):
+            # Only the higher-is-better speedup ratios are stable across
+            # hosts; pause ratios and overhead probes are gated by the
+            # benches' own exit codes.
+            if not key.startswith("speedup_"):
+                continue
+            cval = cur.get("headlines", {}).get(key)
+            if cval is None:
+                print(f"warn: {name}: headline {key} missing in current")
+                continue
+            compared += 1
+            floor = bval * (1.0 - args.tolerance)
+            verdict = "ok" if cval >= floor else "REGRESSED"
+            print(
+                f"{name[6:-5]:24s} {key:32s} "
+                f"base {bval:8.3f}  cur {cval:8.3f}  floor {floor:8.3f}  "
+                f"{verdict}"
+            )
+            if cval < floor:
+                failures += 1
+
+    if compared == 0:
+        print("error: no headlines compared", file=sys.stderr)
+        return 1
+    print(f"# compared {compared} headlines, {failures} regression(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

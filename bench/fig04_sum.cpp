@@ -56,14 +56,22 @@ std::vector<double> runMode(TierStrategy S, long N, int PerPhase,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long N = argLong(Argc, Argv, "--n", 200000);
   int PerPhase = static_cast<int>(argLong(Argc, Argv, "--iters", 5));
+
+  BenchReport R;
+  R.Name = "fig04_sum";
+  R.Config = "n=" + std::to_string(N) +
+             " iters=" + std::to_string(PerPhase);
 
   VmStats NormalStats, DlStats;
   std::vector<double> Normal =
       runMode(TierStrategy::Normal, N, PerPhase, NormalStats);
+  R.add("normal", Normal, NormalStats);
   std::vector<double> Dl =
       runMode(TierStrategy::Deoptless, N, PerPhase, DlStats);
+  R.add("deoptless", Dl, DlStats);
 
   printf("# Fig. 4 — sum over %ld elements; phases: int, float, complex, "
          "float (%d iterations each)\n",
@@ -90,6 +98,7 @@ int main(int Argc, char **Argv) {
   for (int P = 0; P < 4; ++P) {
     double Tn = PhaseAvgTail(Normal, P), Td = PhaseAvgTail(Dl, P);
     printf("%-10s %12.6f %12.6f %7.2fx\n", PhaseNames[P], Tn, Td, Tn / Td);
+    R.headline(std::string("speedup_") + PhaseNames[P], Tn / Td);
   }
   printf("\n# events: normal deopts=%llu recompiles=%llu | deoptless "
          "deopts=%llu continuations=%llu dispatch-hits=%llu\n",
@@ -98,5 +107,6 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(DlStats.Deopts),
          static_cast<unsigned long long>(DlStats.DeoptlessCompiles),
          static_cast<unsigned long long>(DlStats.DeoptlessHits));
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

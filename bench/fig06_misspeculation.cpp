@@ -30,6 +30,7 @@ struct RunResult {
   uint64_t PeakHeap = 0;
   uint64_t Deopts = 0;
   uint64_t Injected = 0;
+  VmStats Stats; ///< last execution's counters
 };
 
 RunResult runOne(const Program &P, TierStrategy S, uint64_t Rate, int Iters,
@@ -52,12 +53,14 @@ RunResult runOne(const Program &P, TierStrategy S, uint64_t Rate, int Iters,
     R.Deopts += stats().Deopts;
     R.Injected += stats().InjectedFailures;
   }
+  R.Stats = stats();
   return R;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 10));
   int Execs = static_cast<int>(argLong(Argc, Argv, "--execs", 2));
   int Warmup = static_cast<int>(argLong(Argc, Argv, "--warmup", 3));
@@ -78,6 +81,14 @@ int main(int Argc, char **Argv) {
     printf("%-26s %14s %14s %9s\n", "benchmark", "peak-normal",
            "peak-deoptless", "change");
 
+  BenchReport R;
+  R.Name = "fig06_misspeculation";
+  R.Config = "iters=" + std::to_string(Iters) +
+             " execs=" + std::to_string(Execs) +
+             " warmup=" + std::to_string(Warmup) +
+             " rate=" + std::to_string(Rate) +
+             (Memory ? " memory" : "");
+
   size_t N;
   const Program *Suite = mainSuite(N);
   std::vector<double> Speedups;
@@ -86,8 +97,10 @@ int main(int Argc, char **Argv) {
     const Program &P = Suite[B];
     RunResult Normal =
         runOne(P, TierStrategy::Normal, Rate, Iters, Execs, Warmup);
+    R.add(std::string(P.Name) + "/normal", Normal.IterTimes, Normal.Stats);
     RunResult Dl =
         runOne(P, TierStrategy::Deoptless, Rate, Iters, Execs, Warmup);
+    R.add(std::string(P.Name) + "/deoptless", Dl.IterTimes, Dl.Stats);
 
     if (Memory) {
       double Change = Normal.PeakHeap
@@ -110,6 +123,7 @@ int main(int Argc, char **Argv) {
       PerIter[K] = Normal.IterTimes[K] / Dl.IterTimes[K];
     double Mean = geomean(PerIter);
     Speedups.push_back(Mean);
+    R.headline(std::string("speedup_") + P.Name, Mean);
     printf("%-26s %8.2fx %9llu |", P.Name, Mean,
            static_cast<unsigned long long>(Normal.Deopts));
     for (int K = 0; K < Iters; ++K)
@@ -121,12 +135,16 @@ int main(int Argc, char **Argv) {
     printf("\n# overall geomean speedup: %.2fx (paper: 1x..9.1x, most "
            "benchmarks > 1.9x)\n",
            geomean(Speedups));
+    R.headline("speedup_geomean", geomean(Speedups));
   } else {
     double Sum = 0;
     for (double C : MemChanges)
       Sum += C;
+    double MeanChange = MemChanges.empty() ? 0.0 : Sum / MemChanges.size();
     printf("\n# mean heap-peak change: %+.1f%% (paper: median -4%%)\n",
-           MemChanges.empty() ? 0.0 : Sum / MemChanges.size());
+           MeanChange);
+    R.headline("heap_change_pct_mean", MeanChange);
   }
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

@@ -51,12 +51,13 @@ struct Times {
   std::vector<double> Cast, Render;
 };
 
-Times runMode(TierStrategy S, long N, int K) {
+Times runMode(TierStrategy S, long N, int K, VmStats &Out) {
   const Program *P = byName("raytrace");
   Vm V(benchConfig(S));
   V.eval(P->Setup);
   V.eval("hm <- make_heightmap(" + std::to_string(N) + "L)");
   V.eval("interp <- interp_bilinear");
+  resetStats();
   Times T;
   for (const Interaction &A : session(K)) {
     if (!A.PreEval.empty())
@@ -68,17 +69,29 @@ Times runMode(TierStrategy S, long N, int K) {
     T.Render.push_back(
         timeOnce(V, "render_image(hm, " + std::to_string(N) + "L)"));
   }
+  Out = stats();
   return T;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long N = argLong(Argc, Argv, "--n", 28);
   int K = static_cast<int>(argLong(Argc, Argv, "--interactions", 40));
 
-  Times Normal = runMode(TierStrategy::Normal, N, K);
-  Times Dl = runMode(TierStrategy::Deoptless, N, K);
+  BenchReport R;
+  R.Name = "fig08_volcano";
+  R.Config =
+      "n=" + std::to_string(N) + " interactions=" + std::to_string(K);
+
+  VmStats NormalStats, DlStats;
+  Times Normal = runMode(TierStrategy::Normal, N, K, NormalStats);
+  R.add("normal/cast", Normal.Cast, NormalStats);
+  R.add("normal/render", Normal.Render, NormalStats);
+  Times Dl = runMode(TierStrategy::Deoptless, N, K, DlStats);
+  R.add("deoptless/cast", Dl.Cast, DlStats);
+  R.add("deoptless/render", Dl.Render, DlStats);
 
   printf("# Fig. 8 — volcano app interactive session (%d interactions, "
          "%ldx%ld height map)\n",
@@ -99,5 +112,8 @@ int main(int Argc, char **Argv) {
   printf("\n# geomean speedups: cast_rays %.2fx, ggplot %.2fx (paper: up "
          "to 2x on interpolation switches, ~2.5x steady on rendering)\n",
          geomean(CastSp), geomean(RenderSp));
+  R.headline("speedup_cast", geomean(CastSp));
+  R.headline("speedup_render", geomean(RenderSp));
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

@@ -79,7 +79,8 @@ std::vector<Variant> variants(long N) {
   };
 }
 
-std::vector<double> runMode(const Variant &Var, TierStrategy S) {
+std::vector<double> runMode(const Variant &Var, TierStrategy S,
+                            VmStats &Out) {
   const Program *P = byName("raytrace");
   Vm V(benchConfig(S));
   V.eval(P->Setup);
@@ -87,19 +88,26 @@ std::vector<double> runMode(const Variant &Var, TierStrategy S) {
     V.eval(Var.Extra);
   std::vector<double> Times;
   V.eval(Var.InitPhase);
+  resetStats();
   for (int K = 0; K < 10; ++K) {
     if (K == 5)
       V.eval(Var.SwitchPhase);
     Times.push_back(timeOnce(V, Var.Driver));
   }
+  Out = stats();
   return Times;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long N = argLong(Argc, Argv, "--n", 28);
   int Runs = static_cast<int>(argLong(Argc, Argv, "--runs", 3));
+
+  BenchReport Report;
+  Report.Name = "fig09_raytrace";
+  Report.Config = "n=" + std::to_string(N) + " runs=" + std::to_string(Runs);
 
   printf("# Fig. 9 — ray-tracing variants, 10 iterations, phase change at "
          "iteration 6, %d runs\n",
@@ -109,16 +117,23 @@ int main(int Argc, char **Argv) {
     printf("%-12s", Var.Name);
     std::vector<double> Acc(10, 0.0);
     for (int R = 0; R < Runs; ++R) {
-      std::vector<double> Tn = runMode(Var, TierStrategy::Normal);
-      std::vector<double> Td = runMode(Var, TierStrategy::Deoptless);
+      VmStats Sn, Sd;
+      std::vector<double> Tn = runMode(Var, TierStrategy::Normal, Sn);
+      if (R == 0)
+        Report.add(std::string(Var.Name) + "/normal", Tn, Sn);
+      std::vector<double> Td = runMode(Var, TierStrategy::Deoptless, Sd);
+      if (R == 0)
+        Report.add(std::string(Var.Name) + "/deoptless", Td, Sd);
       for (int K = 0; K < 10; ++K)
         Acc[K] += (Tn[K] / Td[K]) / Runs;
     }
     for (int K = 0; K < 10; ++K)
       printf(" %5.2f", Acc[K]);
     printf("\n");
+    Report.headline(std::string("speedup_") + Var.Name, geomean(Acc));
   }
   printf("\n# (paper: deoptless consistently alleviates the slowdown at "
          "the phase change, ~1.0-1.2x)\n");
+  emitBenchArtifacts(Report, Argc, Argv);
   return 0;
 }

@@ -46,15 +46,23 @@ std::vector<double> runMode(TierStrategy S, long Rows, long Cols, int Execs,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long Rows = argLong(Argc, Argv, "--rows", 100000);
   long Cols = argLong(Argc, Argv, "--cols", 50);
   int Execs = static_cast<int>(argLong(Argc, Argv, "--execs", 2));
 
+  BenchReport R;
+  R.Name = "fig10_colsum";
+  R.Config = "rows=" + std::to_string(Rows) + " cols=" +
+             std::to_string(Cols) + " execs=" + std::to_string(Execs);
+
   VmStats NStats, DStats;
   std::vector<double> Normal =
       runMode(TierStrategy::Normal, Rows, Cols, Execs, NStats);
+  R.add("normal", Normal, NStats);
   std::vector<double> Dl =
       runMode(TierStrategy::Deoptless, Rows, Cols, Execs, DStats);
+  R.add("deoptless", Dl, DStats);
 
   printf("# Fig. 10 — column-wise sum, %ld columns x %ld rows, alternating "
          "double/integer columns\n",
@@ -83,5 +91,7 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(DStats.Deopts),
          static_cast<unsigned long long>(DStats.DeoptlessCompiles),
          static_cast<unsigned long long>(DStats.DeoptlessHits));
+  R.headline("speedup_stable", Tn / Td);
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

@@ -43,7 +43,8 @@ std::vector<Bench> benches() {
   };
 }
 
-std::vector<double> runMode(const Bench &B, TierStrategy S, int Iters) {
+std::vector<double> runMode(const Bench &B, TierStrategy S, int Iters,
+                            VmStats &Out) {
   const Program *P = byName(B.Name);
   Vm V(benchConfig(S));
   V.eval(P->Setup);
@@ -51,20 +52,28 @@ std::vector<double> runMode(const Bench &B, TierStrategy S, int Iters) {
     V.eval("micro_data <- as.numeric(1:3000)");
   if (!B.WarmPre.empty())
     V.eval(B.WarmPre);
+  resetStats();
   std::vector<double> Times;
   for (int K = 0; K < Iters; ++K) {
     if (K == Iters / 3 && !B.ChangedPre.empty())
       V.eval(B.ChangedPre);
     Times.push_back(timeOnce(V, B.Driver));
   }
+  Out = stats();
   return Times;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 15));
   int Execs = static_cast<int>(argLong(Argc, Argv, "--execs", 2));
+
+  BenchReport R;
+  R.Name = "fig11_reopt";
+  R.Config =
+      "iters=" + std::to_string(Iters) + " execs=" + std::to_string(Execs);
 
   printf("# Fig. 11 — reoptimization benchmarks (DLS'20 comparison)\n");
   printf("# speedup of deoptless over normal per iteration (the paper "
@@ -75,10 +84,18 @@ int main(int Argc, char **Argv) {
     std::vector<double> AccDl(Iters, 0.0);
     double SpDl = 0, SpRe = 0;
     for (int E = 0; E < Execs; ++E) {
-      std::vector<double> Tn = runMode(B, TierStrategy::Normal, Iters);
-      std::vector<double> Td = runMode(B, TierStrategy::Deoptless, Iters);
+      VmStats Sn, Sd, Sr;
+      std::vector<double> Tn = runMode(B, TierStrategy::Normal, Iters, Sn);
+      if (E == 0)
+        R.add(std::string(B.Name) + "/normal", Tn, Sn);
+      std::vector<double> Td =
+          runMode(B, TierStrategy::Deoptless, Iters, Sd);
+      if (E == 0)
+        R.add(std::string(B.Name) + "/deoptless", Td, Sd);
       std::vector<double> Tr =
-          runMode(B, TierStrategy::ProfileDrivenReopt, Iters);
+          runMode(B, TierStrategy::ProfileDrivenReopt, Iters, Sr);
+      if (E == 0)
+        R.add(std::string(B.Name) + "/reopt", Tr, Sr);
       std::vector<double> RatioD(Iters), RatioR(Iters);
       for (int K = 0; K < Iters; ++K) {
         RatioD[K] = Tn[K] / Td[K];
@@ -92,8 +109,11 @@ int main(int Argc, char **Argv) {
     for (int K = 0; K < Iters; ++K)
       printf(" %.2f", AccDl[K]);
     printf("\n");
+    R.headline(std::string("speedup_dl_") + B.Name, SpDl);
+    R.headline(std::string("speedup_reopt_") + B.Name, SpRe);
   }
   printf("\n# (paper: deoptless matches profile-driven reopt's best case "
          "on rsa (~1.4x) and does not help the other two)\n");
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

@@ -95,11 +95,18 @@ double worstOf(const std::vector<double> &Xs) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   int Calls = static_cast<int>(argLong(Argc, Argv, "--calls", 40));
   int Stmts = static_cast<int>(argLong(Argc, Argv, "--stmts", 150));
   unsigned Threads =
       static_cast<unsigned>(argLong(Argc, Argv, "--threads", 2));
   std::string Setup = heavyProgram(Stmts);
+
+  BenchReport R;
+  R.Name = "fig_asynccompile";
+  R.Config = "calls=" + std::to_string(Calls) +
+             " stmts=" + std::to_string(Stmts) +
+             " threads=" + std::to_string(Threads);
 
   Vm::Config Sync = benchConfig(TierStrategy::Normal);
   // The warmup phase must at least reach the threshold-crossing call.
@@ -107,12 +114,14 @@ int main(int Argc, char **Argv) {
     Calls = static_cast<int>(Sync.CompileThreshold);
   WarmupProfile S = measure(Sync, Setup, Calls);
   printStats("sync", S.Stats);
+  R.add("sync", S.CallSeconds, S.Stats);
 
   Vm::Config Bg = benchConfig(TierStrategy::Normal);
   Bg.BackgroundCompile = true;
   Bg.CompilerThreads = Threads;
   WarmupProfile B = measure(Bg, Setup, Calls);
   printStats("background", B.Stats);
+  R.add("background", B.CallSeconds, B.Stats);
 
   // The threshold-crossing call: benchConfig's CompileThreshold is 3, so
   // call index 2 is the one synchronous mode compiles in.
@@ -132,6 +141,12 @@ int main(int Argc, char **Argv) {
          BgSameCall > 0 ? SyncPause / BgSameCall : 0.0);
   printf("# steady-state parity (background/sync): %.2fx\n",
          S.SteadySeconds > 0 ? B.SteadySeconds / S.SteadySeconds : 0.0);
+
+  R.headline("pause_ratio",
+             BgSameCall > 0 ? SyncPause / BgSameCall : 0.0);
+  R.headline("steady_parity",
+             S.SteadySeconds > 0 ? B.SteadySeconds / S.SteadySeconds : 0.0);
+  emitBenchArtifacts(R, Argc, Argv);
 
   bool PauseEliminated = BgSameCall < SyncPause;
   printf("# warmup pause strictly below synchronous compile pause: %s\n",

@@ -64,12 +64,19 @@ std::vector<double> runMode(bool ContextDispatch, long N, int Iters,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long N = argLong(Argc, Argv, "--n", 4000);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 30));
 
+  BenchReport R;
+  R.Name = "fig_ctxdispatch";
+  R.Config = "n=" + std::to_string(N) + " iters=" + std::to_string(Iters);
+
   VmStats Single, Ctx;
   std::vector<double> TSingle = runMode(false, N, Iters, Single);
+  R.add("single-version", TSingle, Single);
   std::vector<double> TCtx = runMode(true, N, Iters, Ctx);
+  R.add("ctx-dispatch", TCtx, Ctx);
 
   printf("# contextual dispatch on a polymorphic kernel "
          "(n=%ld, %d iterations, 4 call shapes per iteration)\n",
@@ -87,5 +94,7 @@ int main(int Argc, char **Argv) {
 
   printStats("single-version", Single);
   printStats("ctx-dispatch", Ctx);
+  R.headline("speedup_ctx", geomean(SS) / geomean(SC));
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

@@ -65,8 +65,13 @@ double steady(const std::vector<double> &Xs) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  benchObsInit(Argc, Argv);
   long N = argLong(Argc, Argv, "--n", 4000);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 30));
+
+  BenchReport R;
+  R.Name = "fig_inline";
+  R.Config = "n=" + std::to_string(N) + " iters=" + std::to_string(Iters);
 
   struct Mode {
     const char *Label;
@@ -80,8 +85,10 @@ int main(int Argc, char **Argv) {
       {"deoptless", TierStrategy::Deoptless, false, {}, {}},
       {"deoptless+inline", TierStrategy::Deoptless, true, {}, {}},
   };
-  for (Mode &M : Modes)
+  for (Mode &M : Modes) {
     M.Times = runMode(M.S, M.Inline, N, Iters, M.Stats);
+    R.add(M.Label, M.Times, M.Stats);
+  }
 
   printf("# speculative inlining on a call-heavy kernel "
          "(n=%ld, %d iterations, one leaf call per element)\n",
@@ -99,5 +106,10 @@ int main(int Argc, char **Argv) {
 
   for (Mode &M : Modes)
     printStats(M.Label, M.Stats);
+  R.headline("speedup_inline_normal",
+             steady(Modes[0].Times) / steady(Modes[1].Times));
+  R.headline("speedup_inline_deoptless",
+             steady(Modes[2].Times) / steady(Modes[3].Times));
+  emitBenchArtifacts(R, Argc, Argv);
   return 0;
 }

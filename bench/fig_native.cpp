@@ -58,11 +58,8 @@ std::vector<double> runMode(bool Native, long Rows, long Cols, int Iters,
 
   std::vector<double> Times;
   Times.reserve(Iters);
-  for (int K = 0; K < Iters; ++K) {
-    Timer T;
-    V.eval(Call);
-    Times.push_back(T.elapsedSeconds());
-  }
+  for (int K = 0; K < Iters; ++K)
+    Times.push_back(timeOnce(V, Call));
   Result = V.eval("r").show();
   Out = stats();
   return Times;
@@ -76,6 +73,7 @@ double steady(const std::vector<double> &Xs) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  bool Tracing = benchObsInit(Argc, Argv);
   long Rows = argLong(Argc, Argv, "--rows", 1000);
   long Cols = argLong(Argc, Argv, "--cols", 40);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 30));
@@ -87,12 +85,19 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  BenchReport R;
+  R.Name = "fig_native";
+  R.Config = "rows=" + std::to_string(Rows) + " cols=" +
+             std::to_string(Cols) + " iters=" + std::to_string(Iters);
+
   VmStats InterpStats, NativeStats;
   std::string InterpR, NativeR;
   std::vector<double> InterpT =
       runMode(false, Rows, Cols, Iters, InterpStats, InterpR);
+  R.add("interp", InterpT, InterpStats);
   std::vector<double> NativeT =
       runMode(true, Rows, Cols, Iters, NativeStats, NativeR);
+  R.add("native", NativeT, NativeStats);
 
   printf("# native tier vs threaded interpreter on the hoisted-clean "
          "colsum kernel (%ldx%ld, %d iterations, inlining+loopopts on)\n",
@@ -109,6 +114,29 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(NativeStats.NativeCompiles),
          static_cast<unsigned long long>(NativeStats.NativeEnters),
          static_cast<unsigned long long>(NativeStats.HoistedGuards));
+
+  // Untimed probe for the trace export: a short native run with injected
+  // invalidation exercises the side-exit stubs and the deopt path, so the
+  // Chrome trace demonstrates the full compile / native-enter /
+  // native-side-exit / deopt event vocabulary. Runs after both measured
+  // modes — it shares no Vm with them and cannot perturb the timings.
+  if (Tracing) {
+    Vm::Config Cfg = benchConfig(TierStrategy::Normal);
+    Cfg.Inlining = true;
+    Cfg.LoopOpts.Enabled = true;
+    Cfg.NativeTier = true;
+    Cfg.InvalidationRate = 5000;
+    Cfg.InvalidationSeed = 42;
+    Vm V(Cfg);
+    V.eval(Setup);
+    V.eval("d <- as.numeric(1:" + std::to_string(Rows * Cols) + ")");
+    for (int K = 0; K < 8; ++K)
+      V.eval("r <- colsum(d, " + std::to_string(Rows) + "L, " +
+             std::to_string(Cols) + "L, get)");
+  }
+
+  R.headline("speedup_native", Speed);
+  emitBenchArtifacts(R, Argc, Argv);
 
   bool SameResult = InterpR == NativeR;
   if (!SameResult)

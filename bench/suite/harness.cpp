@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "suite/harness.h"
+#include "obs/trace.h"
 #include "support/timer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 using namespace rjit;
@@ -24,7 +27,9 @@ Vm::Config rjit::suite::benchConfig(TierStrategy S) {
 double rjit::suite::timeOnce(Vm &V, const std::string &Source) {
   Timer T;
   V.eval(Source);
-  return T.elapsedSeconds();
+  uint64_t Ns = T.elapsedNanos();
+  obs::metrics().Iteration.record(Ns);
+  return static_cast<double>(Ns) * 1e-9;
 }
 
 std::vector<double>
@@ -66,53 +71,198 @@ bool rjit::suite::argFlag(int Argc, char **Argv, const std::string &Name) {
   return false;
 }
 
+const char *rjit::suite::argStr(int Argc, char **Argv,
+                                const std::string &Name, const char *Def) {
+  for (int K = 1; K + 1 < Argc; ++K)
+    if (Name == Argv[K])
+      return Argv[K + 1];
+  return Def;
+}
+
 void rjit::suite::printStats(const char *Label, const VmStats &S) {
-  printf("# stats[%s]: compiles %llu, deopts %llu, osr-in %llu, "
-         "reopts %llu\n",
-         Label, (unsigned long long)S.Compilations,
-         (unsigned long long)S.Deopts, (unsigned long long)S.OsrInEntries,
-         (unsigned long long)S.Reoptimizations);
-  if (S.CtxVersions || S.CtxDispatchHits || S.CtxDispatchMisses) {
-    uint64_t Total = S.CtxDispatchHits + S.CtxDispatchMisses;
-    printf("# stats[%s]: ctx versions %llu, dispatch hits %llu, "
-           "misses %llu (%.1f%% hit)\n",
-           Label, (unsigned long long)S.CtxVersions,
-           (unsigned long long)S.CtxDispatchHits,
-           (unsigned long long)S.CtxDispatchMisses,
-           Total ? 100.0 * static_cast<double>(S.CtxDispatchHits) /
-                       static_cast<double>(Total)
-                 : 0.0);
+  // Registry-driven: the schema (names, membership) lives in
+  // obs/metrics.cpp, shared with the JSON emission below — per-bench
+  // printf lists cannot drift from the serialized counters.
+  printf("# stats[%s]:", Label);
+  bool Any = false;
+  obs::MetricsRegistry::forEachCounter(S,
+                                       [&](const char *Name, uint64_t V) {
+                                         if (!V)
+                                           return;
+                                         printf("%s %s=%llu",
+                                                Any ? "," : "", Name,
+                                                (unsigned long long)V);
+                                         Any = true;
+                                       });
+  obs::MetricsRegistry::forEachGauge(
+      S, [&](const char *Name, uint64_t V, uint64_t High) {
+        if (!V && !High)
+          return;
+        printf("%s %s=%llu(hw %llu)", Any ? "," : "", Name,
+               (unsigned long long)V, (unsigned long long)High);
+        Any = true;
+      });
+  printf("%s\n", Any ? "" : " (all zero)");
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable bench reports
+//===----------------------------------------------------------------------===//
+
+BenchSeries &BenchReport::add(const std::string &Label,
+                              const std::vector<double> &Times,
+                              const VmStats &Stats) {
+  BenchSeries S;
+  S.Label = Label;
+  S.Times = Times;
+  S.Stats = Stats;
+  S.Metrics = obs::metrics(); // snapshot now: the next mode's Vm resets
+  Series.push_back(std::move(S));
+  return Series.back();
+}
+
+void BenchReport::headline(const std::string &Key, double Value) {
+  Headlines.push_back({Key, Value});
+}
+
+bool rjit::suite::benchObsInit(int Argc, char **Argv) {
+  if (!argStr(Argc, Argv, "--trace", nullptr))
+    return false;
+  // A process-lifetime ref: every Vm the bench creates (whatever its own
+  // Trace config) records into the rings emitBenchArtifacts exports.
+  obs::traceBegin();
+  return true;
+}
+
+namespace {
+
+/// Exact sample quantile (nearest-rank) of an unsorted series.
+double exactQuantile(std::vector<double> Xs, double Q) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(Xs.size())));
+  if (Rank < 1)
+    Rank = 1;
+  return Xs[Rank - 1];
+}
+
+/// Steady state: geomean of the last two thirds (the warmup protocol the
+/// fig benches already use).
+double steadyState(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  std::vector<double> Tail(Xs.begin() + Xs.size() / 3, Xs.end());
+  return geomean(Tail);
+}
+
+void jsonEscape(FILE *F, const std::string &S) {
+  for (char C : S)
+    if (C == '"' || C == '\\')
+      fprintf(F, "\\%c", C);
+    else if (static_cast<unsigned char>(C) < 0x20)
+      fprintf(F, "\\u%04x", C);
+    else
+      fputc(C, F);
+}
+
+void emitSeries(FILE *F, const BenchSeries &S) {
+  fprintf(F, "    {\n      \"label\": \"");
+  jsonEscape(F, S.Label);
+  fprintf(F, "\",\n      \"iterations\": %zu,\n", S.Times.size());
+  fprintf(F, "      \"times_s\": [");
+  for (size_t K = 0; K < S.Times.size(); ++K)
+    fprintf(F, "%s%.9f", K ? ", " : "", S.Times[K]);
+  fprintf(F, "],\n");
+  double Sum = 0;
+  for (double T : S.Times)
+    Sum += T;
+  fprintf(F,
+          "      \"mean_s\": %.9f,\n      \"steady_s\": %.9f,\n"
+          "      \"p50_s\": %.9f,\n      \"p90_s\": %.9f,\n"
+          "      \"p99_s\": %.9f,\n",
+          S.Times.empty() ? 0 : Sum / static_cast<double>(S.Times.size()),
+          steadyState(S.Times), exactQuantile(S.Times, 0.50),
+          exactQuantile(S.Times, 0.90), exactQuantile(S.Times, 0.99));
+
+  fprintf(F, "      \"counters\": {");
+  bool Any = false;
+  obs::MetricsRegistry::forEachCounter(
+      S.Stats, [&](const char *Name, uint64_t V) {
+        if (!V)
+          return;
+        fprintf(F, "%s\"%s\": %llu", Any ? ", " : "", Name,
+                static_cast<unsigned long long>(V));
+        Any = true;
+      });
+  fprintf(F, "},\n      \"gauges\": {");
+  Any = false;
+  obs::MetricsRegistry::forEachGauge(
+      S.Stats, [&](const char *Name, uint64_t V, uint64_t High) {
+        if (!V && !High)
+          return;
+        fprintf(F, "%s\"%s\": {\"value\": %llu, \"high_water\": %llu}",
+                Any ? ", " : "", Name, static_cast<unsigned long long>(V),
+                static_cast<unsigned long long>(High));
+        Any = true;
+      });
+  fprintf(F, "},\n      \"histograms\": {");
+  Any = false;
+  obs::MetricsRegistry::forEachHistogram(
+      S.Metrics, [&](const char *Name, const obs::LatencyHistogram &H) {
+        if (!H.count())
+          return;
+        fprintf(F,
+                "%s\"%s\": {\"count\": %llu, \"p50\": %llu, \"p90\": "
+                "%llu, \"p99\": %llu, \"max\": %llu, \"mean\": %.1f}",
+                Any ? ", " : "", Name,
+                static_cast<unsigned long long>(H.count()),
+                static_cast<unsigned long long>(H.p50()),
+                static_cast<unsigned long long>(H.p90()),
+                static_cast<unsigned long long>(H.p99()),
+                static_cast<unsigned long long>(H.max()), H.mean());
+        Any = true;
+      });
+  fprintf(F, "}\n    }");
+}
+
+} // namespace
+
+void rjit::suite::emitBenchArtifacts(const BenchReport &R, int Argc,
+                                     char **Argv) {
+  std::string Default = "BENCH_" + R.Name + ".json";
+  const char *Path = argStr(Argc, Argv, "--json", Default.c_str());
+  FILE *F = fopen(Path, "w");
+  if (!F) {
+    fprintf(stderr, "# bench: cannot write %s\n", Path);
+  } else {
+    fprintf(F, "{\n  \"name\": \"");
+    jsonEscape(F, R.Name);
+    fprintf(F, "\",\n  \"config\": \"");
+    jsonEscape(F, R.Config);
+    fprintf(F, "\",\n  \"headlines\": {");
+    for (size_t K = 0; K < R.Headlines.size(); ++K) {
+      fprintf(F, "%s\"", K ? ", " : "");
+      jsonEscape(F, R.Headlines[K].first);
+      fprintf(F, "\": %.6f", R.Headlines[K].second);
+    }
+    fprintf(F, "},\n  \"series\": [\n");
+    for (size_t K = 0; K < R.Series.size(); ++K) {
+      emitSeries(F, R.Series[K]);
+      fprintf(F, "%s\n", K + 1 < R.Series.size() ? "," : "");
+    }
+    fprintf(F, "  ]\n}\n");
+    fclose(F);
+    printf("# bench report: %s\n", Path);
   }
-  if (S.DeoptlessAttempts)
-    printf("# stats[%s]: deoptless attempts %llu, hits %llu, "
-           "compiles %llu, rejected %llu\n",
-           Label, (unsigned long long)S.DeoptlessAttempts,
-           (unsigned long long)S.DeoptlessHits,
-           (unsigned long long)S.DeoptlessCompiles,
-           (unsigned long long)S.DeoptlessRejected);
-  if (S.InlinedCalls || S.MultiFrameDeopts || S.DeoptlessInlineDispatches)
-    printf("# stats[%s]: inlined calls %llu, multi-frame deopts %llu, "
-           "frames materialized %llu, inline-frame deoptless %llu\n",
-           Label, (unsigned long long)S.InlinedCalls,
-           (unsigned long long)S.MultiFrameDeopts,
-           (unsigned long long)S.InlineFramesMaterialized,
-           (unsigned long long)S.DeoptlessInlineDispatches);
-  if (S.HoistedGuards || S.HoistedInstrs || S.EliminatedGuards)
-    printf("# stats[%s]: hoisted guards %llu, hoisted instrs %llu, "
-           "eliminated guards %llu\n",
-           Label, (unsigned long long)S.HoistedGuards,
-           (unsigned long long)S.HoistedInstrs,
-           (unsigned long long)S.EliminatedGuards);
-  if (S.AsyncCompiles || S.WarmupPausesAvoided)
-    printf("# stats[%s]: async compiles %llu, queue depth high-water "
-           "%llu, warmup pauses avoided %llu\n",
-           Label, (unsigned long long)S.AsyncCompiles,
-           (unsigned long long)S.CompileQueueDepth,
-           (unsigned long long)S.WarmupPausesAvoided);
-  if (S.NativeCompiles || S.NativeEnters || S.GraveyardSize)
-    printf("# stats[%s]: native compiles %llu, native enters %llu, "
-           "graveyard %llu\n",
-           Label, (unsigned long long)S.NativeCompiles,
-           (unsigned long long)S.NativeEnters,
-           (unsigned long long)S.GraveyardSize);
+
+  if (const char *TracePath = argStr(Argc, Argv, "--trace", nullptr)) {
+    if (obs::writeChromeTrace(TracePath))
+      printf("# chrome trace: %s (%llu events, %llu dropped)\n", TracePath,
+             static_cast<unsigned long long>(obs::traceEventCount()),
+             static_cast<unsigned long long>(obs::traceDropped()));
+    else
+      fprintf(stderr, "# bench: cannot write %s\n", TracePath);
+  }
 }

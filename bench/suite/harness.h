@@ -14,11 +14,13 @@
 #ifndef RJIT_BENCH_SUITE_HARNESS_H
 #define RJIT_BENCH_SUITE_HARNESS_H
 
+#include "obs/metrics.h"
 #include "suite/programs.h"
 #include "support/stats.h"
 #include "vm/vm.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rjit::suite {
@@ -43,11 +45,60 @@ double geomean(const std::vector<double> &Xs);
 /// Simple argv flag lookup: `--name value`; returns Def when absent.
 long argLong(int Argc, char **Argv, const std::string &Name, long Def);
 bool argFlag(int Argc, char **Argv, const std::string &Name);
+/// String-valued `--name value` lookup; returns Def when absent.
+const char *argStr(int Argc, char **Argv, const std::string &Name,
+                   const char *Def);
 
 /// Prints the tiering effectiveness counters of one run: compilations,
 /// context-dispatch version/hit/miss counters and the deoptless
 /// continuation dispatch counters (skipping zero groups).
 void printStats(const char *Label, const VmStats &S);
+
+//===----------------------------------------------------------------------===//
+// Machine-readable bench reports (BENCH_<name>.json) and shared obs flags
+//===----------------------------------------------------------------------===//
+
+/// One measured series of a bench: a mode label, its per-iteration times,
+/// and the stats/metrics snapshots captured after the mode's run.
+struct BenchSeries {
+  std::string Label;
+  std::vector<double> Times; ///< seconds per iteration, in order
+  VmStats Stats;
+  obs::VmMetrics Metrics;
+};
+
+/// A bench's full report. Fill with add()/headline() as modes complete,
+/// then hand to emitBenchArtifacts().
+struct BenchReport {
+  std::string Name;   ///< bench name; the default artifact is
+                      ///< BENCH_<Name>.json in the working directory
+  std::string Config; ///< parameter echo, e.g. "rows=1000 cols=40 iters=30"
+
+  std::vector<BenchSeries> Series;
+  std::vector<std::pair<std::string, double>> Headlines;
+
+  /// Records a completed mode. Call immediately after the mode ran: the
+  /// process-wide histograms (obs::metrics()) are snapshotted here, and
+  /// the next mode's Vm resets them.
+  BenchSeries &add(const std::string &Label,
+                   const std::vector<double> &Times, const VmStats &Stats);
+
+  /// Records a named scalar result (speedups, ratios — the
+  /// machine-independent numbers bench/compare_bench.py diffs).
+  void headline(const std::string &Key, double Value);
+};
+
+/// Handles the shared obs flags once at the top of main():
+/// `--trace <path>` holds a process-lifetime tracing ref (every Vm the
+/// bench creates records into it) — emitBenchArtifacts() writes the
+/// Chrome trace there. Returns true when tracing was requested.
+bool benchObsInit(int Argc, char **Argv);
+
+/// Writes BENCH_<Name>.json (path overridable with `--json <path>`) with
+/// the per-series timings, exact time percentiles, nonzero stats counters
+/// and latency histograms, plus the headlines; also writes the Chrome
+/// trace when benchObsInit() saw `--trace`.
+void emitBenchArtifacts(const BenchReport &R, int Argc, char **Argv);
 
 } // namespace rjit::suite
 

@@ -5,7 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "compile/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 #include <cassert>
 
@@ -28,6 +31,9 @@ CompilerPool::~CompilerPool() {
 
 void CompilerPool::runJob(CompileJob &J) {
   ++stats().AsyncCompiles;
+  uint64_t T0 = nowNanos();
+  uint64_t Wait = J.EnqueueNs ? T0 - J.EnqueueNs : 0;
+  obs::metrics().QueueWait.record(Wait);
   // A compile failure surfaces as "no version published" (the executor
   // keeps running baseline); a throwing job must not take the worker
   // down with it.
@@ -36,6 +42,9 @@ void CompilerPool::runJob(CompileJob &J) {
   } catch (...) {
     assert(false && "compile job threw");
   }
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::CompileJob, nowNanos() - T0, Wait,
+                    static_cast<uint64_t>(J.Key.Kind));
 }
 
 void CompilerPool::workerLoop() {

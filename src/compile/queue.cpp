@@ -6,6 +6,7 @@
 
 #include "compile/queue.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 using namespace rjit;
 
@@ -18,8 +19,9 @@ CompileQueue::Push CompileQueue::push(CompileJob J) {
   if (Q.size() >= Cap)
     return Push::Full;
   Pending.insert(J.Key);
+  J.EnqueueNs = nowNanos();
   Q.push_back(std::move(J));
-  stats().CompileQueueDepth.recordMax(Q.size());
+  stats().CompileQueueDepth.add();
   Work.notify_one();
   return Push::Enqueued;
 }
@@ -31,6 +33,7 @@ bool CompileQueue::pop(CompileJob &J) {
     return false;
   J = std::move(Q.front());
   Q.pop_front();
+  stats().CompileQueueDepth.sub();
   // The key stays in Pending: the request is running, not done.
   return true;
 }
@@ -41,6 +44,7 @@ bool CompileQueue::tryPop(CompileJob &J) {
     return false;
   J = std::move(Q.front());
   Q.pop_front();
+  stats().CompileQueueDepth.sub();
   return true;
 }
 

@@ -72,6 +72,8 @@ struct CompileKeyHash {
 struct CompileJob {
   CompileKey Key;
   std::function<void()> Run;
+  uint64_t EnqueueNs = 0; ///< stamped by push(); the pool derives the
+                          ///< queue-wait latency (obs) from it
 };
 
 class CompileQueue {

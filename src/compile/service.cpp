@@ -7,9 +7,12 @@
 #include "compile/service.h"
 #include "compile/snapshot.h"
 #include "lowcode/lower.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/pipeline.h"
 #include "support/fnv.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 #include <cassert>
 
@@ -54,6 +57,10 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
       E = Table.insert(Want);
     assert(E && "admissible context failed to insert");
   }
+  uint64_t T0 = nowNanos();
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::CompileStart, 0, E->ObsId,
+                    obs::CompileKindFn);
 
   OptOptions O;
   O.Speculate = Opts.Speculate;
@@ -86,6 +93,8 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
         VersionWriteGuard G(Table);
         E->Blacklisted = true;
       }
+      if (obs::traceOn())
+        obs::recordVersionEvent(E->ObsId, obs::VerEvent::Blacklisted);
       return compileAndPublishVersion(
           Fn, genericContext(Fn->Params.size()), Table, Opts);
     }
@@ -98,11 +107,20 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
       VersionWriteGuard G(Table);
       E->Blacklisted = true;
     }
+    if (obs::traceOn())
+      obs::recordVersionEvent(E->ObsId, obs::VerEvent::Blacklisted);
     return nullptr;
   }
 
   std::unique_ptr<ExecutableCode> Exec =
       prepareExecutable(Opts.Backend, lowerToLow(*Ir));
+  uint64_t Dur = nowNanos() - T0;
+  obs::metrics().CompileLatency.record(Dur);
+  if (obs::traceOn()) {
+    obs::recordVersionEvent(E->ObsId, obs::VerEvent::Compiled);
+    obs::traceEvent(obs::TraceEv::CompileFinish, Dur, E->ObsId,
+                    obs::CompileKindFn);
+  }
   {
     VersionWriteGuard G(Table);
     // Guard-failure blacklisting may have raced ahead of this
@@ -164,6 +182,9 @@ void OsrCache::publish(int32_t Pc, std::vector<uint32_t> Sig,
   E->Pc = Pc;
   E->Sig = std::move(Sig);
   E->Code = std::move(Code);
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::Publish, 0,
+                    static_cast<uint64_t>(Pc), obs::CompileKindOsr);
   List.insertAt(Cur.size(), std::move(E));
 }
 
@@ -278,10 +299,18 @@ bool rjit::requestOsrCompile(CompilerPool &Pool, const void *Owner,
   CompileJob Job{
       Key, [Fn, Entry, Sig = std::move(Sig), Cache, Opts, Snap]() {
         SnapshotScope Scope(*Snap);
+        uint64_t T0 = nowNanos();
         std::unique_ptr<IrCode> Ir =
             optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
-        if (Ir)
+        if (Ir) {
           ++stats().OsrInCompilations;
+          uint64_t Dur = nowNanos() - T0;
+          obs::metrics().CompileLatency.record(Dur);
+          if (obs::traceOn())
+            obs::traceEvent(obs::TraceEv::CompileFinish, Dur,
+                            static_cast<uint64_t>(Entry.Pc),
+                            obs::CompileKindOsr);
+        }
         // Null code is published as a failure marker: the executor stops
         // requesting this signature instead of re-enqueueing forever.
         Cache->publish(Entry.Pc, std::move(Sig),
@@ -313,8 +342,12 @@ bool rjit::requestContinuationCompile(CompilerPool &Pool, const void *Owner,
                    SnapshotScope Scope(*Snap);
                    std::unique_ptr<ExecutableCode> Code =
                        compileContinuationCode(Fn, Ctx, Opts);
-                   if (Code && Table->insert(Ctx, std::move(Code)))
+                   if (Code && Table->insert(Ctx, std::move(Code))) {
                      ++stats().DeoptlessCompiles;
+                     if (obs::traceOn())
+                       obs::traceEvent(obs::TraceEv::DeoptlessCompile, 0,
+                                       static_cast<uint64_t>(Ctx.Pc));
+                   }
                  }};
   CompileQueue::Push R = Pool.queue().push(std::move(Job));
   return R == CompileQueue::Push::Enqueued ||

@@ -53,6 +53,8 @@ FnVersion *VersionTable::insert(const CallContext &Ctx) {
     return nullptr;
   auto E = std::make_unique<FnVersion>();
   E->Ctx = Ctx;
+  if (obs::traceOn())
+    obs::recordVersionEvent(E->ObsId, obs::VerEvent::Created);
 
   // Linearize the partial order: more specialized entries first (insert
   // before the first entry the new context is not below); the CowList

@@ -36,6 +36,7 @@
 #include "dispatch/context.h"
 #include "exec/backend.h"
 #include "lowcode/lowcode.h"
+#include "obs/lifecycle.h"
 #include "support/cowlist.h"
 
 #include <atomic>
@@ -59,6 +60,10 @@ struct FnVersion {
   std::atomic<bool> Blacklisted{false}; ///< too many deopts (or uncompilable)
   uint64_t CallsSinceSample = 0; ///< ProfileDrivenReopt period counter
   uint64_t FeedbackHash = 0;     ///< profile snapshot at compile time
+  /// Stable observability identity (obs/lifecycle.h timelines key on it).
+  /// Minted at insert and kept across the retire/recompile cycle, so one
+  /// timeline shows the whole Fig. 1 story of this entry.
+  const uint64_t ObsId = obs::nextVersionId();
 
   /// The published executable (acquire), or null when retired / not yet
   /// built. Backend-produced: interpreter-backed or native machine code.
@@ -70,13 +75,21 @@ struct FnVersion {
   /// Installs \p C as this version's code (release). Writer lock required.
   void publish(std::unique_ptr<ExecutableCode> C) {
     Owner = std::move(C);
+    Owner->setObsId(ObsId);
     Code.store(Owner.get(), std::memory_order_release);
+    if (obs::traceOn()) {
+      obs::recordVersionEvent(ObsId, obs::VerEvent::Published);
+      obs::traceEvent(obs::TraceEv::Publish, 0, ObsId,
+                      obs::CompileKindFn);
+    }
   }
 
   /// Retires the code, returning ownership (the caller graveyards it:
   /// activations may still be on the stack). Writer lock required.
   std::unique_ptr<ExecutableCode> retire() {
     Code.store(nullptr, std::memory_order_release);
+    if (obs::traceOn())
+      obs::recordVersionEvent(ObsId, obs::VerEvent::Retired);
     return std::move(Owner);
   }
 

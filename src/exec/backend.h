@@ -61,12 +61,20 @@ public:
   /// Name of the backend that produced this code ("interp", "native-x64").
   virtual const char *backendName() const = 0;
 
+  /// Observability identity: the FnVersion ObsId this code was published
+  /// into (0 for OSR/continuation code). Set at publication, read when the
+  /// graveyard reclaims the executable so the lifecycle timeline can
+  /// attribute the reclaim to its version.
+  uint64_t obsId() const { return ObsId; }
+  void setObsId(uint64_t Id) { ObsId = Id; }
+
 protected:
   explicit ExecutableCode(std::unique_ptr<LowFunction> L)
       : Low(std::move(L)) {}
 
 private:
   std::unique_ptr<LowFunction> Low;
+  uint64_t ObsId = 0;
 };
 
 /// A code-producing execution tier. prepare() is called on whatever thread

@@ -7,6 +7,7 @@
 #include "lowcode/exec.h"
 #include "bc/interp.h"
 #include "lowcode/step.h"
+#include "obs/trace.h"
 #include "runtime/builtins.h"
 #include "support/stats.h"
 
@@ -642,9 +643,15 @@ Value rjit::runLow(const LowFunction &F, std::vector<Value> &&Args,
         Ok = false;
         Injected = true;
         ++stats().InjectedFailures;
+        if (obs::traceOn())
+          obs::traceEvent(obs::TraceEv::Invalidate, 0,
+                          static_cast<uint64_t>(Pc));
       }
       if (!Ok) {
         ++stats().AssumeFailures;
+        if (obs::traceOn())
+          obs::traceEvent(obs::TraceEv::GuardFail, 0,
+                          static_cast<uint64_t>(Pc), Injected);
         if (!H.Deopt)
           rerror("speculation failed and no deoptimization handler is "
                  "installed");

@@ -35,6 +35,7 @@
 #include "lowcode/step.h"
 #include "native/arena.h"
 #include "native/emitter.h"
+#include "obs/trace.h"
 #include "support/stats.h"
 
 #include <cstddef>
@@ -189,6 +190,9 @@ void guardDeopt(NativeFrame *Fr, int32_t Pc, bool Injected) {
   const LowInstr &I = Fr->F->Code[Pc];
   try {
     ++stats().AssumeFailures;
+    if (obs::traceOn())
+      obs::traceEvent(obs::TraceEv::NativeSideExit, 0,
+                      static_cast<uint64_t>(Pc), Injected);
     LowHooks &H = *Fr->Hooks;
     if (!H.Deopt)
       rerror("speculation failed and no deoptimization handler is "
@@ -218,6 +222,9 @@ static int64_t rjit_nat_guard_tick(NativeFrame *Fr, int32_t Pc) {
     return 0;
   H.rearmInvalidation();
   ++stats().InjectedFailures;
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::Invalidate, 0,
+                    static_cast<uint64_t>(Pc));
   guardDeopt(Fr, Pc, /*Injected=*/true);
   return 1;
 }
@@ -706,6 +713,8 @@ public:
     Fr.Hooks = &lowHooks();
 
     ++stats().NativeEnters;
+    if (obs::traceOn())
+      obs::traceEvent(obs::TraceEv::NativeEnter, 0, obsId());
     Entry(&Fr);
     if (Fr.Exc)
       std::rethrow_exception(Fr.Exc);

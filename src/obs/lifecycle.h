@@ -1,0 +1,73 @@
+//===-- obs/lifecycle.h - Per-version lifecycle timelines --------*- C++ -*-===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-FnVersion lifecycle timeline: every version (identified by the
+/// ObsId minted at VersionTable::insert) accumulates an ordered history of
+/// created -> compiled -> published -> deopted -> blacklisted -> retired
+/// -> reclaimed transitions while tracing is on. The Fig. 1 recompile
+/// cycle shows up as repeated compiled/published/deopted/retired rounds on
+/// the *same* id (the bookkeeping entry persists so blacklisting can
+/// accumulate); reclamation fires once per graveyarded executable at the
+/// teardown safepoint.
+///
+/// Recording is gated on obs::traceOn() like the event tracer; queries are
+/// for tests and post-run reporting, not hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RJIT_OBS_LIFECYCLE_H
+#define RJIT_OBS_LIFECYCLE_H
+
+#include "obs/trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rjit {
+namespace obs {
+
+enum class VerEvent : uint8_t {
+  Created,     ///< table entry inserted (VersionTable::insert)
+  Compiled,    ///< the optimizer produced an executable for this entry
+  Published,   ///< code installed (atomically visible to dispatch)
+  Deopted,     ///< a true deoptimization was charged to this version
+  Blacklisted, ///< too many deopts / uncompilable: dispatch gives up
+  Retired,     ///< code withdrawn to the graveyard (frames may be live)
+  Reclaimed,   ///< a graveyarded executable was freed (teardown safepoint)
+  kCount
+};
+
+/// Human-readable name of \p E ("created", "published", ...).
+const char *verEventName(VerEvent E);
+
+/// Mints a fresh version id (process-wide, never 0). Always cheap — ids
+/// are assigned unconditionally so timelines of versions created before
+/// tracing was switched on still key correctly.
+uint64_t nextVersionId();
+
+struct VerTransition {
+  VerEvent Event;
+  uint64_t TsNanos;
+};
+
+/// Appends \p E to \p VerId's timeline (no-op unless traceOn()).
+void recordVersionEvent(uint64_t VerId, VerEvent E);
+
+/// The recorded timeline of \p VerId, in recording order (empty when the
+/// id is unknown or tracing was off).
+std::vector<VerTransition> versionTimeline(uint64_t VerId);
+
+/// Every version id with a non-empty timeline, ascending.
+std::vector<uint64_t> versionIds();
+
+/// Clears all timelines (traceReset() calls this).
+void clearVersionTimelines();
+
+} // namespace obs
+} // namespace rjit
+
+#endif // RJIT_OBS_LIFECYCLE_H

@@ -6,8 +6,11 @@
 
 #include "osr/deopt.h"
 #include "bc/interp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "osr/deoptless.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 using namespace rjit;
 
@@ -74,6 +77,7 @@ Value rjit::resumeInlinedCallers(const LowFunction &F,
 Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
                             const DeoptMeta &Meta, Env *CurEnv,
                             Env *ParentEnv) {
+  uint64_t T0 = nowNanos();
   ++stats().Deopts;
   bool Inlined = !Meta.Callers.empty();
   if (Inlined) {
@@ -90,13 +94,20 @@ Value rjit::deoptToBaseline(const LowFunction &F, std::vector<Value> &Slots,
   Stack.reserve(Meta.StackSlots.size());
   for (uint16_t SlotIdx : Meta.StackSlots)
     Stack.push_back(Slots[SlotIdx]);
+  // The pause histogram covers only the transfer cost (frame
+  // materialization up to the resume); the trace span below also covers
+  // the baseline execution the deopt fell back into.
+  obs::metrics().DeoptPause.record(nowNanos() - T0);
   Value R = runFrame(Meta.FrameFn ? Meta.FrameFn : F.Origin,
                      Inlined ? nullptr : CurEnv, ParentEnv, Meta.EnvSlots,
                      Slots, std::move(Stack), Meta.BcPc);
 
   // Unwind the synthesized frames of the inlined callers.
-  return resumeInlinedCallers(F, Slots, Meta, CurEnv, ParentEnv,
-                              std::move(R));
+  R = resumeInlinedCallers(F, Slots, Meta, CurEnv, ParentEnv, std::move(R));
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::Deopt, nowNanos() - T0,
+                    static_cast<uint64_t>(Meta.BcPc), Inlined);
+  return R;
 }
 
 Value rjit::deoptHandler(const LowFunction &F, std::vector<Value> &Slots,

@@ -8,10 +8,13 @@
 #include "compile/snapshot.h"
 #include "lowcode/exec.h"
 #include "lowcode/lower.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/cleanup.h"
 #include "opt/pipeline.h"
 #include "osr/deopt.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 #include <array>
 #include <thread>
@@ -208,11 +211,19 @@ rjit::compileContinuationCode(Function *Fn, const DeoptContext &Ctx,
     Entry.EnvTypes.push_back(
         {Ctx.EnvEntries[K].first, RType::of(Ctx.EnvEntries[K].second)});
 
+  uint64_t T0 = nowNanos();
   std::unique_ptr<IrCode> Ir =
       optimizeToIr(Fn, CallConv::Deoptless, Entry, Opts);
   if (!Ir)
     return nullptr;
-  return prepareExecutable(Opts.Backend, lowerToLow(*Ir));
+  std::unique_ptr<ExecutableCode> Code =
+      prepareExecutable(Opts.Backend, lowerToLow(*Ir));
+  uint64_t Dur = nowNanos() - T0;
+  obs::metrics().CompileLatency.record(Dur);
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::CompileFinish, Dur,
+                    static_cast<uint64_t>(Ctx.Pc), obs::CompileKindCont);
+  return Code;
 }
 
 DeoptlessTable::DeoptlessTable()
@@ -270,10 +281,18 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
   if (!deoptlessCondition(F, Meta, /*CurEnv=*/nullptr, Injected))
     return false;
   ++stats().DeoptlessAttempts;
+  // Instants carry the deopt pc (A) and, for rejects, a site code (B):
+  // 0 = context too large, 1 = async miss, 2 = uncompilable/table full,
+  // 3 = post-insert dispatch miss.
+  uint64_t Pc = static_cast<uint64_t>(Meta.BcPc);
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::DeoptlessAttempt, 0, Pc);
 
   DeoptContext Ctx;
   if (!computeContext(F, Slots, Meta, Injected, Ctx)) {
     ++stats().DeoptlessRejected;
+    if (obs::traceOn())
+      obs::traceEvent(obs::TraceEv::DeoptlessReject, 0, Pc, 0);
     return false;
   }
 
@@ -300,25 +319,37 @@ bool rjit::tryDeoptless(const LowFunction &F, std::vector<Value> &Slots,
       Async(Fn, Ctx);
       if (!Cont) {
         ++stats().DeoptlessRejected;
+        if (obs::traceOn())
+          obs::traceEvent(obs::TraceEv::DeoptlessReject, 0, Pc, 1);
         return false;
       }
       ++stats().DeoptlessHits;
+      if (obs::traceOn())
+        obs::traceEvent(obs::TraceEv::DeoptlessHit, 0, Pc);
     } else {
       std::unique_ptr<ExecutableCode> Code = compileContinuation(Fn, Ctx);
       if (!Code || Table.full()) {
         ++stats().DeoptlessRejected;
+        if (obs::traceOn())
+          obs::traceEvent(obs::TraceEv::DeoptlessReject, 0, Pc, 2);
         return false;
       }
       ++stats().DeoptlessCompiles;
+      if (obs::traceOn())
+        obs::traceEvent(obs::TraceEv::DeoptlessCompile, 0, Pc);
       Table.insert(Ctx, std::move(Code));
       Cont = Table.dispatch(Ctx);
       if (!Cont) {
         ++stats().DeoptlessRejected;
+        if (obs::traceOn())
+          obs::traceEvent(obs::TraceEv::DeoptlessReject, 0, Pc, 3);
         return false;
       }
     }
   } else {
     ++stats().DeoptlessHits;
+    if (obs::traceOn())
+      obs::traceEvent(obs::TraceEv::DeoptlessHit, 0, Pc);
   }
   ++Cont->Hits;
 

@@ -6,8 +6,11 @@
 
 #include "osr/osrin.h"
 #include "lowcode/lower.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/pipeline.h"
 #include "support/stats.h"
+#include "support/timer.h"
 
 #include <set>
 
@@ -66,6 +69,9 @@ Value rjit::enterOsrContinuation(ExecutableCode &Code,
       Args.push_back(E->get(Sym));
 
   ++stats().OsrInEntries;
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::OsrIn, 0,
+                    static_cast<uint64_t>(Entry.Pc));
   return Code.run(std::move(Args), Low.NeedsEnv ? E : nullptr,
                   E->parent());
 }
@@ -78,6 +84,7 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
   EntryState Entry = buildOsrEntryState(Fn, E, Stack, Pc);
 
   OptOptions Opts = osrInConfig().optView();
+  uint64_t T0 = nowNanos();
   std::unique_ptr<IrCode> Ir = optimizeToIr(Fn, CallConv::OsrIn, Entry, Opts);
   if (!Ir) {
     blacklist().insert(Fn);
@@ -86,6 +93,11 @@ bool rjit::osrInHook(Function *Fn, Env *E, std::vector<Value> &Stack,
   std::unique_ptr<ExecutableCode> Code =
       prepareExecutable(Opts.Backend, lowerToLow(*Ir));
   ++stats().OsrInCompilations;
+  uint64_t Dur = nowNanos() - T0;
+  obs::metrics().CompileLatency.record(Dur);
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::CompileFinish, Dur,
+                    static_cast<uint64_t>(Pc), obs::CompileKindOsr);
 
   Result = enterOsrContinuation(*Code, Entry, E, Stack);
   return true;

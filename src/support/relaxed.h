@@ -74,6 +74,60 @@ private:
   std::atomic<uint64_t> V{0};
 };
 
+/// A level gauge with typed add/sub semantics and a high-water mark —
+/// what GraveyardSize and CompileQueueDepth actually are, as opposed to
+/// the monotone event counters above. sub() clamps at zero instead of
+/// wrapping: phase resets (resetStats) can zero a gauge while the
+/// underlying population still drains, and a diagnostic must saturate,
+/// not report ~2^64. Copyable like RelaxedCounter so stats structs keep
+/// value semantics; all accesses are relaxed atomics.
+class RelaxedGauge {
+public:
+  RelaxedGauge() = default;
+  RelaxedGauge(const RelaxedGauge &O)
+      : Cur(O.value()), High(O.highWater()) {}
+  RelaxedGauge &operator=(const RelaxedGauge &O) {
+    Cur.store(O.value(), std::memory_order_relaxed);
+    High.store(O.highWater(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(uint64_t N = 1) {
+    uint64_t Now = Cur.fetch_add(N, std::memory_order_relaxed) + N;
+    // Racing maxima may lose an update; benign for a diagnostic
+    // (RelaxedCounter::recordMax has the same contract).
+    uint64_t H = High.load(std::memory_order_relaxed);
+    while (Now > H &&
+           !High.compare_exchange_weak(H, Now, std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+      ;
+  }
+
+  /// Decrements by \p N, saturating at zero (a concurrent add lost to the
+  /// clamp races benignly low — never wraps).
+  void sub(uint64_t N = 1) {
+    uint64_t C = Cur.load(std::memory_order_relaxed);
+    while (true) {
+      uint64_t Next = C >= N ? C - N : 0;
+      if (Cur.compare_exchange_weak(C, Next, std::memory_order_relaxed,
+                                    std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  uint64_t value() const { return Cur.load(std::memory_order_relaxed); }
+  uint64_t highWater() const {
+    return High.load(std::memory_order_relaxed);
+  }
+
+  /// Comparisons/printing read the current level, like the counter.
+  operator uint64_t() const { return value(); }
+
+private:
+  std::atomic<uint64_t> Cur{0};
+  std::atomic<uint64_t> High{0};
+};
+
 } // namespace rjit
 
 #endif // RJIT_SUPPORT_RELAXED_H

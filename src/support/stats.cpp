@@ -35,15 +35,15 @@ VmStats VmStats::operator-(const VmStats &O) const {
   R.DeoptlessInlineDispatches =
       DeoptlessInlineDispatches - O.DeoptlessInlineDispatches;
   R.AsyncCompiles = AsyncCompiles - O.AsyncCompiles;
-  // A high-water gauge, not an event counter: a per-phase diff would
-  // report nonsense (e.g. zero when the later phase peaked lower), so the
-  // difference carries the later snapshot's high-water.
+  // A gauge, not an event counter: a per-phase diff would report nonsense
+  // (e.g. zero when the later phase peaked lower), so the difference
+  // carries the later snapshot's level and high-water unchanged.
   R.CompileQueueDepth = CompileQueueDepth;
   R.WarmupPausesAvoided = WarmupPausesAvoided - O.WarmupPausesAvoided;
   R.NativeCompiles = NativeCompiles - O.NativeCompiles;
   R.NativeEnters = NativeEnters - O.NativeEnters;
   // Like CompileQueueDepth: a gauge — the difference carries the later
-  // snapshot's population, not a meaningless subtraction.
+  // snapshot's population and high-water, not a meaningless subtraction.
   R.GraveyardSize = GraveyardSize;
   return R;
 }

@@ -60,7 +60,8 @@ struct VmStats {
   RelaxedCounter DeoptlessInlineDispatches; ///< deoptless dispatches keyed on
                                       ///< an inlined (innermost) frame
   RelaxedCounter AsyncCompiles;       ///< jobs executed by the compiler pool
-  RelaxedCounter CompileQueueDepth;   ///< high-water mark of queued requests
+  RelaxedGauge CompileQueueDepth;     ///< queued (not yet popped) requests;
+                                      ///< highWater() is the depth peak
   RelaxedCounter WarmupPausesAvoided; ///< dispatches that kept running the
                                       ///< baseline while a background
                                       ///< compile was pending instead of
@@ -69,10 +70,11 @@ struct VmStats {
                                       ///< template-JIT backend
   RelaxedCounter NativeEnters;        ///< activations entered through
                                       ///< native (template-JIT) code
-  RelaxedCounter GraveyardSize;       ///< retired executables awaiting
-                                      ///< teardown reclamation (a gauge:
-                                      ///< ++ on retire, drained when the
-                                      ///< owning Vm reclaims them)
+  RelaxedGauge GraveyardSize;         ///< retired executables awaiting
+                                      ///< teardown reclamation: add() on
+                                      ///< retire, sub() when the owning
+                                      ///< Vm reclaims them; highWater()
+                                      ///< is the peak population
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

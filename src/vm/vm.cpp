@@ -13,6 +13,7 @@
 #include "lowcode/exec.h"
 #include "lowcode/lower.h"
 #include "native/native.h"
+#include "obs/metrics.h"
 #include "opt/pipeline.h"
 #include "osr/deopt.h"
 #include "osr/osrin.h"
@@ -243,8 +244,13 @@ void vmDeoptListener(Function *Fn, const LowFunction &Code,
   if (Ver->live())
     V->toGraveyard(Ver->retire());
   ++Ver->DeoptCount;
-  if (Ver->DeoptCount >= V->Cfg.DeoptBlacklist)
+  if (obs::traceOn())
+    obs::recordVersionEvent(Ver->ObsId, obs::VerEvent::Deopted);
+  if (Ver->DeoptCount >= V->Cfg.DeoptBlacklist) {
     Ver->Blacklisted = true;
+    if (obs::traceOn())
+      obs::recordVersionEvent(Ver->ObsId, obs::VerEvent::Blacklisted);
+  }
   // Re-warm before recompiling so the baseline can collect fresh feedback
   // (Fig. 1: deopt -> profile -> recompile).
   Fn->CallCount = 0;
@@ -294,6 +300,8 @@ bool vmAsyncContinuationCompile(Function *Fn, const DeoptContext &Ctx) {
 Vm::Vm(Config C) : Cfg(C) {
   assert(!CurrentVm && "only one Vm may be active at a time");
   CurrentVm = this;
+  if (Cfg.Trace.Enabled)
+    obs::traceBegin(Cfg.Trace.BufferCapacity);
 
   Global = new Env(nullptr);
   Global->retain();
@@ -322,6 +330,7 @@ Vm::Vm(Config C) : Cfg(C) {
   }
 
   resetStats();
+  obs::resetMetrics();
   interpHooks().CallClosure = vmDispatchCall;
   interpHooks().OsrIn =
       Cfg.OsrIn ? (Cfg.BackgroundCompile ? vmBackgroundOsrInHook : osrInHook)
@@ -365,21 +374,29 @@ Vm::~Vm() {
   // Teardown is the safepoint: no activation of retired code can still be
   // on the stack, so the graveyard is reclaimed (and the gauge drained)
   // here — before the native backend's code arena goes away with the Vm.
-  // Clamped drain: resetStats() may have zeroed the gauge mid-lifetime
-  // (bench harness phase resets), and a blind fetch_sub would wrap the
-  // gauge to ~2^64 for the rest of the process.
-  stats().GraveyardSize -=
-      std::min<uint64_t>(stats().GraveyardSize, Graveyard.size());
+  // The gauge's sub() saturates at zero: resetStats() may have zeroed it
+  // mid-lifetime (bench harness phase resets).
+  if (obs::traceOn())
+    for (const std::unique_ptr<ExecutableCode> &Code : Graveyard) {
+      obs::traceEvent(obs::TraceEv::Reclaim, 0, Code->obsId());
+      if (Code->obsId())
+        obs::recordVersionEvent(Code->obsId(), obs::VerEvent::Reclaimed);
+    }
+  stats().GraveyardSize.sub(Graveyard.size());
   Graveyard.clear();
   Modules.clear();
   Global->release();
   CurrentVm = nullptr;
+  if (Cfg.Trace.Enabled)
+    obs::traceEnd();
 }
 
 void Vm::toGraveyard(std::unique_ptr<ExecutableCode> Code) {
   if (!Code)
     return;
-  ++stats().GraveyardSize;
+  stats().GraveyardSize.add();
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::Retire, 0, Code->obsId());
   Graveyard.push_back(std::move(Code));
 }
 

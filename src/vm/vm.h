@@ -37,6 +37,7 @@
 #include "compile/service.h"
 #include "dispatch/version.h"
 #include "lowcode/lowcode.h"
+#include "obs/trace.h"
 #include "osr/deoptless.h"
 #include "runtime/env.h"
 
@@ -170,6 +171,22 @@ public:
     /// owned; must outlive the Vm. Null: the Vm resolves one from
     /// NativeTier (its own native backend, or the interpreter).
     ExecBackend *Backend = nullptr;
+
+    /// Runtime event tracing (src/obs/): while enabled, every tier event
+    /// (compiles, publications, deopts, deoptless dispatches, OSR
+    /// transfers, native side exits) is recorded into per-thread ring
+    /// buffers exportable as Chrome trace-event JSON. Enablement is
+    /// refcounted process-wide, so concurrent Vms (and the bench harness
+    /// holding its own ref) compose; with no enabled Vm the recording
+    /// sites reduce to one relaxed load. Defaults from the RJIT_TRACE
+    /// environment variable.
+    struct TraceOptions {
+      bool Enabled = obs::traceEnabledDefault();
+      /// Per-thread ring capacity (events), applied to buffers created
+      /// after this Vm enables tracing; 0 keeps the current setting.
+      /// Fuzzers that spin up many short-lived threads want this small.
+      uint32_t BufferCapacity = 0;
+    } Trace;
 
     /// The deoptless view of this configuration (single source of truth
     /// for the knobs DeoptlessConfig shares with the Vm).

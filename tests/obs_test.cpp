@@ -1,0 +1,393 @@
+//===-- tests/obs_test.cpp - Observability layer unit tests ----------------===//
+//
+// Part of the deoptless reproduction. MIT license.
+//
+// Covers the obs/ layer: TraceBuffer's write-once overflow discipline,
+// LatencyHistogram bucket/percentile math, the per-version lifecycle
+// timeline across the full Fig. 1 cycle (compile -> publish -> deopt ->
+// reopt -> retire -> reclaim), and the Chrome trace export's JSON
+// well-formedness.
+//
+// Tests that touch the process-wide tracer run in declaration order and
+// clean up with traceReset(); the ring-capacity drop test records from a
+// fresh thread so it never shrinks the main thread's ring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/lifecycle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <thread>
+
+using namespace rjit;
+
+//===----------------------------------------------------------------------===//
+// TraceBuffer: overflow drops the newest event and counts the drop
+
+TEST(TraceBuffer, OverflowDropsNewestAndCounts) {
+  obs::TraceBuffer B(4);
+  for (uint64_t K = 0; K < 7; ++K) {
+    obs::TraceEvent E;
+    E.Ts = 100 + K;
+    E.A = K;
+    E.Kind = obs::TraceEv::Publish;
+    B.record(E);
+  }
+  EXPECT_EQ(B.count(), 4u);
+  EXPECT_EQ(B.dropped(), 3u);
+  // The *first* four events survive; overflow never overwrites a slot an
+  // exporter may be reading.
+  for (uint64_t K = 0; K < 4; ++K)
+    EXPECT_EQ(B.at(K).A, K);
+}
+
+TEST(TraceBuffer, ResetZeroes) {
+  obs::TraceBuffer B(2);
+  obs::TraceEvent E;
+  B.record(E);
+  B.record(E);
+  B.record(E);
+  EXPECT_EQ(B.count(), 2u);
+  EXPECT_EQ(B.dropped(), 1u);
+  B.reset();
+  EXPECT_EQ(B.count(), 0u);
+  EXPECT_EQ(B.dropped(), 0u);
+  B.record(E);
+  EXPECT_EQ(B.count(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram: bucket math and quantiles
+
+TEST(LatencyHistogram, BucketBoundsBracketEveryValue) {
+  // bucketLowerBound(bucketOf(V)) <= V < bucketLowerBound(bucketOf(V)+1)
+  // across the exact region, octave boundaries and large values.
+  std::vector<uint64_t> Probe = {0, 1, 15, 16, 17, 23, 24, 31, 32, 100,
+                                 1023, 1024, 1025, 999999, 1u << 30};
+  Probe.push_back(uint64_t(1) << 40);
+  Probe.push_back((uint64_t(1) << 40) + 12345);
+  for (uint64_t V : Probe) {
+    unsigned Idx = obs::LatencyHistogram::bucketOf(V);
+    EXPECT_LE(obs::LatencyHistogram::bucketLowerBound(Idx), V) << V;
+    EXPECT_GT(obs::LatencyHistogram::bucketLowerBound(Idx + 1), V) << V;
+  }
+}
+
+TEST(LatencyHistogram, ExactBelowSixteen) {
+  obs::LatencyHistogram H;
+  for (uint64_t V = 0; V < 16; ++V)
+    H.record(V);
+  // Values below 16 get unit buckets: quantiles are exact.
+  EXPECT_EQ(H.quantile(1.0 / 16.0), 0u);
+  EXPECT_EQ(H.p50(), 7u);
+  EXPECT_EQ(H.quantile(1.0), 15u);
+  EXPECT_EQ(H.count(), 16u);
+  EXPECT_EQ(H.max(), 15u);
+  EXPECT_DOUBLE_EQ(H.mean(), 7.5);
+}
+
+TEST(LatencyHistogram, QuantilesWithinRelativeErrorBound) {
+  obs::LatencyHistogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  // Reported quantile = bucket lower bound: never above the true value,
+  // and within the 12.5% sub-bucket width below it.
+  struct {
+    double Q;
+    uint64_t Exact;
+  } Cases[] = {{0.50, 500}, {0.90, 900}, {0.99, 990}, {1.00, 1000}};
+  for (const auto &C : Cases) {
+    uint64_t R = H.quantile(C.Q);
+    EXPECT_LE(R, C.Exact) << C.Q;
+    EXPECT_GE(R, C.Exact - C.Exact / 8) << C.Q;
+  }
+  EXPECT_EQ(H.max(), 1000u);
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  obs::LatencyHistogram H;
+  EXPECT_EQ(H.p50(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+  H.record(500);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_GT(H.p99(), 0u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.p99(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Process tracer + lifecycle timelines (declaration order matters below:
+// these tests share the process-wide rings)
+
+namespace {
+
+Vm::Config tracedConfig() {
+  Vm::Config C;
+  C.Strategy = TierStrategy::Normal;
+  C.CompileThreshold = 2;
+  C.Trace.Enabled = true;
+  return C;
+}
+
+/// Warm a vector kernel on ints (compile + publish), switch the element
+/// type to double (deopt), re-warm (reopt), then tear the Vm down
+/// (retire + reclaim).
+void runDeoptCycle() {
+  Vm V(tracedConfig());
+  V.eval("f <- function(v, n) { s <- 0\n"
+         "  for (i in 1:n) s <- s + v[[i]]\n"
+         "  s }");
+  V.eval("d <- 1:100");
+  for (int K = 0; K < 6; ++K)
+    V.eval("r <- f(d, 100L)");
+  V.eval("d <- as.numeric(1:100)");
+  for (int K = 0; K < 6; ++K)
+    V.eval("r <- f(d, 100L)");
+}
+
+int indexOf(const std::vector<obs::VerTransition> &T, obs::VerEvent E,
+            size_t From) {
+  for (size_t K = From; K < T.size(); ++K)
+    if (T[K].Event == E)
+      return static_cast<int>(K);
+  return -1;
+}
+
+/// Minimal JSON syntax checker: enough to reject unbalanced structure,
+/// bad literals and trailing commas in the exporter's output.
+bool validJson(const std::string &S, size_t &Pos);
+
+bool skipWs(const std::string &S, size_t &Pos) {
+  while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+    ++Pos;
+  return Pos < S.size();
+}
+
+bool validString(const std::string &S, size_t &Pos) {
+  if (S[Pos] != '"')
+    return false;
+  for (++Pos; Pos < S.size(); ++Pos) {
+    if (S[Pos] == '\\')
+      ++Pos;
+    else if (S[Pos] == '"') {
+      ++Pos;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool validNumber(const std::string &S, size_t &Pos) {
+  size_t Start = Pos;
+  if (Pos < S.size() && S[Pos] == '-')
+    ++Pos;
+  while (Pos < S.size() &&
+         (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+          S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+          S[Pos] == '+' || S[Pos] == '-'))
+    ++Pos;
+  return Pos > Start;
+}
+
+bool validJson(const std::string &S, size_t &Pos) {
+  if (!skipWs(S, Pos))
+    return false;
+  char C = S[Pos];
+  if (C == '{') {
+    ++Pos;
+    if (!skipWs(S, Pos))
+      return false;
+    if (S[Pos] == '}')
+      return ++Pos, true;
+    while (true) {
+      if (!skipWs(S, Pos) || !validString(S, Pos) || !skipWs(S, Pos) ||
+          S[Pos] != ':')
+        return false;
+      ++Pos;
+      if (!validJson(S, Pos) || !skipWs(S, Pos))
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return S[Pos] == '}' ? (++Pos, true) : false;
+    }
+  }
+  if (C == '[') {
+    ++Pos;
+    if (!skipWs(S, Pos))
+      return false;
+    if (S[Pos] == ']')
+      return ++Pos, true;
+    while (true) {
+      if (!validJson(S, Pos) || !skipWs(S, Pos))
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return S[Pos] == ']' ? (++Pos, true) : false;
+    }
+  }
+  if (C == '"')
+    return validString(S, Pos);
+  if (S.compare(Pos, 4, "true") == 0)
+    return Pos += 4, true;
+  if (S.compare(Pos, 5, "false") == 0)
+    return Pos += 5, true;
+  if (S.compare(Pos, 4, "null") == 0)
+    return Pos += 4, true;
+  return validNumber(S, Pos);
+}
+
+bool validJsonDoc(const std::string &S) {
+  size_t Pos = 0;
+  if (!validJson(S, Pos))
+    return false;
+  skipWs(S, Pos);
+  return Pos == S.size();
+}
+
+} // namespace
+
+TEST(JsonChecker, SanityOnItself) {
+  EXPECT_TRUE(validJsonDoc("{\"a\": [1, 2.5, -3e4], \"b\": \"x\\\"y\"}"));
+  EXPECT_TRUE(validJsonDoc("{}"));
+  EXPECT_FALSE(validJsonDoc("{\"a\": [1,]}"));
+  EXPECT_FALSE(validJsonDoc("{\"a\": 1"));
+  EXPECT_FALSE(validJsonDoc("{\"a\" 1}"));
+  EXPECT_FALSE(validJsonDoc("{\"a\": 1} trailing"));
+}
+
+TEST(Tracing, OffByDefaultAndInert) {
+  ASSERT_FALSE(obs::traceOn());
+  uint64_t Before = obs::traceEventCount();
+  Vm::Config C;
+  C.Strategy = TierStrategy::Normal;
+  C.CompileThreshold = 2;
+  ASSERT_FALSE(C.Trace.Enabled) << "RJIT_TRACE must be unset in tests";
+  {
+    Vm V(C);
+    V.eval("g <- function(x) x + 1");
+    for (int K = 0; K < 5; ++K)
+      V.eval("g(3L)");
+  }
+  EXPECT_EQ(obs::traceEventCount(), Before);
+}
+
+TEST(Lifecycle, FullDeoptCycleOnOneVersionId) {
+  obs::traceBegin();
+  obs::traceReset();
+  obs::traceEnd();
+
+  runDeoptCycle();
+
+  // One version id must carry the whole Fig. 1 story: created, compiled,
+  // published, deopted, then a *re*-publication after the deopt, and
+  // finally retire + reclaim of the superseded code at Vm teardown.
+  bool FoundCycle = false;
+  for (uint64_t Id : obs::versionIds()) {
+    std::vector<obs::VerTransition> T = obs::versionTimeline(Id);
+    int Created = indexOf(T, obs::VerEvent::Created, 0);
+    if (Created < 0)
+      continue;
+    int Compiled = indexOf(T, obs::VerEvent::Compiled, Created + 1);
+    if (Compiled < 0)
+      continue;
+    int Published = indexOf(T, obs::VerEvent::Published, Compiled + 1);
+    if (Published < 0)
+      continue;
+    int Deopted = indexOf(T, obs::VerEvent::Deopted, Published + 1);
+    if (Deopted < 0)
+      continue;
+    int Reopt = indexOf(T, obs::VerEvent::Published, Deopted + 1);
+    // The stale code is withdrawn *before* the deopt is charged (the
+    // guard failure retires the version, then the deopt materializes
+    // frames), so Retired sits between the first publication and the
+    // re-publication.
+    int Retired = indexOf(T, obs::VerEvent::Retired, Published + 1);
+    int Reclaimed = indexOf(T, obs::VerEvent::Reclaimed, Deopted + 1);
+    if (Reopt >= 0 && Retired >= 0 && Reclaimed >= 0) {
+      FoundCycle = true;
+      // Timestamps are monotone along the timeline.
+      for (size_t K = 1; K < T.size(); ++K)
+        EXPECT_GE(T[K].TsNanos, T[K - 1].TsNanos);
+      break;
+    }
+  }
+  if (!FoundCycle) {
+    std::ostringstream Dump;
+    for (uint64_t Id : obs::versionIds()) {
+      Dump << "id " << Id << ":";
+      for (const obs::VerTransition &T : obs::versionTimeline(Id))
+        Dump << " " << obs::verEventName(T.Event);
+      Dump << "\n";
+    }
+    ADD_FAILURE() << "no version timeline shows compile -> publish -> "
+                     "deopt -> republish -> retire -> reclaim\n"
+                  << Dump.str();
+  }
+
+  // The event stream saw the same story.
+  EXPECT_GT(obs::traceCountOf(obs::TraceEv::CompileFinish), 0u);
+  EXPECT_GT(obs::traceCountOf(obs::TraceEv::Publish), 0u);
+  EXPECT_GT(obs::traceCountOf(obs::TraceEv::Deopt), 0u);
+  EXPECT_GT(obs::traceCountOf(obs::TraceEv::Retire), 0u);
+  EXPECT_GT(obs::traceCountOf(obs::TraceEv::Reclaim), 0u);
+
+  // And the always-on histograms measured the pauses.
+  EXPECT_GT(obs::metrics().CompileLatency.count(), 0u);
+  EXPECT_GT(obs::metrics().DeoptPause.count(), 0u);
+}
+
+// Suite name ordering matters: gtest runs suites in first-registration
+// order, so TraceExport (and TraceRing below) run after Lifecycle —
+// the export test reads the rings the lifecycle workload filled.
+TEST(TraceExport, ChromeExportIsValidJson) {
+  // Rings still hold the previous test's events; export and check.
+  std::ostringstream Os;
+  obs::exportChromeTrace(Os);
+  std::string S = Os.str();
+  ASSERT_FALSE(S.empty());
+  EXPECT_TRUE(validJsonDoc(S)) << S.substr(0, 400);
+  EXPECT_NE(S.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(S.find("\"compile\""), std::string::npos);
+  EXPECT_NE(S.find("\"deopt\""), std::string::npos);
+
+  std::ostringstream Sum;
+  obs::traceSummary(Sum);
+  EXPECT_NE(Sum.str().find("deopt"), std::string::npos);
+
+  obs::traceBegin();
+  obs::traceReset();
+  obs::traceEnd();
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+  EXPECT_TRUE(obs::versionIds().empty());
+}
+
+TEST(TraceRing, RingOverflowCountsDropsEndToEnd) {
+  // A fresh thread gets a ring of the capacity configured here; the main
+  // thread's (already-created, default-sized) ring is untouched.
+  obs::traceBegin(8);
+  std::thread([] {
+    for (int K = 0; K < 50; ++K)
+      obs::traceEvent(obs::TraceEv::GuardFail, 0, K, 0);
+  }).join();
+  EXPECT_EQ(obs::traceCountOf(obs::TraceEv::GuardFail), 8u);
+  EXPECT_GE(obs::traceDropped(), 42u);
+  obs::traceEnd();
+
+  // Restore the default capacity for buffers created after this test and
+  // clear the rings.
+  obs::traceBegin(1 << 16);
+  obs::traceReset();
+  obs::traceEnd();
+}

@@ -677,6 +677,15 @@ TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
             nativeBackendSupported() &&
             (((K >> 1) + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) ==
                 0;
+        // Event tracing on half the corpus: executor threads record into
+        // per-thread rings while compiler threads trace job/publish
+        // events — the tracer itself races the sweep under TSan. Small
+        // rings keep the sweep's memory bounded; overflow is the
+        // drop-counting path, which is exactly what should be exercised.
+        // RJIT_TRACE=1 (the CI tsan job's explicit fuzzer step) upgrades
+        // to tracing the whole corpus.
+        C.Trace.Enabled = obs::traceEnabledDefault() || (K % 2) == 0;
+        C.Trace.BufferCapacity = 1024;
         std::string Got = runProgramBackground(P, C);
         if (Got != Base) {
           std::lock_guard<std::mutex> L(FailuresMu);

@@ -1,6 +1,7 @@
 //===-- tests/support_test.cpp - Support library unit tests ----------------===//
 
 #include "support/interner.h"
+#include "support/relaxed.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/timer.h"
@@ -99,4 +100,59 @@ TEST(Timer, MeasuresSomething) {
     Sink += I;
   EXPECT_GT(T.elapsedNanos(), 0u);
   EXPECT_GE(T.elapsedSeconds(), 0.0);
+}
+
+TEST(RelaxedGauge, AddSubTracksLevel) {
+  RelaxedGauge G;
+  EXPECT_EQ(G.value(), 0u);
+  G.add(3);
+  G.add();
+  EXPECT_EQ(G.value(), 4u);
+  G.sub(2);
+  EXPECT_EQ(G.value(), 2u);
+  G.sub();
+  EXPECT_EQ(G.value(), 1u);
+}
+
+TEST(RelaxedGauge, HighWaterIsMonotone) {
+  RelaxedGauge G;
+  G.add(5);
+  G.sub(5);
+  G.add(2);
+  EXPECT_EQ(G.value(), 2u);
+  EXPECT_EQ(G.highWater(), 5u);
+  G.add(10);
+  EXPECT_EQ(G.highWater(), 12u);
+}
+
+TEST(RelaxedGauge, SubSaturatesAtZero) {
+  RelaxedGauge G;
+  G.add(2);
+  G.sub(10);
+  EXPECT_EQ(G.value(), 0u);
+  G.add(1);
+  EXPECT_EQ(G.value(), 1u);
+  EXPECT_EQ(G.highWater(), 2u);
+}
+
+TEST(RelaxedGauge, CopyPreservesBothLevels) {
+  RelaxedGauge G;
+  G.add(7);
+  G.sub(4);
+  RelaxedGauge C(G);
+  EXPECT_EQ(C.value(), 3u);
+  EXPECT_EQ(C.highWater(), 7u);
+  RelaxedGauge A;
+  A = G;
+  EXPECT_EQ(A.value(), 3u);
+  EXPECT_EQ(A.highWater(), 7u);
+}
+
+TEST(RelaxedCounter, RecordMaxKeepsMaximum) {
+  RelaxedCounter C;
+  C.recordMax(5);
+  C.recordMax(3);
+  EXPECT_EQ(C.load(), 5u);
+  C.recordMax(9);
+  EXPECT_EQ(C.load(), 9u);
 }

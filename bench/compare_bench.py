@@ -12,8 +12,12 @@ Usage:
   python3 bench/compare_bench.py [--baseline-dir bench/baselines]
                                  [--current-dir .] [--tolerance 0.20]
 
-Exit status: 0 when every compared headline is within tolerance (missing
-baselines or reports only warn), 1 on any regression or unreadable file.
+Exit status: 0 when every compared headline is within tolerance; 1 (with a
+clear message, never a traceback) on any regression, unreadable file,
+missing report, baseline or report without a speedup_* headline, or a
+current report with no baseline. The strictness is the point: a new bench
+whose JSON never gets a baseline, or a baseline that silently stops
+matching anything, must fail the CI gate instead of vacuously passing it.
 """
 
 import argparse
@@ -26,6 +30,16 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def speedup_headlines(doc):
+    # Only the higher-is-better speedup ratios are stable across hosts;
+    # pause ratios and overhead probes are gated by the benches' own exit
+    # codes.
+    headlines = doc.get("headlines")
+    if not isinstance(headlines, dict):
+        return {}
+    return {k: v for k, v in headlines.items() if k.startswith("speedup_")}
 
 
 def main():
@@ -49,28 +63,48 @@ def main():
 
     failures = 0
     compared = 0
+    baseline_names = set()
     for bpath in baselines:
         name = os.path.basename(bpath)
+        baseline_names.add(name)
         cpath = os.path.join(args.current_dir, name)
         if not os.path.exists(cpath):
-            print(f"warn: {name}: no current report, skipping")
+            print(
+                f"error: {name}: baseline exists but no current report was "
+                f"produced under {args.current_dir} — did the bench fail to "
+                f"run or emit its --json?",
+                file=sys.stderr,
+            )
+            failures += 1
             continue
         try:
             base, cur = load(bpath), load(cpath)
         except (OSError, json.JSONDecodeError) as e:
-            print(f"error: {name}: {e}", file=sys.stderr)
+            print(f"error: {name}: unreadable report: {e}", file=sys.stderr)
             failures += 1
             continue
 
-        for key, bval in sorted(base.get("headlines", {}).items()):
-            # Only the higher-is-better speedup ratios are stable across
-            # hosts; pause ratios and overhead probes are gated by the
-            # benches' own exit codes.
-            if not key.startswith("speedup_"):
-                continue
-            cval = cur.get("headlines", {}).get(key)
+        base_speedups = speedup_headlines(base)
+        if not base_speedups:
+            print(
+                f"error: {name}: baseline has no speedup_* headline — a "
+                f"baseline that gates nothing is a broken gate; fix or "
+                f"remove it",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+
+        for key, bval in sorted(base_speedups.items()):
+            cval = speedup_headlines(cur).get(key)
             if cval is None:
-                print(f"warn: {name}: headline {key} missing in current")
+                print(
+                    f"error: {name}: headline {key} is in the baseline but "
+                    f"missing from the current report — the bench stopped "
+                    f"emitting it",
+                    file=sys.stderr,
+                )
+                failures += 1
                 continue
             compared += 1
             floor = bval * (1.0 - args.tolerance)
@@ -83,10 +117,24 @@ def main():
             if cval < floor:
                 failures += 1
 
+    # A current report with no baseline is a new bench whose speedups are
+    # not gated at all: fail loudly so the baseline gets checked in with
+    # the bench instead of the gate silently passing forever.
+    for cpath in sorted(glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))):
+        name = os.path.basename(cpath)
+        if name not in baseline_names:
+            print(
+                f"error: {name}: current report has no baseline under "
+                f"{args.baseline_dir} — check one in (with conservative "
+                f"speedup_* values) so the new bench is gated",
+                file=sys.stderr,
+            )
+            failures += 1
+
     if compared == 0:
         print("error: no headlines compared", file=sys.stderr)
         return 1
-    print(f"# compared {compared} headlines, {failures} regression(s)")
+    print(f"# compared {compared} headlines, {failures} failure(s)")
     return 1 if failures else 0
 
 

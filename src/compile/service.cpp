@@ -127,6 +127,11 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
     // publication: the code must be discarded, not installed over the
     // executor's decision. A concurrent publication into the same entry
     // (two contexts resolving to the same root) keeps the first code.
+    // Dropping Exec here frees it immediately — no epoch/graveyard
+    // detour needed, since code that was never published can have no
+    // activation — and for the native tier the executable's destructor
+    // returns its W^X mapping (the arena mutex makes that safe from a
+    // compiler thread racing other installs).
     if (E->Blacklisted)
       return nullptr;
     if (!E->live()) {

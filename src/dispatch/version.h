@@ -84,8 +84,12 @@ struct FnVersion {
     }
   }
 
-  /// Retires the code, returning ownership (the caller graveyards it:
-  /// activations may still be on the stack). Writer lock required.
+  /// Retires the code, returning ownership. Every retire site — the deopt
+  /// listener, the reopt sampling path, background replacements racing a
+  /// blacklist — hands the result to Vm::toGraveyard, which stamps the
+  /// retire epoch the dispatch-boundary safepoint reclaims by (activations
+  /// may still be on the stack, even across later dispatches under
+  /// recursion). Writer lock required.
   std::unique_ptr<ExecutableCode> retire() {
     Code.store(nullptr, std::memory_order_release);
     if (obs::traceOn())

@@ -13,18 +13,19 @@ using namespace rjit;
 
 namespace {
 
-/// Interpreter-backed executable: run() is the threaded LowCode engine.
+/// Interpreter-backed executable: invoke() is the threaded LowCode engine.
 class InterpExecutable final : public ExecutableCode {
 public:
   explicit InterpExecutable(std::unique_ptr<LowFunction> L)
       : ExecutableCode(std::move(L)) {}
 
-  Value run(std::vector<Value> &&Args, Env *CurEnv,
-            Env *ParentEnv) override {
+  const char *backendName() const override { return "interp"; }
+
+protected:
+  Value invoke(std::vector<Value> &&Args, Env *CurEnv,
+               Env *ParentEnv) override {
     return runLow(low(), std::move(Args), CurEnv, ParentEnv);
   }
-
-  const char *backendName() const override { return "interp"; }
 };
 
 class InterpBackend final : public ExecBackend {
@@ -39,6 +40,11 @@ public:
 };
 
 } // namespace
+
+RetireEpochs *&rjit::activeRetireEpochs() {
+  thread_local RetireEpochs *Active = nullptr;
+  return Active;
+}
 
 ExecBackend &rjit::interpBackend() {
   static InterpBackend B;

@@ -31,12 +31,77 @@
 
 #include "lowcode/lowcode.h"
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 namespace rjit {
 
 class Env;
+
+/// Per-executor retire-epoch bookkeeping for safepoint-based reclamation
+/// of retired code (the deferred-reclamation discipline FliT formalizes:
+/// defer frees until no reader can hold the object, then reclaim in
+/// batches). The owning Vm advances the epoch at every retire and the
+/// graveyard stamps each entry with it; every ExecutableCode activation
+/// pins the epoch current at its entry (CodeActivation below). An entry
+/// whose retire epoch precedes the entry epoch of every live activation
+/// was unlinked before any of them started — no frame on this executor's
+/// stack can be running it or hold its DeoptMetas — so the safepoint may
+/// free it.
+///
+/// Activations are strictly nested on the one executor thread (optimized
+/// calls re-enter vmDispatchCall, continuations run inside the failing
+/// guard's frame), so the minimum live entry epoch is always the
+/// *outermost* activation's: a depth counter plus one saved epoch suffice.
+/// All accesses happen on the executor thread; compiler threads never run
+/// code.
+class RetireEpochs {
+public:
+  /// Stamps a retire: the epoch charged to the graveyard entry, then the
+  /// clock advances so later activations provably postdate the retire.
+  uint64_t stampRetire() { return Epoch++; }
+
+  /// Smallest entry epoch among live code activations, or UINT64_MAX when
+  /// none is live (everything retired so far is reclaimable).
+  uint64_t minLiveEntry() const {
+    return Depth ? OuterEpoch : UINT64_MAX;
+  }
+
+private:
+  friend class CodeActivation;
+  uint64_t Epoch = 1;
+  uint32_t Depth = 0;      ///< live ExecutableCode activations (nested)
+  uint64_t OuterEpoch = 0; ///< entry epoch of the outermost live one
+};
+
+/// The calling thread's retire-epoch tracker. Installed by the executor
+/// thread's Vm (like the interp/low hooks); null outside a Vm — e.g.
+/// backend unit tests running executables directly — where activation
+/// pins degrade to no-ops because nothing is ever graveyarded.
+RetireEpochs *&activeRetireEpochs();
+
+/// RAII pin for one ExecutableCode activation: ExecutableCode::run takes
+/// it so every publication point's code — function versions, OSR-in
+/// continuations, deoptless continuations — participates in the epoch
+/// protocol without per-call-site cooperation. Unwinds correctly when an
+/// RError or a parked JIT exception propagates out of the activation.
+class CodeActivation {
+public:
+  CodeActivation() : T(activeRetireEpochs()) {
+    if (T && T->Depth++ == 0)
+      T->OuterEpoch = T->Epoch;
+  }
+  ~CodeActivation() {
+    if (T)
+      --T->Depth;
+  }
+  CodeActivation(const CodeActivation &) = delete;
+  CodeActivation &operator=(const CodeActivation &) = delete;
+
+private:
+  RetireEpochs *T;
+};
 
 /// A backend-produced executable unit. Owns the LowFunction it was
 /// prepared from: the deopt runtime, the version tables and the printers
@@ -55,8 +120,14 @@ public:
   /// Runs the executable; the contract of runLow(): \p Args fill the
   /// parameter slots, \p CurEnv is the live environment for real-env
   /// code (null for elided conventions), \p ParentEnv the lexical parent.
-  virtual Value run(std::vector<Value> &&Args, Env *CurEnv,
-                    Env *ParentEnv) = 0;
+  /// Non-virtual on purpose: every call site — version dispatch, OSR-in,
+  /// deoptless continuations — pins the activation in the executor's
+  /// retire-epoch tracker for exactly the duration of the run, which is
+  /// the invariant the graveyard safepoint relies on.
+  Value run(std::vector<Value> &&Args, Env *CurEnv, Env *ParentEnv) {
+    CodeActivation Pin;
+    return invoke(std::move(Args), CurEnv, ParentEnv);
+  }
 
   /// Name of the backend that produced this code ("interp", "native-x64").
   virtual const char *backendName() const = 0;
@@ -71,6 +142,11 @@ public:
 protected:
   explicit ExecutableCode(std::unique_ptr<LowFunction> L)
       : Low(std::move(L)) {}
+
+  /// Backend-specific execution, called with the activation already
+  /// pinned by run().
+  virtual Value invoke(std::vector<Value> &&Args, Env *CurEnv,
+                       Env *ParentEnv) = 0;
 
 private:
   std::unique_ptr<LowFunction> Low;
@@ -91,6 +167,12 @@ public:
   /// Wraps \p Low into an executable. Never returns null.
   virtual std::unique_ptr<ExecutableCode>
   prepare(std::unique_ptr<LowFunction> Low) = 0;
+
+  /// Diagnostic: code mappings currently live in this backend (W^X blocks
+  /// for the native tier, 0 for backends without their own mappings).
+  /// The reopt-storm soak test uses it to prove reclaimed native code
+  /// actually returns its pages, not just its ExecutableCode wrapper.
+  virtual size_t liveCodeBlocks() const { return 0; }
 };
 
 /// The interpreter backend (stateless process-wide singleton).

@@ -44,7 +44,7 @@ const void *CodeArena::install(const std::vector<uint8_t> &Code) {
     return nullptr;
   }
   std::lock_guard<std::mutex> L(Mu);
-  Blocks.push_back({Mem, Size});
+  Blocks.push_back({Mem, Size, Code.size()});
   Installed += Code.size();
   return Mem;
 #else
@@ -53,7 +53,30 @@ const void *CodeArena::install(const std::vector<uint8_t> &Code) {
 #endif
 }
 
+bool CodeArena::release(const void *Entry) {
+#if RJIT_HAVE_MMAP
+  std::lock_guard<std::mutex> L(Mu);
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].Mem != Entry)
+      continue;
+    munmap(Blocks[I].Mem, Blocks[I].Size);
+    Installed -= Blocks[I].Used;
+    Blocks.erase(Blocks.begin() + static_cast<ptrdiff_t>(I));
+    return true;
+  }
+  return false;
+#else
+  (void)Entry;
+  return false;
+#endif
+}
+
 size_t CodeArena::codeBytes() const {
   std::lock_guard<std::mutex> L(Mu);
   return Installed;
+}
+
+size_t CodeArena::blockCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Blocks.size();
 }

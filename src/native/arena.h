@@ -39,13 +39,26 @@ public:
   /// fall back to the interpreter backend for this function).
   const void *install(const std::vector<uint8_t> &Code);
 
+  /// Unmaps the block whose entry address is \p Entry. This is the
+  /// reclamation half the per-function-mapping design exists for: the
+  /// graveyard safepoint frees one retired function's pages without
+  /// touching pages live code executes from. Caller (the NativeExecutable
+  /// destructor) guarantees nothing can execute or re-enter the block.
+  /// Returns false for an address this arena never installed.
+  bool release(const void *Entry);
+
   /// Total bytes of sealed machine code (diagnostics).
   size_t codeBytes() const;
+
+  /// Number of currently live mappings (diagnostics; the soak test's
+  /// proof that reclaim returns pages, not just wrapper objects).
+  size_t blockCount() const;
 
 private:
   struct Block {
     void *Mem;
     size_t Size;
+    size_t Used; ///< unpadded code bytes, so release() can rebate Installed
   };
   mutable std::mutex Mu;
   std::vector<Block> Blocks;

@@ -15,7 +15,7 @@
 //
 // Exceptions never unwind through JIT frames (there is no unwind info for
 // them): every helper catches at the boundary, parks the exception in the
-// frame, and the generated code returns through the epilogue; run()
+// frame, and the generated code returns through the epilogue; invoke()
 // rethrows.
 //
 //===----------------------------------------------------------------------===//
@@ -65,7 +65,7 @@ static_assert(sizeof(Value) == 24, "templates hard-code the Value stride");
 namespace {
 
 /// The run-time frame generated code executes against. Built afresh per
-/// activation by NativeExecutable::run on the executor's stack.
+/// activation by NativeExecutable::invoke on the executor's stack.
 struct NativeFrame {
   const LowFunction *F = nullptr;
   Value *S = nullptr;
@@ -688,13 +688,28 @@ private:
 
 class NativeExecutable final : public ExecutableCode {
 public:
-  NativeExecutable(std::unique_ptr<LowFunction> L, const void *Entry)
-      : ExecutableCode(std::move(L)),
+  NativeExecutable(std::unique_ptr<LowFunction> L, CodeArena &Arena,
+                   const void *Entry)
+      : ExecutableCode(std::move(L)), Arena(&Arena),
         Entry(reinterpret_cast<NativeEntry>(
             const_cast<void *>(Entry))) {}
 
-  Value run(std::vector<Value> &&Args, Env *CurEnv,
-            Env *ParentEnv) override {
+  /// Reclaiming the executable returns its W^X pages. Safe wherever
+  /// destroying the wrapper is safe (graveyard safepoint after the retire
+  /// epoch drains, compile-race discard of never-published code, backend
+  /// teardown) — the epoch protocol guarantees no activation is inside the
+  /// block and no dispatch can re-read the entry. The arena strictly
+  /// outlives its executables (Vm member order), and its mutex makes the
+  /// compiler-thread discard path race-free against concurrent installs.
+  ~NativeExecutable() override {
+    Arena->release(reinterpret_cast<const void *>(Entry));
+  }
+
+  const char *backendName() const override { return "native-x64"; }
+
+protected:
+  Value invoke(std::vector<Value> &&Args, Env *CurEnv,
+               Env *ParentEnv) override {
     const LowFunction &F = low();
     std::vector<Value> S(F.NumSlots);
     std::vector<double> D(F.NumSlotsD);
@@ -721,9 +736,8 @@ public:
     return std::move(Fr.Result);
   }
 
-  const char *backendName() const override { return "native-x64"; }
-
 private:
+  CodeArena *Arena;
   NativeEntry Entry;
 };
 
@@ -741,8 +755,10 @@ public:
     if (!Entry) // mapping denied (hardened host): portable fallback
       return interpBackend().prepare(std::move(Low));
     ++stats().NativeCompiles;
-    return std::make_unique<NativeExecutable>(std::move(Low), Entry);
+    return std::make_unique<NativeExecutable>(std::move(Low), Arena, Entry);
   }
+
+  size_t liveCodeBlocks() const override { return Arena.blockCount(); }
 
 private:
   CodeArena Arena;

@@ -11,8 +11,9 @@
 /// -> reclaimed transitions while tracing is on. The Fig. 1 recompile
 /// cycle shows up as repeated compiled/published/deopted/retired rounds on
 /// the *same* id (the bookkeeping entry persists so blacklisting can
-/// accumulate); reclamation fires once per graveyarded executable at the
-/// teardown safepoint.
+/// accumulate); reclamation fires once per graveyarded executable — mid-run
+/// at the dispatch-boundary safepoint once the retire epoch drains, or at
+/// the teardown fallback for whatever remains.
 ///
 /// Recording is gated on obs::traceOn() like the event tracer; queries are
 /// for tests and post-run reporting, not hot paths.
@@ -37,7 +38,8 @@ enum class VerEvent : uint8_t {
   Deopted,     ///< a true deoptimization was charged to this version
   Blacklisted, ///< too many deopts / uncompilable: dispatch gives up
   Retired,     ///< code withdrawn to the graveyard (frames may be live)
-  Reclaimed,   ///< a graveyarded executable was freed (teardown safepoint)
+  Reclaimed,   ///< a graveyarded executable was freed (safepoint or
+               ///< teardown fallback)
   kCount
 };
 

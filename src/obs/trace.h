@@ -56,7 +56,9 @@ enum class TraceEv : uint8_t {
   CompileJob,      ///< background job run; Dur = run time, A = queue-wait ns
   Publish,         ///< code published; A = version id, B = kind
   Retire,          ///< executable moved to the graveyard; A = version id
-  Reclaim,         ///< graveyarded executable freed (teardown safepoint)
+  Reclaim,         ///< graveyarded executable freed (dispatch-boundary
+                   ///< safepoint once its retire epoch drains, or the
+                   ///< teardown fallback); A = version id
   Deopt,           ///< a true deoptimization (OSR-out); Dur covers frame
                    ///< materialization + baseline resume, A = bc pc
   DeoptlessAttempt,///< a deopt event offered to deoptless; A = bc pc

@@ -61,8 +61,11 @@ public:
 
   /// Publishes the next snapshot without the entry at \p Pos. Ownership
   /// is retained — the element may still be executing (a reader picked it
-  /// up from an older snapshot) — and reclaimed at list destruction, the
-  /// same deferred-reclamation discipline as the Vm's code graveyard.
+  /// up from an older snapshot) — and reclaimed at list destruction: the
+  /// Vm's code graveyard applies the same defer-then-reclaim discipline
+  /// with epochs and mid-run safepoints, which these tables don't need —
+  /// they are bounded by construction (MaxVersions / MaxContinuations /
+  /// the OSR cache cap), so retained elements can't grow without bound.
   void removeAt(size_t Pos) {
     const Order &Cur = read();
     auto Next = std::make_unique<Order>();

@@ -79,7 +79,11 @@ private:
 /// the monotone event counters above. sub() clamps at zero instead of
 /// wrapping: phase resets (resetStats) can zero a gauge while the
 /// underlying population still drains, and a diagnostic must saturate,
-/// not report ~2^64. Copyable like RelaxedCounter so stats structs keep
+/// not report ~2^64. Owners that know the true population (the Vm owns
+/// its graveyard) should prefer setLevel() over add/sub deltas: a delta
+/// applied to a gauge a phase reset zeroed under-reports both the level
+/// and the high-water forever after, while a re-synced level self-heals
+/// at the next touch. Copyable like RelaxedCounter so stats structs keep
 /// value semantics; all accesses are relaxed atomics.
 class RelaxedGauge {
 public:
@@ -113,6 +117,19 @@ public:
                                     std::memory_order_relaxed))
         return;
     }
+  }
+
+  /// Overwrites the level with the owner-tracked population and raises
+  /// the high-water to at least \p L. With several writers the level is
+  /// last-writer-wins and the high-water the max of per-writer levels —
+  /// exact for single-owner gauges, a benign diagnostic race otherwise.
+  void setLevel(uint64_t L) {
+    Cur.store(L, std::memory_order_relaxed);
+    uint64_t H = High.load(std::memory_order_relaxed);
+    while (L > H &&
+           !High.compare_exchange_weak(H, L, std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+      ;
   }
 
   uint64_t value() const { return Cur.load(std::memory_order_relaxed); }

@@ -71,10 +71,13 @@ struct VmStats {
   RelaxedCounter NativeEnters;        ///< activations entered through
                                       ///< native (template-JIT) code
   RelaxedGauge GraveyardSize;         ///< retired executables awaiting
-                                      ///< teardown reclamation: add() on
-                                      ///< retire, sub() when the owning
-                                      ///< Vm reclaims them; highWater()
-                                      ///< is the peak population
+                                      ///< safepoint reclamation; the
+                                      ///< owning Vm re-syncs the level
+                                      ///< (setLevel) on every retire and
+                                      ///< reclaim, so a mid-run
+                                      ///< resetStats() self-heals;
+                                      ///< highWater() is the peak
+                                      ///< population since the reset
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

@@ -104,6 +104,10 @@ namespace rjit {
 Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
   Vm *V = Vm::current();
   assert(V && "dispatch without an active Vm");
+  // Graveyard safepoint: the dispatch boundary, *before* this call pins a
+  // new code activation. Reclaims retired code whose retire epoch every
+  // live activation postdates; with an empty graveyard this is one branch.
+  V->safepoint();
   Function *Fn = Clos->Fn;
   ++Fn->CallCount;
   DepthGuard Depth;
@@ -300,6 +304,10 @@ bool vmAsyncContinuationCompile(Function *Fn, const DeoptContext &Ctx) {
 Vm::Vm(Config C) : Cfg(C) {
   assert(!CurrentVm && "only one Vm may be active at a time");
   CurrentVm = this;
+  // This executor thread's retire-epoch tracker: every ExecutableCode
+  // activation pins it (CodeActivation), and the graveyard safepoint
+  // consults it to decide which retired code is drained.
+  activeRetireEpochs() = &Epochs;
   if (Cfg.Trace.Enabled)
     obs::traceBegin(Cfg.Trace.BufferCapacity);
 
@@ -371,21 +379,16 @@ Vm::~Vm() {
   configureDeoptless(DeoptlessConfig());
   osrInConfig() = OsrInConfig();
   States.clear();
-  // Teardown is the safepoint: no activation of retired code can still be
-  // on the stack, so the graveyard is reclaimed (and the gauge drained)
-  // here — before the native backend's code arena goes away with the Vm.
-  // The gauge's sub() saturates at zero: resetStats() may have zeroed it
-  // mid-lifetime (bench harness phase resets).
-  if (obs::traceOn())
-    for (const std::unique_ptr<ExecutableCode> &Code : Graveyard) {
-      obs::traceEvent(obs::TraceEv::Reclaim, 0, Code->obsId());
-      if (Code->obsId())
-        obs::recordVersionEvent(Code->obsId(), obs::VerEvent::Reclaimed);
-    }
-  stats().GraveyardSize.sub(Graveyard.size());
-  Graveyard.clear();
+  // Teardown is the fallback safepoint: no activation of retired code can
+  // still be on the stack (epochs are ignored — the executor is gone), so
+  // whatever the dispatch-boundary safepoints did not yet reclaim — e.g.
+  // under SafepointInterval = 0 — is reclaimed here, before the native
+  // backend's code arena goes away with the Vm.
+  reclaimGraveyard(/*IgnoreEpochs=*/true);
   Modules.clear();
   Global->release();
+  if (activeRetireEpochs() == &Epochs)
+    activeRetireEpochs() = nullptr;
   CurrentVm = nullptr;
   if (Cfg.Trace.Enabled)
     obs::traceEnd();
@@ -394,10 +397,45 @@ Vm::~Vm() {
 void Vm::toGraveyard(std::unique_ptr<ExecutableCode> Code) {
   if (!Code)
     return;
-  stats().GraveyardSize.add();
   if (obs::traceOn())
     obs::traceEvent(obs::TraceEv::Retire, 0, Code->obsId());
-  Graveyard.push_back(std::move(Code));
+  // Retires only happen on the executor thread (deopt listener, reopt
+  // sampling — both run inside dispatch), so stamping and the later
+  // epoch comparison are unsynchronized by design.
+  Graveyard.push_back({std::move(Code), Epochs.stampRetire()});
+  // Re-sync the gauge to the owner-tracked level (not add()): a mid-run
+  // resetStats() zeroed it while the graveyard was populated, and a delta
+  // would under-report level and high-water from then on.
+  stats().GraveyardSize.setLevel(Graveyard.size());
+}
+
+void Vm::reclaimGraveyard(bool IgnoreEpochs) {
+  // An entry is drained when its retire epoch precedes the entry epoch of
+  // every live code activation: the retire unlinked the code before any
+  // of them started, so no frame on this executor's stack can be running
+  // it or hold its DeoptMetas. (A plain "no activation live" check is not
+  // enough: recursion lets an inner call retire the version an *outer*
+  // activation is still executing, and that entry must survive until the
+  // outer frame unwinds.) Epochs are monotone, so the graveyard is sorted
+  // and reclaim is a prefix erase.
+  const uint64_t MinLive = IgnoreEpochs ? UINT64_MAX : Epochs.minLiveEntry();
+  size_t N = 0;
+  while (N < Graveyard.size() && Graveyard[N].RetireEpoch < MinLive)
+    ++N;
+  if (!N)
+    return;
+  if (obs::traceOn())
+    for (size_t I = 0; I < N; ++I) {
+      const std::unique_ptr<ExecutableCode> &Code = Graveyard[I].Code;
+      obs::traceEvent(obs::TraceEv::Reclaim, 0, Code->obsId());
+      if (Code->obsId())
+        obs::recordVersionEvent(Code->obsId(), obs::VerEvent::Reclaimed);
+    }
+  // Destroying the executables frees their backing code too: the native
+  // tier's destructor returns the per-function W^X mapping to the OS.
+  Graveyard.erase(Graveyard.begin(),
+                  Graveyard.begin() + static_cast<ptrdiff_t>(N));
+  stats().GraveyardSize.setLevel(Graveyard.size());
 }
 
 void Vm::drainCompiles() {

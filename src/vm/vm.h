@@ -36,6 +36,7 @@
 #include "bc/compiler.h"
 #include "compile/service.h"
 #include "dispatch/version.h"
+#include "exec/backend.h"
 #include "lowcode/lowcode.h"
 #include "obs/trace.h"
 #include "osr/deoptless.h"
@@ -151,6 +152,17 @@ public:
     /// from the RJIT_NATIVE_TIER environment variable (CI runs the full
     /// suite both ways); unset means off.
     bool NativeTier = nativeTierDefault();
+
+    /// Graveyard safepoint interval (orthogonal to Strategy): retired
+    /// ExecutableCode is reclaimed at the executor's dispatch boundary
+    /// once its retire epoch is provably drained — the safepoint polls on
+    /// every Nth closure dispatch. 1 (the default) reclaims as eagerly as
+    /// the epoch protocol allows; larger values amortize the poll; 0
+    /// disables mid-run reclamation entirely (teardown-only, the pre-
+    /// safepoint behavior, and the fuzzer's no-reclamation baseline).
+    /// Transcripts are interval-invariant: reclamation frees memory but
+    /// never changes dispatch.
+    uint32_t SafepointInterval = 1;
 
     /// Background compilation (orthogonal to everything above): compile
     /// requests go to a compiler pool; each job compiles from a feedback
@@ -268,16 +280,46 @@ private:
   TierRegistry States;
   std::unique_ptr<CompilerPool> OwnPool;
   CompilerPool *ActivePool = nullptr;
-  /// Retired optimized code: activations of a version being retired are
-  /// still on the stack when the deopt listener runs, so reclamation is
-  /// deferred to VM teardown (real VMs defer to a safepoint). Touched only
-  /// by the owning executor thread. Population is mirrored in the
-  /// GraveyardSize stats gauge (incremented on retire, drained at
-  /// teardown) so tests can observe the retire/reclaim lifecycle.
-  std::vector<std::unique_ptr<ExecutableCode>> Graveyard;
+  /// Retired optimized code awaiting reclamation: activations of a
+  /// version being retired are still on the stack when the deopt listener
+  /// runs (and under recursion an *outer* activation of the retired
+  /// version can survive arbitrarily many further dispatches), so each
+  /// entry is stamped with its retire epoch and freed by the dispatch-
+  /// boundary safepoint once every activation that could reference it has
+  /// unwound — see RetireEpochs in exec/backend.h. Teardown reclaims
+  /// whatever remains. Touched only by the owning executor thread; epochs
+  /// are monotone, so the vector stays sorted and reclaim is a prefix
+  /// erase. Population is mirrored in the GraveyardSize stats gauge
+  /// (level re-synced on every retire/reclaim) so tests can observe the
+  /// retire/reclaim lifecycle.
+  struct GraveEntry {
+    std::unique_ptr<ExecutableCode> Code;
+    uint64_t RetireEpoch;
+  };
+  std::vector<GraveEntry> Graveyard;
+  /// This executor's retire-epoch clock/activation tracker; installed
+  /// thread-locally (activeRetireEpochs) for the Vm's lifetime.
+  RetireEpochs Epochs;
+  uint32_t SafepointTick = 0; ///< dispatches since the last poll
 
-  /// Moves retired code to the graveyard and bumps the gauge.
+  /// Moves retired code to the graveyard, stamping the current retire
+  /// epoch, and re-syncs the gauge.
   void toGraveyard(std::unique_ptr<ExecutableCode> Code);
+
+  /// The graveyard safepoint: frees every entry whose retire epoch is
+  /// drained (no live activation entered before the retire). Called from
+  /// the dispatch boundary per Config::SafepointInterval and, with
+  /// IgnoreEpochs, from teardown where no activation exists at all.
+  void reclaimGraveyard(bool IgnoreEpochs);
+
+  /// Dispatch-boundary poll: cheap check, then reclaimGraveyard.
+  void safepoint() {
+    if (Graveyard.empty() || !Cfg.SafepointInterval ||
+        ++SafepointTick < Cfg.SafepointInterval)
+      return;
+    SafepointTick = 0;
+    reclaimGraveyard(false);
+  }
 };
 
 } // namespace rjit

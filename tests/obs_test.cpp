@@ -292,7 +292,10 @@ TEST(Lifecycle, FullDeoptCycleOnOneVersionId) {
 
   // One version id must carry the whole Fig. 1 story: created, compiled,
   // published, deopted, then a *re*-publication after the deopt, and
-  // finally retire + reclaim of the superseded code at Vm teardown.
+  // finally retire + reclaim of the superseded code — mid-run at the
+  // dispatch-boundary safepoint once the retire epoch drains (teardown
+  // is only the fallback; ReclaimFiresMidRunBeforeTeardown below pins
+  // which of the two it is).
   bool FoundCycle = false;
   for (uint64_t Id : obs::versionIds()) {
     std::vector<obs::VerTransition> T = obs::versionTimeline(Id);
@@ -346,6 +349,42 @@ TEST(Lifecycle, FullDeoptCycleOnOneVersionId) {
   // And the always-on histograms measured the pauses.
   EXPECT_GT(obs::metrics().CompileLatency.count(), 0u);
   EXPECT_GT(obs::metrics().DeoptPause.count(), 0u);
+}
+
+TEST(Lifecycle, ReclaimFiresMidRunBeforeTeardown) {
+  obs::traceBegin();
+  obs::traceReset();
+  obs::traceEnd();
+
+  // A mid-run reopt cycle: warm on ints, deopt on the double phase
+  // (retire), then keep dispatching. The dispatch-boundary safepoint must
+  // reclaim the retired executable while the Vm is still running — both
+  // the Reclaim trace event and the Reclaimed lifecycle transition have
+  // to be observable *before* teardown.
+  uint64_t ReclaimsWhileAlive = 0;
+  bool TimelineReclaimedWhileAlive = false;
+  {
+    Vm V(tracedConfig());
+    V.eval("f <- function(v, n) { s <- 0\n"
+           "  for (i in 1:n) s <- s + v[[i]]\n"
+           "  s }");
+    V.eval("d <- 1:100");
+    for (int K = 0; K < 6; ++K)
+      V.eval("r <- f(d, 100L)");
+    V.eval("d <- as.numeric(1:100)");
+    for (int K = 0; K < 6; ++K)
+      V.eval("r <- f(d, 100L)");
+    ReclaimsWhileAlive = obs::traceCountOf(obs::TraceEv::Reclaim);
+    for (uint64_t Id : obs::versionIds())
+      for (const obs::VerTransition &T : obs::versionTimeline(Id))
+        if (T.Event == obs::VerEvent::Reclaimed)
+          TimelineReclaimedWhileAlive = true;
+  }
+  EXPECT_GT(ReclaimsWhileAlive, 0u)
+      << "the safepoint must reclaim drained graveyard entries mid-run, "
+         "not leave them all for teardown";
+  EXPECT_TRUE(TimelineReclaimedWhileAlive)
+      << "a version timeline must record Reclaimed while the Vm is alive";
 }
 
 // Suite name ordering matters: gtest runs suites in first-registration

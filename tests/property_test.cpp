@@ -569,24 +569,32 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
     // land inside spliced callees too, forcing the multi-frame OSR-out
     // and deoptless-continuation paths without changing any result. The
     // native axis drives them through the template JIT's side-exit
-    // stubs and countdown slow path.
+    // stubs and countdown slow path. The safepoint axis runs the same
+    // retire-heavy workload with the most aggressive graveyard
+    // reclamation (every dispatch) and with reclamation off entirely
+    // (interval 0, the pre-safepoint baseline): transcripts must be
+    // byte-identical — reclaiming retired code frees memory but may
+    // never change dispatch or results.
     for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless})
-      for (bool Native : nativeAxis()) {
-        Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
-        C.InvalidationRate = 60 + (Seed % 90);
-        C.InvalidationSeed = Seed | 1;
-        C.NativeTier = Native;
-        ASSERT_EQ(Base, runProgram(P, C))
-            << "seed " << Seed << " injected strategy "
-            << static_cast<int>(S) << " native=" << Native
-            << "\nprogram:\n"
-            << P.Setup << "drivers:\n" << driversOf(P);
-      }
+      for (bool Native : nativeAxis())
+        for (uint32_t Safepoint : {1u, 0u}) {
+          Vm::Config C = cfg(S, /*CtxDispatch=*/true, /*Inlining=*/true);
+          C.InvalidationRate = 60 + (Seed % 90);
+          C.InvalidationSeed = Seed | 1;
+          C.NativeTier = Native;
+          C.SafepointInterval = Safepoint;
+          ASSERT_EQ(Base, runProgram(P, C))
+              << "seed " << Seed << " injected strategy "
+              << static_cast<int>(S) << " native=" << Native
+              << " safepoint=" << Safepoint << "\nprogram:\n"
+              << P.Setup << "drivers:\n" << driversOf(P);
+        }
   }
 }
 
-// 10 shards x 50 programs = 500 random programs, each checked under 27
-// configurations (shards parallelize under `ctest -j`).
+// 10 shards x 50 programs = 500 random programs, each checked under 29
+// configurations (57 when the native axis is available; shards
+// parallelize under `ctest -j`).
 INSTANTIATE_TEST_SUITE_P(Shards, DiffFuzz,
                          ::testing::Range(0, static_cast<int>(FuzzShards)));
 

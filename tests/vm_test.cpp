@@ -389,13 +389,13 @@ TEST(VmReopt, SamplingRecompilesOnProfileChange) {
 }
 
 //===----------------------------------------------------------------------===//
-// Graveyard lifecycle (groundwork for the ROADMAP GC item): a retired
-// executable — LowCode- or native-backed — must land in the graveyard
-// (its frames may still be live when the deopt listener runs) and be
-// reclaimed exactly at Vm teardown, observable through the GraveyardSize
-// gauge.
+// Graveyard lifecycle: a retired executable — LowCode- or native-backed —
+// must land in the graveyard first (its frames may still be live when the
+// deopt listener runs), then be reclaimed by the dispatch-boundary
+// safepoint once its retire epoch drains; teardown reclaims whatever the
+// safepoints didn't. Observable through the GraveyardSize gauge.
 
-TEST(VmGraveyard, RetiredExecutablesAreReclaimedAtTeardown) {
+TEST(VmGraveyard, RetiredExecutablesAreGraveyardedThenReclaimed) {
   for (bool Native : {false, true}) {
     if (Native && !nativeBackendSupported())
       continue;
@@ -409,6 +409,9 @@ TEST(VmGraveyard, RetiredExecutablesAreReclaimedAtTeardown) {
       ASSERT_EQ(stats().GraveyardSize, 0u)
           << "nothing retired yet (native=" << Native << ")";
       // Phase change: the int-speculated version deopts and is retired.
+      // No dispatch happens between the retire and this assert (the eval
+      // finishes in the baseline), so the safepoint hasn't run yet and
+      // the retired executable must still be graveyarded, not freed.
       V.eval("sum_data(as.numeric(1:50))");
       EXPECT_GT(stats().Deopts, 0u);
       EXPECT_GT(stats().GraveyardSize, 0u)
@@ -420,11 +423,117 @@ TEST(VmGraveyard, RetiredExecutablesAreReclaimedAtTeardown) {
         EXPECT_GT(stats().NativeEnters, 0u)
             << "the retired code must actually have run natively";
       }
+      // The next closure dispatch is a safepoint with no optimized
+      // activation live: every graveyarded entry's epoch is drained, so
+      // reclamation happens mid-run, well before teardown.
+      V.eval("sum_data(as.numeric(1:50))");
+      EXPECT_EQ(stats().GraveyardSize, 0u)
+          << "the dispatch-boundary safepoint must reclaim drained "
+             "entries mid-run (native="
+          << Native << ")";
     }
-    // Teardown is the safepoint: the graveyard drains with the Vm.
-    EXPECT_EQ(stats().GraveyardSize, 0u)
-        << "teardown must reclaim retired executables (native=" << Native
+    EXPECT_EQ(stats().GraveyardSize, 0u);
+  }
+}
+
+TEST(VmGraveyard, TeardownReclaimsWhenSafepointsAreOff) {
+  // SafepointInterval = 0 is the pre-safepoint (and fuzzer-baseline)
+  // behavior: nothing is reclaimed mid-run, teardown drains everything.
+  Vm::Config C = cfg(TierStrategy::Normal);
+  C.SafepointInterval = 0;
+  {
+    Vm V(C);
+    V.eval(SumProgram);
+    for (int K = 0; K < 5; ++K)
+      V.eval("sum_data(1:50)");
+    V.eval("sum_data(as.numeric(1:50))");
+    EXPECT_GT(stats().Deopts, 0u);
+    EXPECT_GT(stats().GraveyardSize, 0u);
+    for (int K = 0; K < 10; ++K)
+      V.eval("sum_data(as.numeric(1:50))");
+    EXPECT_GT(stats().GraveyardSize, 0u)
+        << "with safepoints off the graveyard must survive further "
+           "dispatches until teardown";
+  }
+  EXPECT_EQ(stats().GraveyardSize, 0u)
+      << "teardown must reclaim retired executables";
+}
+
+TEST(VmGraveyard, MidRunStatsResetDoesNotCorruptTheGauge) {
+  // The gauge level is owner-tracked (setLevel), so a resetStats() while
+  // the graveyard is populated self-heals at the next retire/reclaim
+  // instead of saturating the later drain and under-reporting forever.
+  Vm::Config C = cfg(TierStrategy::Normal);
+  C.SafepointInterval = 0; // keep the population visible across evals
+  {
+    Vm V(C);
+    V.eval(SumProgram);
+    for (int K = 0; K < 5; ++K)
+      V.eval("sum_data(1:50)");
+    V.eval("sum_data(as.numeric(1:50))");
+    ASSERT_GT(stats().GraveyardSize, 0u);
+    resetStats(); // bench harnesses do this between phases
+    ASSERT_EQ(stats().GraveyardSize, 0u);
+    // Retire a *second* executable (a fresh function: sum_data's
+    // re-profiled feedback now covers doubles, so it won't deopt again):
+    // the graveyard touch must re-sync the gauge to the true population
+    // (the pre-reset entry included), not report a delta of 1.
+    V.eval("sum2 <- function(data) {\n"
+           "  total <- 0L\n"
+           "  for (i in 1:length(data)) total <- total + data[[i]]\n"
+           "  total\n"
+           "}");
+    for (int K = 0; K < 5; ++K)
+      V.eval("sum2(1:60)");
+    V.eval("sum2(as.numeric(1:60))");
+    EXPECT_GE(stats().GraveyardSize, 2u)
+        << "the gauge must re-sync to the owner-tracked level after a "
+           "mid-run reset";
+  }
+  EXPECT_EQ(stats().GraveyardSize, 0u);
+}
+
+TEST(VmGraveyard, ReoptStormKeepsMemoryBounded) {
+  // The soak test behind the ROADMAP's "unbounded code growth under
+  // reopt-heavy long-running traffic" concern: injected guard failures
+  // force a deopt -> retire -> re-warm -> recompile cycle over and over.
+  // Without safepoint reclamation the graveyard grows by one executable
+  // per cycle; with it, the high-water must stay a small constant, and
+  // for the native tier the per-function W^X mappings must actually be
+  // returned (live mappings stay near the live-version count while the
+  // compile counter keeps climbing).
+  for (bool Native : {false, true}) {
+    if (Native && !nativeBackendSupported())
+      continue;
+    Vm::Config C = cfg(TierStrategy::Normal);
+    C.NativeTier = Native;
+    C.CompileThreshold = 2;
+    C.DeoptBlacklist = 100000; // never give up: keep the cycle going
+    C.InvalidationRate = 4;    // 1-in-4 guard checks fail (§5.1 mode)
+    C.InvalidationSeed = 7;
+    Vm V(C);
+    V.eval(SumProgram);
+    resetStats();
+    // A reopt cycle (rewarm to the threshold, optimized run, injected
+    // failure, retire) empirically takes ~5-6 evals with this rate and
+    // seed, so 800 evals drive well over the 100 cycles the bound is
+    // asserted across.
+    for (int Cycle = 0; Cycle < 800; ++Cycle)
+      V.eval("sum_data(1:40)");
+    EXPECT_GE(stats().Deopts, 100u)
+        << "the storm must actually drive reopt cycles (native=" << Native
         << ")";
+    EXPECT_GE(stats().Compilations, 100u);
+    EXPECT_LT(stats().GraveyardSize.highWater(), 8u)
+        << "retired code must be reclaimed between cycles, not "
+           "accumulated (native="
+        << Native << ")";
+    if (Native) {
+      EXPECT_GE(stats().NativeCompiles, 100u);
+      EXPECT_LE(V.backend()->liveCodeBlocks(), 16u)
+          << "reclaim must unmap native code, not just delete wrappers: "
+             "live W^X mappings can't track the compile count";
+    }
   }
 }
 

@@ -112,11 +112,19 @@ void rjit::suite::printStats(const char *Label, const VmStats &S) {
 BenchSeries &BenchReport::add(const std::string &Label,
                               const std::vector<double> &Times,
                               const VmStats &Stats) {
+  // Snapshot the live registry now: the next mode's Vm resets it.
+  return add(Label, Times, Stats, obs::metrics());
+}
+
+BenchSeries &BenchReport::add(const std::string &Label,
+                              const std::vector<double> &Times,
+                              const VmStats &Stats,
+                              const obs::VmMetrics &Metrics) {
   BenchSeries S;
   S.Label = Label;
   S.Times = Times;
   S.Stats = Stats;
-  S.Metrics = obs::metrics(); // snapshot now: the next mode's Vm resets
+  S.Metrics = Metrics;
   Series.push_back(std::move(S));
   return Series.back();
 }
@@ -224,7 +232,17 @@ void emitSeries(FILE *F, const BenchSeries &S) {
                 static_cast<unsigned long long>(H.max()), H.mean());
         Any = true;
       });
-  fprintf(F, "}\n    }");
+  fprintf(F, "}");
+  if (!S.Extras.empty()) {
+    fprintf(F, ",\n      \"extras\": {");
+    for (size_t K = 0; K < S.Extras.size(); ++K) {
+      fprintf(F, "%s\"", K ? ", " : "");
+      jsonEscape(F, S.Extras[K].first);
+      fprintf(F, "\": %.6f", S.Extras[K].second);
+    }
+    fprintf(F, "}");
+  }
+  fprintf(F, "\n    }");
 }
 
 } // namespace

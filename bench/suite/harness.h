@@ -65,6 +65,12 @@ struct BenchSeries {
   std::vector<double> Times; ///< seconds per iteration, in order
   VmStats Stats;
   obs::VmMetrics Metrics;
+  /// Extra named scalars serialized into the series object (an "extras"
+  /// JSON block). Benches whose per-sample data is too large to inline as
+  /// Times — the server bench records hundreds of thousands of request
+  /// latencies into histograms — publish their pre-computed percentiles
+  /// here instead.
+  std::vector<std::pair<std::string, double>> Extras;
 };
 
 /// A bench's full report. Fill with add()/headline() as modes complete,
@@ -82,6 +88,14 @@ struct BenchReport {
   /// the next mode's Vm resets them.
   BenchSeries &add(const std::string &Label,
                    const std::vector<double> &Times, const VmStats &Stats);
+
+  /// Like add(), but with an explicit histogram snapshot instead of the
+  /// live process-wide metrics() — for benches that drain per-phase
+  /// snapshots themselves (MetricsRegistry::snapshotAndReset) and must
+  /// not re-read the registry after the phase ended.
+  BenchSeries &add(const std::string &Label,
+                   const std::vector<double> &Times, const VmStats &Stats,
+                   const obs::VmMetrics &Metrics);
 
   /// Records a named scalar result (speedups, ratios — the
   /// machine-independent numbers bench/compare_bench.py diffs).

@@ -125,6 +125,13 @@ void MetricsRegistry::forEachHistogram(
     Fn(D.Name, M.*D.Member);
 }
 
+VmMetrics MetricsRegistry::snapshotAndReset() {
+  VmMetrics Out;
+  for (const HistDesc &D : Hists)
+    Out.*D.Member = (GlobalMetrics.*D.Member).drain();
+  return Out;
+}
+
 void MetricsRegistry::print(const char *Label, const VmStats &S,
                             const VmMetrics &M) {
   forEachCounter(S, [&](const char *Name, uint64_t V) {

@@ -85,8 +85,31 @@ public:
   uint64_t p50() const { return quantile(0.50); }
   uint64_t p90() const { return quantile(0.90); }
   uint64_t p99() const { return quantile(0.99); }
+  uint64_t p999() const { return quantile(0.999); }
 
   void reset() { *this = LatencyHistogram(); }
+
+  /// Drains this histogram into the returned snapshot: every bucket, the
+  /// count, the sum and the max are atomically exchanged with zero.
+  /// Unlike a copy-then-reset (which loses any sample recorded between
+  /// the copy and the reset), each recorded sample lands in *exactly one*
+  /// drain even while recorder threads are concurrently incrementing —
+  /// summing a series of drains (plus the final state) conserves the
+  /// total count and sum exactly. A record() racing the drain may split
+  /// across two snapshots (its bucket in one, its N in the next), so a
+  /// single snapshot's bucket total can transiently differ from its N by
+  /// the number of in-flight recorders; quantiles clamp at the recorded
+  /// max in that window (see quantile()). The per-phase reporting
+  /// primitive behind MetricsRegistry::snapshotAndReset().
+  LatencyHistogram drain() {
+    LatencyHistogram Out;
+    for (unsigned K = 0; K < NumBuckets; ++K)
+      Out.Buckets[K] = Buckets[K].exchange(0);
+    Out.N = N.exchange(0);
+    Out.Sum = Sum.exchange(0);
+    Out.MaxV = MaxV.exchange(0);
+    return Out;
+  }
 
 private:
   std::array<RelaxedCounter, NumBuckets> Buckets{};
@@ -133,6 +156,17 @@ public:
   /// One-line-per-metric human dump of the nonzero counters/gauges and
   /// populated histograms (the bench harness's stats printer).
   static void print(const char *Label, const VmStats &S, const VmMetrics &M);
+
+  /// Drains the process-wide histograms (metrics()) into the returned
+  /// snapshot and leaves them zeroed, losslessly: each histogram is
+  /// drained bucket-by-bucket with atomic exchanges, so samples recorded
+  /// concurrently with the call land either in the returned snapshot or
+  /// in the (zeroed) registry for the next drain — never in both, never
+  /// dropped. Phase-boundary reporting (the server bench's per-phase
+  /// percentiles) uses this instead of the snapshot-then-resetMetrics()
+  /// pair, whose window between the copy and the reset loses every
+  /// sample recorded inside it.
+  static VmMetrics snapshotAndReset();
 };
 
 } // namespace obs

@@ -59,6 +59,14 @@ public:
     return *this;
   }
 
+  /// Atomically replaces the value with \p X and returns the old value.
+  /// The draining primitive behind LatencyHistogram::drain(): every
+  /// concurrent increment lands either in the returned value or in the
+  /// counter's post-exchange state, never both and never neither.
+  uint64_t exchange(uint64_t X) {
+    return V.exchange(X, std::memory_order_relaxed);
+  }
+
   /// Monotonic high-water update (e.g. queue-depth gauges). Lost updates
   /// between racing maxima are acceptable for a diagnostic gauge; every
   /// access stays atomic so the race is benign, not undefined.

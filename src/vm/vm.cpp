@@ -108,6 +108,16 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
   // new code activation. Reclaims retired code whose retire epoch every
   // live activation postdates; with an empty graveyard this is one branch.
   V->safepoint();
+  // Cross-thread storm injection (Vm::injectInvalidation): consume at
+  // most one pending request per dispatch by arming the executor-local
+  // countdown, so the next dynamic guard check this thread executes
+  // fails injected. Producers only ever touched the relaxed counter; the
+  // countdown itself — read by inline JIT code — is written here, on the
+  // executor, never cross-thread.
+  if (V->PendingInjected.load() > 0) {
+    V->PendingInjected -= 1;
+    lowHooks().InvalidationCountdown = 1;
+  }
   Function *Fn = Clos->Fn;
   ++Fn->CallCount;
   DepthGuard Depth;

@@ -256,6 +256,20 @@ public:
   /// anything in flight.
   void drainCompiles();
 
+  /// Requests \p Count injected guard invalidations (§5.1 semantics: the
+  /// guarded fact still holds, the failure is spurious). Callable from
+  /// ANY thread — this is the rate-driven storm-injection hook the server
+  /// harness's chaos injector uses against a running executor, unlike
+  /// Config::InvalidationRate whose countdown only the executor itself
+  /// advances. Producers touch one relaxed atomic; the executor consumes
+  /// at most one request per closure dispatch (the same boundary as the
+  /// graveyard safepoint) by arming the executor-local countdown, so all
+  /// version-table mutation stays on the executor thread and dispatch
+  /// never observes a torn version. Requests pending while no guarded
+  /// code runs (baseline-only phases) simply wait; results are never
+  /// affected, only tail latency.
+  void injectInvalidation(uint64_t Count = 1) { PendingInjected += Count; }
+
   /// The active Vm of the calling thread (hooks are thread-local).
   static Vm *current();
 
@@ -301,6 +315,12 @@ private:
   /// thread-locally (activeRetireEpochs) for the Vm's lifetime.
   RetireEpochs Epochs;
   uint32_t SafepointTick = 0; ///< dispatches since the last poll
+  /// Cross-thread injected-invalidation requests (injectInvalidation):
+  /// any thread adds, only the owning executor consumes — one per
+  /// dispatch, by arming lowHooks().InvalidationCountdown, which stays
+  /// executor-local (the native tier's emitted countdown check is a
+  /// plain load and must never be written from another thread).
+  RelaxedCounter PendingInjected;
 
   /// Moves retired code to the graveyard, stamping the current retire
   /// epoch, and re-syncs the gauge.

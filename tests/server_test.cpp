@@ -1,0 +1,188 @@
+//===-- tests/server_test.cpp - Multi-Vm server harness chaos tests --------===//
+//
+// The deterministic small-scale twin of bench/fig_server.cpp: the same
+// server harness (N client threads, one Vm each, shared compiler pool,
+// warmup/steady/storm/recovery phases with injected invalidation) run at
+// a fixed seed and asserted on, not timed. The determinism surface: with
+// the wall-clock chaos injector off, every client's result checksum is a
+// pure function of the seed, so it must be byte-identical across tier
+// strategies, execution backends and safepoint intervals. With the chaos
+// injector on, timing is nondeterministic but checksums must *still*
+// match — injected invalidation never changes results (§5.1).
+//
+// The chaos variants scale up under RJIT_SOAK=1 (the nightly soak tier,
+// see the `soak` ctest label).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server_harness.h"
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace rjit;
+using namespace rjit::suite;
+
+namespace {
+
+/// 1 in the tier-1 run; RJIT_SOAK=1 multiplies the chaos-variant request
+/// counts (nightly soak under sanitizers).
+unsigned soakScale() {
+  const char *S = std::getenv("RJIT_SOAK");
+  return (S && *S && *S != '0') ? 4 : 1;
+}
+
+ServerConfig smallConfig(TierStrategy S) {
+  ServerConfig C;
+  C.Clients = 8;
+  C.CompilerThreads = 2;
+  C.Seed = 20260808;
+  C.WarmupRequests = 10;
+  C.SteadyRequests = 25;
+  C.StormRequests = 30;
+  C.RecoveryRequests = 15;
+  C.InjectEveryRequests = 5;
+  C.Base.Strategy = S;
+  C.Base.CompileThreshold = 3;
+  return C;
+}
+
+unsigned totalPerClient(const ServerConfig &C) {
+  return C.WarmupRequests + C.SteadyRequests + C.StormRequests +
+         C.RecoveryRequests;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinism: checksums are a pure function of the seed
+//===----------------------------------------------------------------------===//
+
+TEST(ServerDeterminism, RepeatRunIsIdentical) {
+  ServerConfig C = smallConfig(TierStrategy::Deoptless);
+  ServerResult A = runServer(C);
+  ServerResult B = runServer(C);
+  EXPECT_EQ(A.ClientChecksums, B.ClientChecksums)
+      << "same seed, same config: the run must replay exactly";
+  EXPECT_EQ(A.Checksum, B.Checksum);
+}
+
+TEST(ServerDeterminism, ChecksumsInvariantAcrossConfigurations) {
+  ServerResult Ref = runServer(smallConfig(TierStrategy::Normal));
+  ASSERT_EQ(Ref.ClientChecksums.size(), 8u);
+
+  // {strategy} x {backend} x {safepoint interval}: none of these axes may
+  // change a single request's result. NativeTier silently keeps the
+  // interpreter on non-x86-64 hosts, which only strengthens the check.
+  for (TierStrategy S :
+       {TierStrategy::Normal, TierStrategy::Deoptless}) {
+    for (bool Native : {false, true}) {
+      for (uint32_t Interval : {1u, 0u}) {
+        ServerConfig C = smallConfig(S);
+        C.Base.NativeTier = Native;
+        C.Base.SafepointInterval = Interval;
+        ServerResult R = runServer(C);
+        EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums)
+            << "strategy=" << static_cast<int>(S)
+            << " native=" << Native << " safepoint=" << Interval;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accounting: no request's latency is lost or double-counted
+//===----------------------------------------------------------------------===//
+
+TEST(ServerAccounting, EveryRequestLandsInExactlyOnePhaseHistogram) {
+  ServerConfig C = smallConfig(TierStrategy::Deoptless);
+  C.CollectTimes = true;
+  ServerResult R = runServer(C);
+
+  const unsigned PerPhase[NumServerPhases] = {
+      C.WarmupRequests, C.SteadyRequests, C.StormRequests,
+      C.RecoveryRequests};
+  for (unsigned P = 0; P < NumServerPhases; ++P) {
+    EXPECT_EQ(R.Phases[P].Latency.count(),
+              static_cast<uint64_t>(C.Clients) * PerPhase[P])
+        << serverPhaseName(P);
+    EXPECT_EQ(R.Phases[P].Times.size(),
+              static_cast<size_t>(C.Clients) * PerPhase[P])
+        << serverPhaseName(P);
+    EXPECT_GT(R.Phases[P].Latency.max(), 0u) << serverPhaseName(P);
+  }
+  EXPECT_EQ(R.TotalRequests,
+            static_cast<uint64_t>(C.Clients) * totalPerClient(C));
+}
+
+//===----------------------------------------------------------------------===//
+// The storm is live, and each strategy handles it its own way
+//===----------------------------------------------------------------------===//
+
+TEST(ServerStorm, NormalModeRetiresUnderInjection) {
+  ServerResult R = runServer(smallConfig(TierStrategy::Normal));
+  const VmStats &Storm = R.phase(ServerPhase::Storm).Stats;
+  const VmStats &Recovery = R.phase(ServerPhase::Recovery).Stats;
+  // Injections armed late in the storm may fire on a recovery-phase
+  // request; the sum over both phases is what must be live.
+  EXPECT_GT(Storm.InjectedFailures + Recovery.InjectedFailures, 0u)
+      << "the storm phase must actually inject invalidations";
+  EXPECT_GT(Storm.Deopts + Recovery.Deopts, 0u)
+      << "under Normal, injected failures retire optimized versions";
+}
+
+TEST(ServerStorm, DeoptlessAbsorbsTheStorm) {
+  ServerResult R = runServer(smallConfig(TierStrategy::Deoptless));
+  const VmStats &Storm = R.phase(ServerPhase::Storm).Stats;
+  const VmStats &Recovery = R.phase(ServerPhase::Recovery).Stats;
+  EXPECT_GT(Storm.InjectedFailures + Recovery.InjectedFailures, 0u);
+  // Attempts, not hits: continuations compile in the background here, so
+  // under a slow build (sanitizers) none may publish within this short a
+  // storm — every storm hit is *offered* to deoptless either way.
+  EXPECT_GT(Storm.DeoptlessAttempts + Recovery.DeoptlessAttempts, 0u)
+      << "under Deoptless, storm hits are dispatched to the deoptless "
+         "machinery";
+}
+
+TEST(ServerStorm, QuietPhasesStayQuiet) {
+  ServerResult R = runServer(smallConfig(TierStrategy::Normal));
+  EXPECT_EQ(R.phase(ServerPhase::Steady).Stats.InjectedFailures, 0u)
+      << "count-driven injection must be confined to the storm phase "
+         "(steady runs before any arming)";
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: wall-clock cross-thread injection changes timing, never results
+//===----------------------------------------------------------------------===//
+
+TEST(ServerChaos, WallClockInjectorPreservesResults) {
+  unsigned Scale = soakScale();
+  ServerConfig Quiet = smallConfig(TierStrategy::Deoptless);
+  Quiet.StormRequests *= Scale;
+  ServerResult Ref = runServer(Quiet);
+
+  ServerConfig Chaotic = Quiet;
+  Chaotic.ChaosIntervalUs = 100; // ~10kHz sweep over all 8 Vms
+  ServerResult R = runServer(Chaotic);
+  EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums)
+      << "rate-driven injection may move latency, never results";
+}
+
+TEST(ServerChaos, NormalModeSurvivesChaos) {
+  unsigned Scale = soakScale();
+  ServerConfig Quiet = smallConfig(TierStrategy::Normal);
+  Quiet.StormRequests *= Scale;
+  ServerResult Ref = runServer(Quiet);
+
+  ServerConfig Chaotic = Quiet;
+  Chaotic.ChaosIntervalUs = 100;
+  // The storm now both retires versions (Normal) and takes concurrent
+  // injection from outside the executors — the worst case for torn
+  // version reads. Results must be untouched.
+  ServerResult R = runServer(Chaotic);
+  EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums);
+}

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 using namespace rjit;
 
 namespace {
@@ -362,6 +367,51 @@ TEST(VmInvalidation, DeoptlessAbsorbsInjectedFailures) {
       << "injected failures should be handled by deoptless";
 }
 
+TEST(VmInvalidation, CrossThreadInjectionDuringHotDispatch) {
+  // Vm::injectInvalidation is the one Vm entry point callable from a
+  // non-executor thread (the server bench's chaos injector). The executor
+  // consumes pending injections at its own dispatch boundary and arms the
+  // thread-local countdown there, so the native tier's non-atomic
+  // countdown loads never race and version-table mutation stays on the
+  // executor — this runs under the TSan CI job to prove it.
+  for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless}) {
+    Vm V(cfg(S));
+    V.eval(SumProgram);
+    V.eval("ints <- c(1L, 2L, 3L, 4L)");
+    for (int K = 0; K < 10; ++K) // get the optimized version hot first
+      V.eval("sum_data(ints)");
+    resetStats();
+    std::atomic<bool> Stop{false};
+    std::thread Injector([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        V.injectInvalidation();
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    });
+    // Keep dispatching until a few injections have demonstrably fired
+    // (the injector thread may take milliseconds to get scheduled at
+    // all); the cap bounds the test if injection is broken outright.
+    int64_t Sum = 0;
+    int Evals = 0;
+    const int MinEvals = 400, MaxEvals = 400000;
+    while (Evals < MaxEvals &&
+           (Evals < MinEvals || stats().InjectedFailures < 3)) {
+      Sum += V.eval("sum_data(ints)").toInt();
+      ++Evals;
+    }
+    Stop.store(true, std::memory_order_relaxed);
+    Injector.join();
+    EXPECT_EQ(Sum, static_cast<int64_t>(Evals) * 10)
+        << "cross-thread injection must never change results (strategy "
+        << static_cast<int>(S) << ")";
+    EXPECT_GT(stats().InjectedFailures, 0u)
+        << "injections must actually reach a guard (strategy "
+        << static_cast<int>(S) << ")";
+    if (S == TierStrategy::Deoptless)
+      EXPECT_GT(stats().DeoptlessHits + stats().DeoptlessCompiles, 0u);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Profile-driven reoptimization comparator (Fig. 11)
 
@@ -517,8 +567,11 @@ TEST(VmGraveyard, ReoptStormKeepsMemoryBounded) {
     // A reopt cycle (rewarm to the threshold, optimized run, injected
     // failure, retire) empirically takes ~5-6 evals with this rate and
     // seed, so 800 evals drive well over the 100 cycles the bound is
-    // asserted across.
-    for (int Cycle = 0; Cycle < 800; ++Cycle)
+    // asserted across. The nightly soak tier (RJIT_SOAK=1, `soak` ctest
+    // label) multiplies the storm length under the sanitizers.
+    const char *Soak = std::getenv("RJIT_SOAK");
+    int Cycles = 800 * ((Soak && *Soak && *Soak != '0') ? 5 : 1);
+    for (int Cycle = 0; Cycle < Cycles; ++Cycle)
       V.eval("sum_data(1:40)");
     EXPECT_GE(stats().Deopts, 100u)
         << "the storm must actually drive reopt cycles (native=" << Native

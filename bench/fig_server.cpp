@@ -82,6 +82,13 @@ void addPhases(BenchReport &R, const char *Mode, const ServerResult &SR) {
         {"p999_ns", static_cast<double>(Ph.Latency.p999())});
     S.Extras.push_back({"max_ns", static_cast<double>(Ph.Latency.max())});
     S.Extras.push_back({"mean_ns", Ph.Latency.mean()});
+    // Heap pressure per phase: the q_churn mix entry strands reference
+    // cycles on every request, so a bounded high-water across
+    // storm->recovery shows the safepoint cycle collector keeping up.
+    S.Extras.push_back(
+        {"heap_peak_bytes", static_cast<double>(Ph.HeapPeakBytes)});
+    S.Extras.push_back(
+        {"heap_live_bytes", static_cast<double>(Ph.HeapLiveBytes)});
   }
 }
 

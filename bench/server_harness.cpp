@@ -7,6 +7,7 @@
 #include "server_harness.h"
 
 #include "compile/pool.h"
+#include "runtime/value.h"
 #include "support/fnv.h"
 #include "support/rng.h"
 #include "support/timer.h"
@@ -92,6 +93,15 @@ q_minmax <- function(data) {
   }
   mx - mn
 }
+q_churn <- function(n) {
+  mk <- function(i) {
+    h <- function(x) x + i
+    h(i)
+  }
+  s <- 0L
+  for (i in 1:n) s <- s + mk(i)
+  s
+}
 ints <- 1:256
 reals <- as.numeric(1:256) * 0.5
 )";
@@ -108,6 +118,10 @@ const char *const RequestMix[] = {
     "q_filter_sum(reals, 64)",
     "q_dot(reals, ints)",
     "q_minmax(ints)",
+    // Closure churn: every mk(i) call strands one Env<->closure reference
+    // cycle that only the safepoint cycle collector can reclaim — the
+    // memory-pressure half of the serving scenario.
+    "q_churn(32L)",
 };
 constexpr size_t RequestMixSize =
     sizeof(RequestMix) / sizeof(RequestMix[0]);
@@ -198,6 +212,10 @@ ServerResult rjit::suite::runServer(const ServerConfig &SC) {
   std::thread Chaos;
   std::atomic<bool> ChaosStop{false};
   for (unsigned P = 0; P < NumServerPhases; ++P) {
+    // Clients are parked at the phase-start barrier, so resetting the
+    // heap high-water gauge here is quiescent: the phase's PeakBytes
+    // measures only this phase's traffic.
+    resetHeapPeak();
     Sync.arriveAndWait(); // phase start: clients begin issuing
     const bool StormPhase = P == static_cast<unsigned>(ServerPhase::Storm);
     if (StormPhase && SC.ChaosIntervalUs) {
@@ -223,6 +241,8 @@ ServerResult rjit::suite::runServer(const ServerConfig &SC) {
     R.Phases[P].Stats = Now - Prev;
     Prev = Now;
     R.Phases[P].Metrics = obs::MetricsRegistry::snapshotAndReset();
+    R.Phases[P].HeapPeakBytes = heapStats().PeakBytes.load();
+    R.Phases[P].HeapLiveBytes = heapStats().LiveBytes.load();
   }
 
   for (std::thread &T : Threads)

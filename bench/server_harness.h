@@ -92,6 +92,14 @@ struct ServerPhaseReport {
   VmStats Stats;                 ///< counter deltas over the phase
   obs::VmMetrics Metrics;        ///< VM histograms drained at the boundary
   std::vector<double> Times;     ///< raw seconds (CollectTimes only)
+  /// Process heap high-water over the phase and the live bytes left when
+  /// it ended, read at the quiescent phase boundaries (the peak gauge is
+  /// reset at each phase start). The q_churn mix entry strands reference
+  /// cycles on every request, so a bounded high-water across
+  /// storm->recovery is direct evidence the safepoint cycle collector is
+  /// keeping up under concurrent traffic.
+  uint64_t HeapPeakBytes = 0;
+  uint64_t HeapLiveBytes = 0;
 };
 
 struct ServerResult {

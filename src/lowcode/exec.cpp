@@ -82,10 +82,12 @@ Value setTypedElem(Value Obj, Tag VecTag, int64_t Idx, ElemT Elem) {
   if (!Obj.unshared())
     Obj = Value::adopt(VecTag,
                        new ObjT(static_cast<ObjT *>(Obj.object())->D));
-  auto &D = static_cast<ObjT *>(Obj.object())->D;
-  if (static_cast<size_t>(Idx) > D.size())
-    D.resize(Idx, ElemT{});
-  D[Idx - 1] = Elem;
+  ObjT *O = static_cast<ObjT *>(Obj.object());
+  if (static_cast<size_t>(Idx) > O->D.size()) {
+    O->D.resize(Idx, ElemT{});
+    O->retrack();
+  }
+  O->D[Idx - 1] = Elem;
   return Obj;
 }
 

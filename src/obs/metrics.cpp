@@ -38,6 +38,7 @@ void rjit::obs::resetMetrics() {
   GlobalMetrics.QueueWait.reset();
   GlobalMetrics.DeoptPause.reset();
   GlobalMetrics.Iteration.reset();
+  GlobalMetrics.GcPause.reset();
 }
 
 namespace {
@@ -77,6 +78,8 @@ constexpr CounterDesc Counters[] = {
     {"warmup_pauses_avoided", &VmStats::WarmupPausesAvoided},
     {"native_compiles", &VmStats::NativeCompiles},
     {"native_enters", &VmStats::NativeEnters},
+    {"gc_collections", &VmStats::GcCollections},
+    {"gc_freed_bytes", &VmStats::GcFreedBytes},
 };
 
 struct GaugeDesc {
@@ -87,6 +90,7 @@ struct GaugeDesc {
 constexpr GaugeDesc Gauges[] = {
     {"compile_queue_depth", &VmStats::CompileQueueDepth},
     {"graveyard_size", &VmStats::GraveyardSize},
+    {"heap_live_bytes", &VmStats::HeapLiveBytes},
 };
 
 struct HistDesc {
@@ -99,6 +103,7 @@ constexpr HistDesc Hists[] = {
     {"queue_wait_ns", &VmMetrics::QueueWait},
     {"deopt_pause_ns", &VmMetrics::DeoptPause},
     {"iteration_ns", &VmMetrics::Iteration},
+    {"gc_pause_ns", &VmMetrics::GcPause},
 };
 
 } // namespace

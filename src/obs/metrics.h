@@ -126,6 +126,8 @@ struct VmMetrics {
                                    ///< (frame materialization; the part of
                                    ///< a deopt that is pure pause)
   LatencyHistogram Iteration;      ///< bench-harness per-iteration time
+  LatencyHistogram GcPause;        ///< stop-the-world heap cycle-collection
+                                   ///< pause (mark + sweep, per pass)
 };
 
 VmMetrics &metrics();

@@ -88,6 +88,7 @@ const EvDesc &descOf(TraceEv K) {
       {"native-enter", "native"},      // NativeEnter
       {"native-side-exit", "native"},  // NativeSideExit
       {"invalidate", "deopt"},         // Invalidate
+      {"gc-collect", "gc"},            // GcCollect
   };
   return Desc[static_cast<size_t>(K)];
 }

@@ -73,6 +73,9 @@ enum class TraceEv : uint8_t {
   NativeSideExit,  ///< a native guard took its side-exit stub; A = low pc,
                    ///< B = 1 when injected
   Invalidate,      ///< the random-invalidation countdown fired (§5.1)
+  GcCollect,       ///< heap cycle collection at the safepoint (or the
+                   ///< teardown fallback); Dur = stop-the-world pause,
+                   ///< A = bytes freed, B = objects collected
   kCount
 };
 

@@ -12,11 +12,28 @@ Env::Env(Env *Parent) : Parent(Parent) {
   if (Parent)
     Parent->retain();
   trackAlloc(64);
+  enrollGc();
 }
 
 Env::~Env() {
   if (Parent)
     Parent->release();
+}
+
+void Env::gcTrace(GcVisitor &V) const {
+  if (Parent)
+    V.visit(Parent);
+  for (const auto &B : Bindings)
+    if (GcObject *O = B.second.heapPayload())
+      V.visit(O);
+}
+
+void Env::gcClear() {
+  Bindings.clear();
+  if (Parent) {
+    Parent->release();
+    Parent = nullptr;
+  }
 }
 
 const Value &Env::get(Symbol S) const {

@@ -63,6 +63,11 @@ public:
 
   size_t size() const { return Bindings.size(); }
 
+  /// Environments are the hub of every reference cycle the language can
+  /// build: bindings retain closures, closures retain their defining env.
+  void gcTrace(GcVisitor &V) const override;
+  void gcClear() override;
+
 private:
   Env *Parent; ///< retained
   std::vector<std::pair<Symbol, Value>> Bindings;

@@ -6,6 +6,8 @@
 
 #include "runtime/value.h"
 #include "runtime/env.h"
+#include "runtime/gcheap.h"
+#include "support/stats.h"
 
 #include <cmath>
 #include <cstdio>
@@ -98,7 +100,11 @@ void rjit::resetHeapPeak() {
   TheHeapStats.Allocations = 0;
 }
 
-GcObject::~GcObject() { trackFree(); }
+GcObject::~GcObject() {
+  if (Heap)
+    Heap->remove(this);
+  trackFree();
+}
 
 void GcObject::trackAlloc(uint64_t Bytes) {
   TrackedBytes += Bytes;
@@ -106,12 +112,35 @@ void GcObject::trackAlloc(uint64_t Bytes) {
   TheHeapStats.TotalAllocated += Bytes;
   ++TheHeapStats.Allocations;
   TheHeapStats.PeakBytes.recordMax(TheHeapStats.LiveBytes);
+  // Allocation-pressure trigger for the owning Vm's cycle collector (no-op
+  // on threads without an active heap, i.e. compiler threads).
+  if (GcHeap *H = activeGcHeap())
+    H->noteAllocated(Bytes);
+  stats().HeapLiveBytes.setLevel(TheHeapStats.LiveBytes.load());
+}
+
+void GcObject::retrackAlloc(uint64_t Bytes) {
+  if (Bytes == TrackedBytes)
+    return;
+  if (Bytes > TrackedBytes) {
+    uint64_t Delta = Bytes - TrackedBytes;
+    TheHeapStats.LiveBytes += Delta;
+    TheHeapStats.TotalAllocated += Delta;
+    TheHeapStats.PeakBytes.recordMax(TheHeapStats.LiveBytes);
+    if (GcHeap *H = activeGcHeap())
+      H->noteAllocated(Delta);
+  } else {
+    TheHeapStats.LiveBytes -= TrackedBytes - Bytes;
+  }
+  TrackedBytes = Bytes;
+  stats().HeapLiveBytes.setLevel(TheHeapStats.LiveBytes.load());
 }
 
 void GcObject::trackFree() {
   assert(TheHeapStats.LiveBytes >= TrackedBytes && "heap accounting skew");
   TheHeapStats.LiveBytes -= TrackedBytes;
   TrackedBytes = 0;
+  stats().HeapLiveBytes.setLevel(TheHeapStats.LiveBytes.load());
 }
 
 //===----------------------------------------------------------------------===//
@@ -123,11 +152,24 @@ ClosObj::ClosObj(Function *Fn, Env *Enclosing) : Fn(Fn), Enclosing(Enclosing) {
   if (Enclosing)
     Enclosing->retain();
   trackAlloc(32);
+  enrollGc();
 }
 
 ClosObj::~ClosObj() {
   if (Enclosing)
     Enclosing->release();
+}
+
+void ClosObj::gcTrace(GcVisitor &V) const {
+  if (Enclosing)
+    V.visit(Enclosing);
+}
+
+void ClosObj::gcClear() {
+  if (Enclosing) {
+    Enclosing->release();
+    Enclosing = nullptr;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -966,8 +1008,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<LglVecObj>(X, Tag::LglVec);
     auto &D = X.lglVecObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx, 0);
+      X.lglVecObj()->retrack();
+    }
     D[Idx - 1] = V.asCondition() ? 1 : 0;
     return X;
   }
@@ -975,8 +1019,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<IntVecObj>(X, Tag::IntVec);
     auto &D = X.intVecObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx, 0);
+      X.intVecObj()->retrack();
+    }
     D[Idx - 1] = V.toInt();
     return X;
   }
@@ -984,8 +1030,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<RealVecObj>(X, Tag::RealVec);
     auto &D = X.realVecObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx, 0);
+      X.realVecObj()->retrack();
+    }
     D[Idx - 1] = V.toReal();
     return X;
   }
@@ -993,8 +1041,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<CplxVecObj>(X, Tag::CplxVec);
     auto &D = X.cplxVecObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx, Complex{0, 0});
+      X.cplxVecObj()->retrack();
+    }
     D[Idx - 1] = V.toCplx();
     return X;
   }
@@ -1002,8 +1052,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<StrVecObj>(X, Tag::StrVec);
     auto &D = X.strVecObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx);
+      X.strVecObj()->retrack();
+    }
     if (V.tag() != Tag::Str)
       rerror("assigning non-string into character vector");
     D[Idx - 1] = V.strObj()->D;
@@ -1013,8 +1065,10 @@ Value rjit::assign2(Value X, int64_t Idx, const Value &V) {
     if (!X.unshared())
       X = cowClone<ListObj>(X, Tag::List);
     auto &D = X.listObj()->D;
-    if (Idx > N)
+    if (Idx > N) {
       D.resize(Idx);
+      X.listObj()->retrack();
+    }
     D[Idx - 1] = V;
     return X;
   }

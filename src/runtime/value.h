@@ -136,6 +136,19 @@ HeapStats &heapStats();
 /// Resets the peak/total counters (live bytes are left untouched).
 void resetHeapPeak();
 
+class GcHeap;
+class GcObject;
+
+/// Callback interface for GcObject::gcTrace: the cycle collector's view of
+/// an object's outgoing counted references.
+class GcVisitor {
+public:
+  virtual void visit(GcObject *O) = 0;
+
+protected:
+  ~GcVisitor() = default;
+};
+
 /// Base class for refcounted heap objects.
 class GcObject {
 public:
@@ -152,12 +165,38 @@ public:
   }
   uint32_t refCount() const { return RefCount; }
 
+  /// Visits every counted reference this object holds to another GcObject.
+  /// The cycle collector subtracts these from RefCount to find external
+  /// roots, so overrides must report exactly the references the object
+  /// retains — no more, no fewer. Default: no outgoing references.
+  virtual void gcTrace(GcVisitor &V) const { (void)V; }
+
+  /// Drops every counted reference this object holds, nulling the fields so
+  /// the destructor does not release them again. The collector calls this on
+  /// each member of an unreachable cycle before freeing the batch.
+  virtual void gcClear() {}
+
+  /// The registry this object belongs to (nullptr for objects allocated off
+  /// any Vm thread or orphaned at Vm teardown).
+  GcHeap *gcHeap() const { return Heap; }
+
 protected:
   /// Derived constructors report their payload size for heap accounting.
   void trackAlloc(uint64_t Bytes);
+  /// Re-reports the payload size after in-place growth (subscript
+  /// assignment past the end resizes the backing vector); keeps LiveBytes
+  /// honest between construction and destruction.
+  void retrackAlloc(uint64_t Bytes);
   void trackFree();
+  /// Registers this object with the calling thread's active GcHeap (no-op
+  /// when there is none). Only cycle-capable types — Env, ClosObj, ListObj —
+  /// enroll; everything else stays pure-refcount.
+  void enrollGc();
 
 private:
+  friend class GcHeap;
+  GcHeap *Heap = nullptr;
+  uint32_t HeapSlot = 0;
   mutable uint32_t RefCount = 0;
   uint64_t TrackedBytes = 0;
 };
@@ -170,6 +209,10 @@ public:
     trackAlloc(sizeof(T) * D.size() + 32);
   }
   ~VecObj() override = default;
+
+  /// Call after growing \c D in place so heap accounting follows the
+  /// current size (construction only tracked the initial one).
+  void retrack() { retrackAlloc(sizeof(T) * D.size() + 32); }
 
   std::vector<T> D;
 };
@@ -197,6 +240,11 @@ class ClosObj : public GcObject {
 public:
   ClosObj(Function *Fn, Env *Enclosing);
   ~ClosObj() override;
+
+  /// Closures capture their defining environment, the canonical cycle edge
+  /// (the environment's binding for the closure closes the loop).
+  void gcTrace(GcVisitor &V) const override;
+  void gcClear() override;
 
   Function *Fn;
   Env *Enclosing; ///< retained
@@ -404,6 +452,13 @@ public:
            P->refCount() == 1;
   }
 
+  /// The heap payload when the tag carries one, nullptr otherwise — the
+  /// cycle collector's uniform view of a Value's outgoing reference.
+  GcObject *heapPayload() const {
+    return (!isScalarTag(T) && T != Tag::Null && T != Tag::Builtin) ? P
+                                                                    : nullptr;
+  }
+
 private:
   /// The native backend's template JIT emits direct loads of the tag and
   /// payload; the friend computes the layout offsets (native/jit.cpp).
@@ -432,12 +487,27 @@ private:
   };
 };
 
-/// Generic vector ("list") object; defined after Value.
+/// Generic vector ("list") object; defined after Value. Lists hold arbitrary
+/// Values (closures, environments, other lists), so they can sit on a cycle
+/// and enroll with the cycle collector.
 class ListObj : public GcObject {
 public:
   explicit ListObj(std::vector<Value> V) : D(std::move(V)) {
     trackAlloc(sizeof(Value) * D.size() + 32);
+    enrollGc();
   }
+
+  void gcTrace(GcVisitor &V) const override {
+    for (const Value &E : D)
+      if (GcObject *O = E.heapPayload())
+        V.visit(O);
+  }
+  void gcClear() override { D.clear(); }
+
+  /// Call after growing \c D in place so heap accounting follows the
+  /// current size.
+  void retrack() { retrackAlloc(sizeof(Value) * D.size() + 32); }
+
   std::vector<Value> D;
 };
 

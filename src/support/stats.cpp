@@ -45,6 +45,9 @@ VmStats VmStats::operator-(const VmStats &O) const {
   // Like CompileQueueDepth: a gauge — the difference carries the later
   // snapshot's population and high-water, not a meaningless subtraction.
   R.GraveyardSize = GraveyardSize;
+  R.GcCollections = GcCollections - O.GcCollections;
+  R.GcFreedBytes = GcFreedBytes - O.GcFreedBytes;
+  R.HeapLiveBytes = HeapLiveBytes;
   return R;
 }
 

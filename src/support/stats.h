@@ -78,6 +78,16 @@ struct VmStats {
                                       ///< resetStats() self-heals;
                                       ///< highWater() is the peak
                                       ///< population since the reset
+  RelaxedCounter GcCollections;       ///< heap cycle-collector passes run
+                                      ///< (safepoint-triggered + teardown)
+  RelaxedCounter GcFreedBytes;        ///< bytes reclaimed by cycle
+                                      ///< collection (refcount-unreachable
+                                      ///< Env/closure/list cycles)
+  RelaxedGauge HeapLiveBytes;         ///< live value-heap bytes; re-synced
+                                      ///< (setLevel) on every tracked
+                                      ///< alloc/free, so it self-heals
+                                      ///< after resetStats; highWater() is
+                                      ///< the heap peak since the reset
 
   /// Difference of two snapshots, counter by counter.
   VmStats operator-(const VmStats &O) const;

@@ -21,6 +21,7 @@
 #include "support/stats.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 using namespace rjit;
@@ -318,6 +319,12 @@ Vm::Vm(Config C) : Cfg(C) {
   // activation pins it (CodeActivation), and the graveyard safepoint
   // consults it to decide which retired code is drained.
   activeRetireEpochs() = &Epochs;
+  // And its cycle-collector registry: from here on, every Env/ClosObj/
+  // ListObj built on this thread enrolls (the global env included).
+  // Compiler threads never install one — their allocations stay
+  // unregistered, so references from code constants they hold pin the
+  // referents as roots automatically.
+  activeGcHeap() = &Heap;
   if (Cfg.Trace.Enabled)
     obs::traceBegin(Cfg.Trace.BufferCapacity);
 
@@ -397,11 +404,38 @@ Vm::~Vm() {
   reclaimGraveyard(/*IgnoreEpochs=*/true);
   Modules.clear();
   Global->release();
+  // The heap half of the teardown safepoint: with our Global handle gone,
+  // every Env↔closure cycle the program built is unreachable — collect
+  // them regardless of the HeapGc knob, so no configuration leaks (the
+  // strict leak-checked ASan job runs every fuzzer config). Survivors are
+  // values that legitimately escaped (eval results the embedder still
+  // holds); orphan them so plain refcounting carries them safely past the
+  // registry's lifetime.
+  collectHeap();
+  Heap.orphanAll();
+  if (activeGcHeap() == &Heap)
+    activeGcHeap() = nullptr;
   if (activeRetireEpochs() == &Epochs)
     activeRetireEpochs() = nullptr;
   CurrentVm = nullptr;
   if (Cfg.Trace.Enabled)
     obs::traceEnd();
+}
+
+uint64_t Vm::collectHeap() {
+  auto Start = std::chrono::steady_clock::now();
+  GcHeap::CollectStats R = Heap.collect();
+  uint64_t PauseNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  ++stats().GcCollections;
+  stats().GcFreedBytes += R.FreedBytes;
+  obs::metrics().GcPause.record(PauseNs);
+  if (obs::traceOn())
+    obs::traceEvent(obs::TraceEv::GcCollect, PauseNs, R.FreedBytes,
+                    R.Collected);
+  return R.Collected;
 }
 
 void Vm::toGraveyard(std::unique_ptr<ExecutableCode> Code) {

@@ -41,6 +41,7 @@
 #include "obs/trace.h"
 #include "osr/deoptless.h"
 #include "runtime/env.h"
+#include "runtime/gcheap.h"
 
 #include <array>
 #include <memory>
@@ -164,6 +165,23 @@ public:
     /// never changes dispatch.
     uint32_t SafepointInterval = 1;
 
+    /// Heap cycle collector (orthogonal to Strategy): runtime values are
+    /// refcounted, and refcounting cannot reclaim cycles — any closure
+    /// defined inside a function is bound in the very Env it captures, so
+    /// long-running traffic leaks an Env↔ClosObj pair per defining call.
+    /// The dispatch-boundary safepoint runs a stop-the-world trial-deletion
+    /// mark-sweep over the per-Vm registry of cycle-capable objects (Env,
+    /// ClosObj, ListObj — see runtime/gcheap.h) once ThresholdBytes of
+    /// value-heap allocation have accumulated since the last collection.
+    /// Collection is observably inert: it frees only unreachable objects,
+    /// so transcripts are byte-identical with it on or off (the fuzzer
+    /// gates this). Enabled = false disables mid-run collection; teardown
+    /// always runs a final pass either way, so no cycle outlives the Vm.
+    struct HeapGcOptions {
+      bool Enabled = true;
+      uint64_t ThresholdBytes = 256 * 1024;
+    } HeapGc;
+
     /// Background compilation (orthogonal to everything above): compile
     /// requests go to a compiler pool; each job compiles from a feedback
     /// snapshot taken at enqueue time and publishes atomically, while the
@@ -270,6 +288,12 @@ public:
   /// affected, only tail latency.
   void injectInvalidation(uint64_t Count = 1) { PendingInjected += Count; }
 
+  /// Runs a stop-the-world heap cycle collection now, regardless of the
+  /// HeapGc knob or pressure threshold (the safepoint calls this when the
+  /// allocation trigger fires; tests call it for deterministic reclaim).
+  /// Returns the number of unreachable cycle members freed.
+  uint64_t collectHeap();
+
   /// The active Vm of the calling thread (hooks are thread-local).
   static Vm *current();
 
@@ -314,6 +338,13 @@ private:
   /// This executor's retire-epoch clock/activation tracker; installed
   /// thread-locally (activeRetireEpochs) for the Vm's lifetime.
   RetireEpochs Epochs;
+  /// The cycle-capable value registry (Env/ClosObj/ListObj allocated on
+  /// this executor thread); installed thread-locally (activeGcHeap) for
+  /// the Vm's lifetime, swept by the dispatch-boundary safepoint. Only
+  /// ever touched from the owning executor thread — compiler threads
+  /// never install a heap, which is exactly the pinning rule for
+  /// compiler-held code constants.
+  GcHeap Heap;
   uint32_t SafepointTick = 0; ///< dispatches since the last poll
   /// Cross-thread injected-invalidation requests (injectInvalidation):
   /// any thread adds, only the owning executor consumes — one per
@@ -332,13 +363,18 @@ private:
   /// IgnoreEpochs, from teardown where no activation exists at all.
   void reclaimGraveyard(bool IgnoreEpochs);
 
-  /// Dispatch-boundary poll: cheap check, then reclaimGraveyard.
+  /// Dispatch-boundary poll: two cheap checks, then the expensive work.
+  /// Both reclamation halves anchor here — frames are in a known boxed
+  /// state at the dispatch boundary, so retired code (graveyard) and
+  /// unreachable value cycles (heap) can both be freed safely.
   void safepoint() {
-    if (Graveyard.empty() || !Cfg.SafepointInterval ||
-        ++SafepointTick < Cfg.SafepointInterval)
-      return;
-    SafepointTick = 0;
-    reclaimGraveyard(false);
+    if (!Graveyard.empty() && Cfg.SafepointInterval &&
+        ++SafepointTick >= Cfg.SafepointInterval) {
+      SafepointTick = 0;
+      reclaimGraveyard(false);
+    }
+    if (Cfg.HeapGc.Enabled && Heap.shouldCollect(Cfg.HeapGc.ThresholdBytes))
+      collectHeap();
   }
 };
 

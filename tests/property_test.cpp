@@ -389,6 +389,19 @@ private:
     S += "kZ <- function(a, b, k) {\n  s <- 0L\n"
          "  while (k > 0L) { s <- s + (a %% b)\n    k <- k - 1L }\n"
          "  s\n}\n";
+    // kG: a closure factory driven in a loop — every mk(i) call binds a
+    // fresh closure in its own call environment and the closure captures
+    // that environment, so each iteration strands one Env<->closure
+    // reference cycle that refcounting alone can never free. This is the
+    // heap cycle collector's corpus shape: with GC on, collection at the
+    // dispatch-boundary safepoint must keep live bytes bounded without
+    // perturbing a single transcript byte.
+    S += std::string("kG <- function(a, n) {\n"
+                     "  mk <- function(i) {\n"
+                     "    h <- function(x) x ") +
+         addSub() + " (a " + arith() + " i)\n    h(i)\n  }\n" +
+         "  s <- 0L\n  for (i in 1:n) s <- s " + addSub() +
+         " mk(i)\n  s\n}\n";
     // Data: int/real vectors and lists for the two phases.
     int M = 4 + static_cast<int>(R.below(5));
     S += "m <- " + std::to_string(M) + "L\n";
@@ -411,7 +424,7 @@ private:
     int N = 10 + static_cast<int>(R.below(5));
     for (int K = 0; K < N; ++K) {
       int Phase = K >= N / 2; // type switch halfway through
-      switch (R.below(12)) {
+      switch (R.below(13)) {
       case 0:
         Lines.push_back("kA(" + scalar(Phase) + ", " + scalar(Phase) + ")");
         break;
@@ -457,6 +470,11 @@ private:
         else
           Lines.push_back("kZ(" + intLit() + ", 0L, 0L)");
         break;
+      case 11:
+        // One stranded Env<->closure cycle per inner mk() call: heap
+        // pressure for the HeapGc axis.
+        Lines.push_back("kG(" + scalar(Phase) + ", m)");
+        break;
       default:
         Lines.push_back("kA(kB(" + scalar(Phase) + ", " + scalar(Phase) +
                         "), " + scalar(Phase) + ")");
@@ -491,6 +509,8 @@ struct FuzzCoverage {
   RelaxedCounter EliminatedGuards;
   RelaxedCounter NativeEnters;
   RelaxedCounter NativeCompiles;
+  RelaxedCounter GcCollections;
+  RelaxedCounter GcFreedBytes;
   RelaxedCounter Programs;
 };
 
@@ -515,6 +535,8 @@ void absorbStats() {
   C.EliminatedGuards += S.EliminatedGuards;
   C.NativeEnters += S.NativeEnters;
   C.NativeCompiles += S.NativeCompiles;
+  C.GcCollections += S.GcCollections;
+  C.GcFreedBytes += S.GcFreedBytes;
 }
 
 std::string driversOf(const GenProg &P) {
@@ -574,7 +596,13 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
     // reclamation (every dispatch) and with reclamation off entirely
     // (interval 0, the pre-safepoint baseline): transcripts must be
     // byte-identical — reclaiming retired code frees memory but may
-    // never change dispatch or results.
+    // never change dispatch or results. The HeapGc axis rides the
+    // safepoint one (rather than doubling the sanitizer-heavy sweep):
+    // safepoint=1 pairs the most aggressive graveyard reclamation with
+    // a hair-trigger cycle collector (4 KiB threshold, firing constantly
+    // over the kG corpus), safepoint=0 with no mid-run collection at
+    // all — and the main sweep above runs the default-threshold
+    // collector — so all three GC cadences must agree byte for byte.
     for (TierStrategy S : {TierStrategy::Normal, TierStrategy::Deoptless})
       for (bool Native : nativeAxis())
         for (uint32_t Safepoint : {1u, 0u}) {
@@ -583,10 +611,13 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
           C.InvalidationSeed = Seed | 1;
           C.NativeTier = Native;
           C.SafepointInterval = Safepoint;
+          C.HeapGc.Enabled = Safepoint == 1;
+          C.HeapGc.ThresholdBytes = 4 * 1024;
           ASSERT_EQ(Base, runProgram(P, C))
               << "seed " << Seed << " injected strategy "
               << static_cast<int>(S) << " native=" << Native
-              << " safepoint=" << Safepoint << "\nprogram:\n"
+              << " safepoint=" << Safepoint
+              << " gc=" << C.HeapGc.Enabled << "\nprogram:\n"
               << P.Setup << "drivers:\n" << driversOf(P);
         }
   }
@@ -694,6 +725,16 @@ TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
         // to tracing the whole corpus.
         C.Trace.Enabled = obs::traceEnabledDefault() || (K % 2) == 0;
         C.Trace.BufferCapacity = 1024;
+        // HeapGc axis at a quarter rate (over K mod 8 every combination
+        // with loop/native races the pool): a hair-trigger cycle
+        // collector runs at this executor's safepoints while compiler
+        // threads hold code constants — those must be pinned, never
+        // swept. With it off, teardown's final pass must still leave the
+        // leak-checked concurrent sweep clean.
+        C.HeapGc.Enabled =
+            (((K >> 2) + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) ==
+            0;
+        C.HeapGc.ThresholdBytes = 4 * 1024;
         std::string Got = runProgramBackground(P, C);
         if (Got != Base) {
           std::lock_guard<std::mutex> L(FailuresMu);
@@ -768,6 +809,12 @@ public:
           << "the NativeTier axis never entered native code — the "
              "sweep's transcripts did not actually cover the JIT";
     }
+    EXPECT_GT(C.GcCollections, 0u)
+        << "the HeapGc axis never collected — the kG corpus shape must "
+           "trip the safepoint's allocation threshold";
+    EXPECT_GT(C.GcFreedBytes, 0u)
+        << "collections fired but never reclaimed a cycle — the kG "
+           "corpus shape must strand Env<->closure garbage";
   }
 };
 
@@ -778,4 +825,41 @@ const ::testing::Environment *const FuzzCoverageEnv =
 
 TEST(DiffFuzzVolume, AtLeast500Programs) {
   EXPECT_GE(TotalFuzzPrograms, 500u) << "fuzz volume regressed";
+}
+
+TEST(DiffFuzzHeap, CycleCorpusLiveBytesPlateau) {
+  // The cycle-heavy corpus with GC on: re-running a program's drivers
+  // strands more Env<->closure garbage every pass, and the hair-trigger
+  // collector must hold live bytes at a plateau — growth bounded by
+  // slack, not by the churn volume. Teardown then returns the process
+  // gauge exactly to its pre-Vm level (the leak-checked CI bar).
+  uint64_t Outside = heapStats().LiveBytes.load();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    ProgramGen G(Seed * 977 + 5);
+    GenProg P = G.generate();
+    Vm::Config C = cfg(TierStrategy::Deoptless, /*CtxDispatch=*/true,
+                       /*Inlining=*/true);
+    C.HeapGc.ThresholdBytes = 4 * 1024;
+    {
+      Vm V(C);
+      V.eval(P.Setup);
+      auto RunAll = [&] {
+        for (const std::string &D : P.Drivers)
+          V.eval(D);
+        // Guaranteed cycle churn even when this seed's driver mix never
+        // rolled the kG case.
+        V.eval("kG(2L, m)");
+      };
+      RunAll();
+      V.collectHeap();
+      uint64_t Plateau = heapStats().LiveBytes.load();
+      for (int K = 0; K < 5; ++K)
+        RunAll();
+      V.collectHeap();
+      EXPECT_LE(heapStats().LiveBytes.load(), Plateau + 4 * 1024)
+          << "live bytes grew with churn (seed " << Seed << ")";
+    }
+    EXPECT_EQ(heapStats().LiveBytes.load(), Outside)
+        << "Vm teardown leaked (seed " << Seed << ")";
+  }
 }

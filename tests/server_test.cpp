@@ -78,6 +78,11 @@ TEST(ServerDeterminism, ChecksumsInvariantAcrossConfigurations) {
   // {strategy} x {backend} x {safepoint interval}: none of these axes may
   // change a single request's result. NativeTier silently keeps the
   // interpreter on non-x86-64 hosts, which only strengthens the check.
+  // The HeapGc axis rides the safepoint one (hair-trigger collection with
+  // reclamation at every dispatch, no mid-run collection at all with
+  // reclamation off) rather than doubling the run count; the reference
+  // run uses the default-threshold collector, so all three GC cadences
+  // must agree.
   for (TierStrategy S :
        {TierStrategy::Normal, TierStrategy::Deoptless}) {
     for (bool Native : {false, true}) {
@@ -85,10 +90,13 @@ TEST(ServerDeterminism, ChecksumsInvariantAcrossConfigurations) {
         ServerConfig C = smallConfig(S);
         C.Base.NativeTier = Native;
         C.Base.SafepointInterval = Interval;
+        C.Base.HeapGc.Enabled = Interval == 1;
+        C.Base.HeapGc.ThresholdBytes = 16 * 1024;
         ServerResult R = runServer(C);
         EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums)
             << "strategy=" << static_cast<int>(S)
-            << " native=" << Native << " safepoint=" << Interval;
+            << " native=" << Native << " safepoint=" << Interval
+            << " gc=" << C.Base.HeapGc.Enabled;
       }
     }
   }
@@ -185,4 +193,44 @@ TEST(ServerChaos, NormalModeSurvivesChaos) {
   // version reads. Results must be untouched.
   ServerResult R = runServer(Chaotic);
   EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums);
+}
+
+TEST(ServerChaos, HeapHighWaterBoundedUnderChurnStorm) {
+  // The memory half of the soak: the q_churn mix entry strands one
+  // Env<->closure cycle per mk() call on every client, so without the
+  // safepoint cycle collector the heap high-water would grow linearly in
+  // the (soak-scaled) request count. With a hair-trigger threshold the
+  // storm and recovery peaks must stay within a small multiple of the
+  // steady-phase peak — bounded live bytes across warmup -> storm ->
+  // recovery — while chaos injection runs and checksums stay untouched.
+  unsigned Scale = soakScale();
+  ServerConfig Quiet = smallConfig(TierStrategy::Deoptless);
+  Quiet.StormRequests *= Scale;
+  Quiet.RecoveryRequests *= Scale;
+  ServerResult Ref = runServer(Quiet);
+
+  ServerConfig Chaotic = Quiet;
+  Chaotic.ChaosIntervalUs = 100;
+  Chaotic.Base.HeapGc.ThresholdBytes = 32 * 1024;
+  ServerResult R = runServer(Chaotic);
+  EXPECT_EQ(R.ClientChecksums, Ref.ClientChecksums)
+      << "collection cadence may move memory, never results";
+
+  uint64_t Collections = 0;
+  for (unsigned P = 0; P < NumServerPhases; ++P)
+    Collections += R.Phases[P].Stats.GcCollections.load();
+  EXPECT_GT(Collections, 0u)
+      << "the churn mix must trip the allocation threshold mid-run";
+
+  uint64_t SteadyPeak = R.phase(ServerPhase::Steady).HeapPeakBytes;
+  uint64_t StormPeak = R.phase(ServerPhase::Storm).HeapPeakBytes;
+  uint64_t RecoveryPeak = R.phase(ServerPhase::Recovery).HeapPeakBytes;
+  ASSERT_GT(SteadyPeak, 0u);
+  // Generous slack (collection is per-Vm threshold-driven, and module
+  // state still grows a little per request), but far below the linear
+  // growth an uncollected cycle leak would show at soak scale.
+  EXPECT_LE(StormPeak, 2 * SteadyPeak + (1u << 20))
+      << "storm-phase heap high-water not bounded";
+  EXPECT_LE(RecoveryPeak, 2 * SteadyPeak + (1u << 20))
+      << "recovery-phase heap high-water not bounded";
 }

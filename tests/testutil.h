@@ -8,6 +8,7 @@
 #include "lang/parser.h"
 #include "runtime/builtins.h"
 #include "runtime/env.h"
+#include "runtime/gcheap.h"
 
 #include <gtest/gtest.h>
 
@@ -18,15 +19,25 @@ namespace rjit {
 
 /// A baseline-only evaluation fixture: parses, compiles to bytecode and
 /// interprets in a fresh global environment with builtins installed.
+/// Carries its own cycle-collector registry, exactly like a Vm: programs
+/// that define functions strand Global<->closure reference cycles that
+/// refcounting alone cannot free, and the leak-checked CI jobs run with
+/// no suppressions.
 class BaselineSession {
 public:
-  BaselineSession() : Global(new Env(nullptr)) {
+  BaselineSession() : Saved(activeGcHeap()) {
+    activeGcHeap() = &Heap;
+    Global = new Env(nullptr);
     Global->retain();
     installBuiltins(*Global);
   }
   ~BaselineSession() {
     Mods.clear();
     Global->release();
+    Heap.collect(); // Global<->closure cycles from evaluated definitions
+    Heap.orphanAll();
+    if (activeGcHeap() == &Heap)
+      activeGcHeap() = Saved;
   }
 
   /// Evaluates \p Source; gtest-fails and returns NULL on front-end errors.
@@ -47,6 +58,8 @@ public:
   Module *lastModule() { return Mods.back().get(); }
 
 private:
+  GcHeap Heap;
+  GcHeap *Saved;
   Env *Global;
   std::vector<std::unique_ptr<Module>> Mods;
 };

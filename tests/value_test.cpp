@@ -63,6 +63,31 @@ TEST(Value, HeapAccounting) {
   EXPECT_EQ(heapStats().LiveBytes, Before);
 }
 
+TEST(Value, HeapAccountingTracksGrowth) {
+  // Out-of-bounds subscript assignment grows the backing vector in place;
+  // accounting must follow the growth, not just the construction size
+  // (LiveBytes/PeakBytes are the Fig. 6 memory stand-in).
+  uint64_t Before = heapStats().LiveBytes;
+  {
+    Value A = Value::intVec({1});
+    A = assign2(std::move(A), 50000, Value::integer(7));
+    EXPECT_GE(heapStats().LiveBytes, Before + 50000 * sizeof(int32_t));
+    EXPECT_EQ(A.length(), 50000);
+  }
+  EXPECT_EQ(heapStats().LiveBytes, Before);
+}
+
+TEST(Value, HeapAccountingTracksListGrowth) {
+  uint64_t Before = heapStats().LiveBytes;
+  {
+    Value L = Value::list({Value::integer(1)});
+    L = assign2(std::move(L), 1000, Value::real(2.5));
+    EXPECT_GE(heapStats().LiveBytes, Before + 1000 * sizeof(Value));
+    EXPECT_EQ(L.length(), 1000);
+  }
+  EXPECT_EQ(heapStats().LiveBytes, Before);
+}
+
 //===----------------------------------------------------------------------===//
 // Arithmetic semantics
 

@@ -2,22 +2,40 @@
 //
 // Part of the deoptless reproduction. MIT license.
 //
-// Measures the x86-64 template-JIT backend on the hoisted-clean loop
-// kernel of fig_licm: contextual inlining devirtualized the accessor,
-// LICM hoisted the invariant arithmetic and the loop layer hoisted the
-// identity guard to the preheader — what remains in the inner loop is
-// exactly the slot machine's dispatch overhead, which is what the native
-// tier removes (per-LowOp templates, no dispatch, no operand decode).
-// Both modes run the same optimizer pipeline and the same LowCode; the
-// only difference is the execution backend the code is prepared for.
+// Three kernels, three claims:
 //
-// The exit code asserts the acceptance bound: >= --bound (default 2.0x)
-// steady-state speedup of the native backend over the threaded
-// interpreter, with NativeEnters > 0 (the JIT demonstrably ran). On hosts
+//  * colsum, three modes: the hoisted-clean loop kernel of fig_licm,
+//    widened to two independent accumulator chains — contextual inlining
+//    devirtualized the accessor, LICM hoisted the invariant arithmetic,
+//    the loop layer hoisted the identity guard — so what remains in the
+//    inner loop is pure execution overhead, and the second chain keeps
+//    the comparison throughput-bound (the template tier's per-op slot
+//    round-trips saturate the load ports) rather than add-latency-bound.
+//    interp vs v2 measures the whole native tier (headline:
+//    speedup_native); template-only vs v2 isolates exactly the v2
+//    features — register homes instead of per-op slot-array round-trips,
+//    extract+arith fusion, direct linking — on identical LowCode
+//    (headline: speedup_native_v2, gated at >= --v2bound, default 2.0x).
+//
+//  * axpy (template-only vs v2, untimed headline-wise): a register-
+//    pressure arithmetic chain filling the XMM home pool; reported as
+//    series data and the NativeRegSpills sanity signal.
+//
+//  * callsum (v2, inlining off): a non-inlined monomorphic call in a hot
+//    loop. Not a timed headline (dispatch savings are real but modest and
+//    host-noisy); the exit code instead asserts the linking machinery
+//    demonstrably engaged: NativeLinkedTransfers > 0 with the interpreter
+//    result reproduced exactly.
+//
+// The exit code asserts all acceptance bounds: >= --bound (default 2.0x)
+// native-over-interp on colsum, >= --v2bound (default 2.0x) v2-over-
+// template on colsum, NativeEnters/NativeCompiles > 0, NativeFusedOps > 0,
+// NativeLinkedTransfers > 0, and result parity on every kernel. On hosts
 // without the native backend the bench prints a skip marker and exits 0 —
 // the binary must build and run everywhere.
 //
 // Usage: fig_native [--rows N] [--cols C] [--iters K] [--bound B(x100)]
+//                   [--v2bound B(x100)]
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +44,7 @@
 #include "support/stats.h"
 #include "support/timer.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace rjit;
@@ -33,29 +52,61 @@ using namespace rjit::suite;
 
 namespace {
 
-const char *Setup = R"(
+const char *ColsumSetup = R"(
 get <- function(v, k) v[[k]]
-colsum <- function(m, nr, nc, f) {
+colsum <- function(m, w, nr, nc, f) {
   s <- 0
-  for (j in 1:nc)
-    for (i in 1:nr)
-      s <- s + f(m, (j - 1L) * nr + i)
+  q <- 0
+  for (j in 1:nc) {
+    for (i in 1:nr) {
+      x <- f(m, (j - 1L) * nr + i)
+      y <- w[[i]]
+      s <- s + x * y
+      q <- q + x - y
+    }
+  }
+  s + q
+}
+)";
+
+const char *AxpySetup = R"(
+axpy <- function(v, n, a) {
+  s <- 0
+  t <- 1
+  u <- 0
+  w <- 1
+  for (i in 1:n) {
+    x <- v[[i]] * a
+    y <- x + 0.5
+    z <- y * 0.25 + x
+    s <- s + y
+    t <- t + z * 0.5
+    u <- u + (x - z) * 0.125
+    w <- w + (y + z) * 0.0625
+  }
+  (s + t) + (u + w)
+}
+)";
+
+const char *CallsSetup = R"(
+inc <- function(x) x + 1L
+callsum <- function(n) {
+  s <- 0L
+  for (i in 1:n) s <- s + inc(i)
   s
 }
 )";
 
-std::vector<double> runMode(bool Native, long Rows, long Cols, int Iters,
-                            VmStats &Out, std::string &Result) {
-  Vm::Config Cfg = benchConfig(TierStrategy::Normal);
-  Cfg.Inlining = true;
-  Cfg.LoopOpts.Enabled = true;
-  Cfg.NativeTier = Native;
+/// One measured mode: fresh Vm under \p Cfg, Setup + data, \p Iters timed
+/// runs of Call. Returns per-iteration seconds; the final rendered result
+/// and the run's stats come back through the out-parameters.
+std::vector<double> runMode(Vm::Config Cfg, const std::string &Setup,
+                            const std::string &Data, const std::string &Call,
+                            int Iters, VmStats &Out, std::string &Result) {
   Vm V(Cfg);
   V.eval(Setup);
-  V.eval("d <- as.numeric(1:" + std::to_string(Rows * Cols) + ")");
-  std::string Call = "r <- colsum(d, " + std::to_string(Rows) + "L, " +
-                     std::to_string(Cols) + "L, get)";
-
+  if (!Data.empty())
+    V.eval(Data);
   std::vector<double> Times;
   Times.reserve(Iters);
   for (int K = 0; K < Iters; ++K)
@@ -65,9 +116,32 @@ std::vector<double> runMode(bool Native, long Rows, long Cols, int Iters,
   return Times;
 }
 
+Vm::Config modeConfig(bool Native, bool V2) {
+  Vm::Config Cfg = benchConfig(TierStrategy::Normal);
+  Cfg.Inlining = true;
+  Cfg.LoopOpts.Enabled = true;
+  Cfg.NativeTier = Native;
+  Cfg.NativeV2.Regalloc = V2;
+  Cfg.NativeV2.Fusion = V2;
+  Cfg.NativeV2.Linking = V2;
+  return Cfg;
+}
+
+/// Steady-state estimate: the best tail iteration. The tail skip drops
+/// warmup/compilation; the minimum is the noise-robust statistic on a
+/// shared host, where interference only ever inflates a measurement.
 double steady(const std::vector<double> &Xs) {
   std::vector<double> Tail(Xs.begin() + Xs.size() / 3, Xs.end());
-  return geomean(Tail);
+  return *std::min_element(Tail.begin(), Tail.end());
+}
+
+void printSeries(const char *Title, const char *A, const char *B,
+                 const std::vector<double> &Ta,
+                 const std::vector<double> &Tb) {
+  printf("%s\n", Title);
+  printf("%-6s %14s %14s\n", "iter", A, B);
+  for (size_t K = 0; K < Ta.size(); ++K)
+    printf("%-6zu %14.6f %14.6f\n", K + 1, Ta[K], Tb[K]);
 }
 
 } // namespace
@@ -78,6 +152,7 @@ int main(int Argc, char **Argv) {
   long Cols = argLong(Argc, Argv, "--cols", 40);
   int Iters = static_cast<int>(argLong(Argc, Argv, "--iters", 30));
   double Bound = argLong(Argc, Argv, "--bound", 200) / 100.0;
+  double V2Bound = argLong(Argc, Argv, "--v2bound", 200) / 100.0;
 
   if (!nativeBackendSupported()) {
     printf("# fig_native: native backend unsupported on this host "
@@ -85,68 +160,153 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  long N = Rows * Cols;
   BenchReport R;
   R.Name = "fig_native";
   R.Config = "rows=" + std::to_string(Rows) + " cols=" +
              std::to_string(Cols) + " iters=" + std::to_string(Iters);
 
-  VmStats InterpStats, NativeStats;
-  std::string InterpR, NativeR;
+  // --- colsum: interpreter vs template-only native vs v2 native ---------
+  std::string Data = "d <- as.numeric(1:" + std::to_string(N) +
+                     ")\nwv <- as.numeric(1:" + std::to_string(Rows) + ")";
+  std::string ColsumCall = "r <- colsum(d, wv, " + std::to_string(Rows) +
+                           "L, " + std::to_string(Cols) + "L, get)";
+  VmStats InterpStats, TemplStats, NativeStats;
+  std::string InterpR, TemplR, NativeR;
   std::vector<double> InterpT =
-      runMode(false, Rows, Cols, Iters, InterpStats, InterpR);
+      runMode(modeConfig(false, false), ColsumSetup, Data, ColsumCall,
+              Iters, InterpStats, InterpR);
   R.add("interp", InterpT, InterpStats);
+  std::vector<double> TemplT =
+      runMode(modeConfig(true, false), ColsumSetup, Data, ColsumCall, Iters,
+              TemplStats, TemplR);
+  R.add("template", TemplT, TemplStats);
   std::vector<double> NativeT =
-      runMode(true, Rows, Cols, Iters, NativeStats, NativeR);
-  R.add("native", NativeT, NativeStats);
+      runMode(modeConfig(true, true), ColsumSetup, Data, ColsumCall, Iters,
+              NativeStats, NativeR);
+  R.add("native_v2", NativeT, NativeStats);
 
-  printf("# native tier vs threaded interpreter on the hoisted-clean "
-         "colsum kernel (%ldx%ld, %d iterations, inlining+loopopts on)\n",
-         Rows, Cols, Iters);
-  printf("%-6s %14s %14s\n", "iter", "interp[s]", "native[s]");
-  for (int K = 0; K < Iters; ++K)
-    printf("%-6d %14.6f %14.6f\n", K + 1, InterpT[K], NativeT[K]);
+  // --- axpy: register-pressure chain, template vs v2 (series only) ------
+  std::string AxpyCall =
+      "r <- axpy(d, " + std::to_string(N) + "L, 1.0000001)";
+  VmStats AxpyTemplStats, AxpyV2Stats;
+  std::string AxpyTemplR, AxpyV2R;
+  std::vector<double> AxpyTemplT =
+      runMode(modeConfig(true, false), AxpySetup, Data, AxpyCall, Iters,
+              AxpyTemplStats, AxpyTemplR);
+  R.add("axpy_template", AxpyTemplT, AxpyTemplStats);
+  std::vector<double> AxpyV2T =
+      runMode(modeConfig(true, true), AxpySetup, Data, AxpyCall, Iters,
+              AxpyV2Stats, AxpyV2R);
+  R.add("axpy_v2", AxpyV2T, AxpyV2Stats);
 
+  // --- callsum: direct linking engagement (not a timed headline) --------
+  long CallN = N / 4;
+  std::string CallsCall = "r <- callsum(" + std::to_string(CallN) + "L)";
+  Vm::Config CallsInterpCfg = modeConfig(false, false);
+  Vm::Config CallsTemplCfg = modeConfig(true, false);
+  Vm::Config CallsV2Cfg = modeConfig(true, true);
+  CallsInterpCfg.Inlining = false; // keep the call out of line
+  CallsTemplCfg.Inlining = false;
+  CallsV2Cfg.Inlining = false;
+  VmStats CallsInterpStats, CallsTemplStats, CallsStats;
+  std::string CallsInterpR, CallsTemplR, CallsR;
+  int CallIters = Iters / 2 > 4 ? Iters / 2 : 4;
+  std::vector<double> CallsInterpT =
+      runMode(CallsInterpCfg, CallsSetup, "", CallsCall, CallIters,
+              CallsInterpStats, CallsInterpR);
+  std::vector<double> CallsTemplT =
+      runMode(CallsTemplCfg, CallsSetup, "", CallsCall, CallIters,
+              CallsTemplStats, CallsTemplR);
+  R.add("calls_template", CallsTemplT, CallsTemplStats);
+  std::vector<double> CallsT = runMode(CallsV2Cfg, CallsSetup, "",
+                                       CallsCall, CallIters, CallsStats,
+                                       CallsR);
+  R.add("calls_v2", CallsT, CallsStats);
+
+  printSeries("# colsum: native v2 vs threaded interpreter on the "
+              "hoisted-clean kernel",
+              "interp[s]", "v2[s]", InterpT, NativeT);
   double Speed = steady(InterpT) / steady(NativeT);
-  printf("\n# steady-state geomean speedup of the native backend: %.2fx\n",
+  printf("\n# steady-state (best-tail) speedup of the native backend: %.2fx\n\n",
          Speed);
-  printf("# native events: compiles %llu, enters %llu; hoisted guards "
-         "%llu\n",
-         static_cast<unsigned long long>(NativeStats.NativeCompiles),
-         static_cast<unsigned long long>(NativeStats.NativeEnters),
-         static_cast<unsigned long long>(NativeStats.HoistedGuards));
+
+  printSeries("# colsum: v2 (regalloc+fusion+linking) vs template-only "
+              "native tier, identical LowCode",
+              "template[s]", "v2[s]", TemplT, NativeT);
+  double SpeedV2 = steady(TemplT) / steady(NativeT);
+  printf("\n# steady-state (best-tail) speedup of v2 over the template tier: "
+         "%.2fx\n\n",
+         SpeedV2);
+
+  printSeries("# axpy: register-pressure chain, template vs v2",
+              "template[s]", "v2[s]", AxpyTemplT, AxpyV2T);
+  double AxpySpeedV2 = steady(AxpyTemplT) / steady(AxpyV2T);
+  printf("\n# axpy v2-over-template (series only, not gated): %.2fx\n\n",
+         AxpySpeedV2);
+
+  printSeries("# callsum: out-of-line monomorphic call, template vs v2 "
+              "(direct linking)",
+              "template[s]", "v2[s]", CallsTemplT, CallsT);
+  double CallsSpeedV2 = steady(CallsTemplT) / steady(CallsT);
+  printf("\n# callsum v2-over-template: %.2fx\n\n", CallsSpeedV2);
+
+  printf("# native events: compiles %llu, enters %llu; v2 fused ops %llu, "
+         "reg spills %llu; linked transfers %llu\n",
+         static_cast<unsigned long long>(NativeStats.NativeCompiles +
+                                         AxpyV2Stats.NativeCompiles),
+         static_cast<unsigned long long>(NativeStats.NativeEnters +
+                                         AxpyV2Stats.NativeEnters),
+         static_cast<unsigned long long>(NativeStats.NativeFusedOps +
+                                         AxpyV2Stats.NativeFusedOps),
+         static_cast<unsigned long long>(AxpyV2Stats.NativeRegSpills),
+         static_cast<unsigned long long>(CallsStats.NativeLinkedTransfers));
 
   // Untimed probe for the trace export: a short native run with injected
   // invalidation exercises the side-exit stubs and the deopt path, so the
   // Chrome trace demonstrates the full compile / native-enter /
-  // native-side-exit / deopt event vocabulary. Runs after both measured
-  // modes — it shares no Vm with them and cannot perturb the timings.
+  // native-side-exit / deopt event vocabulary. Runs after every measured
+  // mode — it shares no Vm with them and cannot perturb the timings.
   if (Tracing) {
-    Vm::Config Cfg = benchConfig(TierStrategy::Normal);
-    Cfg.Inlining = true;
-    Cfg.LoopOpts.Enabled = true;
-    Cfg.NativeTier = true;
+    Vm::Config Cfg = modeConfig(true, true);
     Cfg.InvalidationRate = 5000;
     Cfg.InvalidationSeed = 42;
     Vm V(Cfg);
-    V.eval(Setup);
-    V.eval("d <- as.numeric(1:" + std::to_string(Rows * Cols) + ")");
+    V.eval(ColsumSetup);
+    V.eval(Data);
     for (int K = 0; K < 8; ++K)
-      V.eval("r <- colsum(d, " + std::to_string(Rows) + "L, " +
-             std::to_string(Cols) + "L, get)");
+      V.eval(ColsumCall);
   }
 
   R.headline("speedup_native", Speed);
+  R.headline("speedup_native_v2", SpeedV2);
   emitBenchArtifacts(R, Argc, Argv);
 
-  bool SameResult = InterpR == NativeR;
+  bool SameResult = InterpR == NativeR && TemplR == NativeR &&
+                    AxpyTemplR == AxpyV2R && CallsInterpR == CallsR;
   if (!SameResult)
-    printf("# FAIL: backends disagree: interp=%s native=%s\n",
-           InterpR.c_str(), NativeR.c_str());
-  bool Ok = SameResult && Speed >= Bound && NativeStats.NativeEnters > 0 &&
+    printf("# FAIL: backends disagree: colsum interp=%s template=%s v2=%s; "
+           "axpy template=%s v2=%s; callsum interp=%s v2=%s\n",
+           InterpR.c_str(), TemplR.c_str(), NativeR.c_str(),
+           AxpyTemplR.c_str(), AxpyV2R.c_str(), CallsInterpR.c_str(),
+           CallsR.c_str());
+  unsigned long long FusedOps =
+      NativeStats.NativeFusedOps + AxpyV2Stats.NativeFusedOps;
+  bool FeaturesEngaged =
+      FusedOps > 0 && CallsStats.NativeLinkedTransfers > 0;
+  if (!FeaturesEngaged)
+    printf("# FAIL: v2 features never engaged (fused ops %llu, linked "
+           "transfers %llu)\n",
+           FusedOps,
+           static_cast<unsigned long long>(
+               CallsStats.NativeLinkedTransfers));
+  bool Ok = SameResult && FeaturesEngaged && Speed >= Bound &&
+            SpeedV2 >= V2Bound && NativeStats.NativeEnters > 0 &&
             NativeStats.NativeCompiles > 0;
-  if (!Ok && SameResult)
-    printf("# FAIL: expected >= %.2fx steady-state native speedup with "
-           "NativeEnters > 0\n",
-           Bound);
+  if (!Ok && SameResult && FeaturesEngaged)
+    printf("# FAIL: expected >= %.2fx native speedup (got %.2fx) and >= "
+           "%.2fx v2-over-template speedup (got %.2fx) with NativeEnters "
+           "> 0\n",
+           Bound, Speed, V2Bound, SpeedV2);
   return Ok ? 0 : 1;
 }

@@ -143,6 +143,14 @@ FnVersion *rjit::compileAndPublishVersion(Function *Fn,
         ++stats().CtxVersions;
     }
   }
+  // Direct call linking (native tier v2): patch registered native call
+  // sites of Fn forward to the freshly published version. Outside the
+  // writer lock — the linker's mutex is a leaf — and guarded on live():
+  // if a blacklist or concurrent publication won the race above, there is
+  // nothing to link (and re-notifying an already-linked version is
+  // idempotent).
+  if (E->live())
+    backendOr(Opts.Backend).notifyPublish(Fn, E);
   return E;
 }
 

@@ -35,6 +35,9 @@ enum Reg : uint8_t {
   RSI = 6,
   RDI = 7,
   R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
   R12 = 12,
   R13 = 13,
   R14 = 14,
@@ -115,6 +118,11 @@ public:
     u8(0xB8 + (R & 7));
     u32(Imm);
   }
+  void movRegReg32(uint8_t Dst, uint8_t Src) {
+    rexOpt(0, Src, Dst);
+    u8(0x89);
+    modrmReg(Src, Dst);
+  }
 
   //===-- Loads / stores ([base + disp32]) --------------------------------//
 
@@ -164,10 +172,49 @@ public:
     memIndex(Dst, Base, Index, ScaleLog);
   }
 
+  /// movsxd dst64, src32 (register form — the index path when the index
+  /// slot is register-homed).
+  void movsxdRegReg32(uint8_t Dst, uint8_t Src) {
+    rex(1, Dst, Src);
+    u8(0x63);
+    modrmReg(Dst, Src);
+  }
+
   //===-- Integer ALU -----------------------------------------------------//
 
   void addRegMem32(uint8_t Dst, uint8_t Base, int32_t Disp) {
     alu32(0x03, Dst, Base, Disp);
+  }
+  void addRegReg32(uint8_t Dst, uint8_t Src) {
+    rexOpt(0, Dst, Src);
+    u8(0x03);
+    modrmReg(Dst, Src);
+  }
+  void subRegReg32(uint8_t Dst, uint8_t Src) {
+    rexOpt(0, Dst, Src);
+    u8(0x2B);
+    modrmReg(Dst, Src);
+  }
+  void cmpRegReg32(uint8_t A, uint8_t B) { // flags of A - B
+    rexOpt(0, A, B);
+    u8(0x3B);
+    modrmReg(A, B);
+  }
+  void addRegImm32(uint8_t R, uint32_t Imm) { aluImm32(0, R, Imm); }
+  void subRegImm32(uint8_t R, uint32_t Imm) { aluImm32(5, R, Imm); }
+  void cmpRegImm32(uint8_t R, uint32_t Imm) { aluImm32(7, R, Imm); }
+  /// imul dst32, src32, imm32
+  void imulRegRegImm32(uint8_t Dst, uint8_t Src, uint32_t Imm) {
+    rexOpt(0, Dst, Src);
+    u8(0x69);
+    modrmReg(Dst, Src);
+    u32(Imm);
+  }
+  void imulRegReg32(uint8_t Dst, uint8_t Src) {
+    rexOpt(0, Dst, Src);
+    u8(0x0F);
+    u8(0xAF);
+    modrmReg(Dst, Src);
   }
   void subRegMem32(uint8_t Dst, uint8_t Base, int32_t Disp) {
     alu32(0x2B, Dst, Base, Disp);
@@ -220,6 +267,12 @@ public:
     modrmReg(5, R); // /5 = sub
     u8(Imm);
   }
+  void addRegImm8(uint8_t R, uint8_t Imm) {
+    rex(1, 0, R);
+    u8(0x83);
+    modrmReg(0, R); // /0 = add
+    u8(Imm);
+  }
   void shrRegImm8(uint8_t R, uint8_t Imm) {
     rex(1, 0, R);
     u8(0xC1);
@@ -268,6 +321,42 @@ public:
   void cvttsd2siRegMem(uint8_t Dst, uint8_t Base, int32_t Disp) {
     sse(0xF2, 0x2C, Dst, Base, Disp);
   }
+  //===-- SSE2 register-register forms (the regalloc'd templates) --------//
+
+  void movsdXmmXmm(uint8_t Dst, uint8_t Src) { sseRR(0xF2, 0x10, Dst, Src); }
+  /// movaps: the full-register xmm copy. Unlike movsd's merging reg-reg
+  /// form it carries no dependency on the destination's old value, so
+  /// it is the right instruction for copying scalar doubles between
+  /// register homes (upper lanes are never live here).
+  void movapsXmmXmm(uint8_t Dst, uint8_t Src) {
+    rexOpt(0, Dst, Src);
+    u8(0x0F);
+    u8(0x28);
+    modrmReg(Dst, Src);
+  }
+  void addsdXmmXmm(uint8_t Dst, uint8_t Src) { sseRR(0xF2, 0x58, Dst, Src); }
+  void subsdXmmXmm(uint8_t Dst, uint8_t Src) { sseRR(0xF2, 0x5C, Dst, Src); }
+  void mulsdXmmXmm(uint8_t Dst, uint8_t Src) { sseRR(0xF2, 0x59, Dst, Src); }
+  void divsdXmmXmm(uint8_t Dst, uint8_t Src) { sseRR(0xF2, 0x5E, Dst, Src); }
+  void ucomisdXmmXmm(uint8_t A, uint8_t B) { sseRR(0x66, 0x2E, A, B); }
+  /// cvtsi2sd xmm, r32
+  void cvtsi2sdXmmReg32(uint8_t X, uint8_t Src) {
+    sseRR(0xF2, 0x2A, X, Src);
+  }
+  /// cvttsd2si r32, xmm
+  void cvttsd2siRegXmm(uint8_t Dst, uint8_t X) {
+    sseRR(0xF2, 0x2C, Dst, X);
+  }
+  /// movq xmm, r64 (raw bit copy: materializing double immediates into a
+  /// register-homed slot).
+  void movqXmmReg64(uint8_t X, uint8_t R) {
+    u8(0x66);
+    rex(1, X, R);
+    u8(0x0F);
+    u8(0x6E);
+    modrmReg(X, R);
+  }
+
   /// movsd xmm, [base + index*2^scale]
   void movsdXmmMemIndex(uint8_t X, uint8_t Base, uint8_t Index,
                         uint8_t ScaleLog) {
@@ -347,6 +436,13 @@ private:
     u8(Op);
     mem(Reg, Base, Disp);
   }
+  /// 81 /ext: 32-bit ALU op with imm32 on a register operand.
+  void aluImm32(uint8_t Ext, uint8_t R, uint32_t Imm) {
+    rexOpt(0, 0, R);
+    u8(0x81);
+    modrmReg(Ext, R);
+    u32(Imm);
+  }
   void sse(uint8_t Prefix, uint8_t Op, uint8_t X, uint8_t Base,
            int32_t Disp) {
     u8(Prefix);
@@ -355,6 +451,13 @@ private:
     u8(0x0F);
     u8(Op);
     mem(X, Base, Disp);
+  }
+  void sseRR(uint8_t Prefix, uint8_t Op, uint8_t Dst, uint8_t Src) {
+    u8(Prefix);
+    rexOpt(0, Dst, Src);
+    u8(0x0F);
+    u8(Op);
+    modrmReg(Dst, Src);
   }
 };
 

@@ -1,17 +1,37 @@
-//===-- native/jit.cpp - x86-64 template-JIT backend ----------------------------===//
+//===-- native/jit.cpp - x86-64 native-tier backend -----------------------------===//
 //
 // Part of the deoptless reproduction. MIT license.
 //
-// Template stitching: one machine-code template per LowCode instruction,
-// emitted in bytecode order with rel32 fixups between them, guard side
-// exits collected as out-of-line stubs after the body (the hot path pays
-// one not-taken jcc per guard), and a shared epilogue every "activation
-// ended" path funnels through. See native/native.h for the design.
+// Template stitching with three v2 layers on top (each independently
+// switchable via NativeTierOptions; all-off reproduces the template-only
+// tier):
 //
-// Register plan (all callee-saved, so helper calls preserve them):
-//   rbx = NativeFrame*       r12 = boxed slots (Value*)
-//   r13 = raw double slots   r14 = raw int32 slots
-//   r15   (reserved scratch) rax/rcx/rsi/rdi/xmm0 = template scratch
+//  * Register allocation (native/regalloc.*): hot raw int/double slots get
+//    whole-function register homes. The invariant is pc-independent — "a
+//    homed slot's current value is in its register at every instruction
+//    boundary" — so arbitrary LowCode jumps need no per-edge fixup code.
+//    Helper calls flush caller-saved homes and reload after; helpers that
+//    read the raw arrays get a full flush; side exits need none at all
+//    (deopt's DeoptMeta maps boxed slots only — raw state is invisible).
+//
+//  * Superinstruction fusion: recurring template pairs collapse into one
+//    template. arith+move computes once and stores both destinations;
+//    extract+arith keeps the loaded element in the scratch register across
+//    the pair; compare+branch re-synthesizes the CmpBranch the lowerer
+//    emits for single-use compares, when the boxed compare result is
+//    provably dead.
+//
+//  * Direct call linking (native/linker.*): monomorphic CallValLow /
+//    CallStaticLow sites carry a LinkSite data cell. Once the callee's
+//    generic version is published, the call helper transfers straight to
+//    its code via vmLinkedCall — skipping dispatch's version-table walk —
+//    and the retire path unlinks every predecessor before the graveyard
+//    can reclaim the target block.
+//
+// Register plan: rbx = NativeFrame*, r12 = boxed slots (Value*), r13 = raw
+// double slots, r14 = raw int32 slots; rax/rcx/rdx/rsi/rdi/xmm0/xmm1 are
+// template scratch. Regalloc homes live in rbp/r15 (callee-saved) and
+// r8-r11/xmm2-xmm15 (caller-saved).
 //
 // Exceptions never unwind through JIT frames (there is no unwind info for
 // them): every helper catches at the boundary, parks the exception in the
@@ -31,12 +51,17 @@
 
 #if RJIT_NATIVE_X64
 
+#include "dispatch/context.h"
+#include "dispatch/version.h"
 #include "lowcode/exec.h"
 #include "lowcode/step.h"
 #include "native/arena.h"
 #include "native/emitter.h"
+#include "native/linker.h"
+#include "native/regalloc.h"
 #include "obs/trace.h"
 #include "support/stats.h"
+#include "vm/vm.h"
 
 #include <cstddef>
 #include <cstring>
@@ -78,6 +103,15 @@ struct NativeFrame {
   Env *ParentEnv = nullptr;
   Env *ReadEnv = nullptr;
   LowHooks *Hooks = nullptr;
+  /// The executable's LinkSite cells (index = the call helper's site
+  /// argument) and the backend's link registry; null when linking is off.
+  LinkSite *Sites = nullptr;
+  NativeLinker *Linker = nullptr;
+  /// Element counts of pinned loop-invariant vectors (regalloc.h
+  /// PinInfo::Cell indexes here); the pinned extract's bounds check reads
+  /// its cell instead of the vector header. 0 = pin disabled, every
+  /// bounds check fails to the slow stub.
+  int64_t PinLen[NatMaxPins] = {};
   Value Result;
   std::exception_ptr Exc;
 };
@@ -183,6 +217,93 @@ static void rjit_nat_ret(NativeFrame *Fr, int32_t Slot) {
 
 namespace {
 
+/// Monomorphic-call bookkeeping on a direct-link fast-path miss: enroll an
+/// eligible unregistered site, demote a site whose callee changed. Only
+/// the owning executor thread touches State/CacheFn.
+void maybeRegisterSite(NativeFrame *Fr, LinkSite &Site, const LowInstr &I) {
+  if (Site.State == LinkSite::Polymorphic || !Fr->Linker)
+    return;
+  const Value &Callee = Fr->S[I.A];
+  if (Callee.tag() != Tag::Clos) {
+    // Builtins (and errors) go through the interpreter handler forever.
+    Site.Target.store(nullptr, std::memory_order_relaxed);
+    Site.State = LinkSite::Polymorphic;
+    return;
+  }
+  Function *Fn = Callee.closObj()->Fn;
+  if (Site.State == LinkSite::Registered) {
+    if (Fn != Site.CacheFn) {
+      Site.Target.store(nullptr, std::memory_order_relaxed);
+      Site.State = LinkSite::Polymorphic;
+    }
+    return; // still monomorphic: waiting for the callee's publication
+  }
+  // Unregistered. Linking is only sound when dispatch would always pick
+  // the generic version for this callee: contextual dispatch selects by
+  // argument context and ProfileDrivenReopt's sampling must see every
+  // call, so both stay on full dispatch.
+  Vm *V = Vm::current();
+  if (!V || V->config().ContextDispatch ||
+      (V->config().Strategy != TierStrategy::Normal &&
+       V->config().Strategy != TierStrategy::Deoptless)) {
+    Site.State = LinkSite::Polymorphic;
+    return;
+  }
+  Site.CacheFn = Fn;
+  Site.State = LinkSite::Registered;
+  Fr->Linker->registerSite(Fn, &Site);
+  // The callee may already be published — link now rather than waiting
+  // for its next publication event.
+  FnVersion *Ver =
+      V->stateFor(Fn).Versions.dispatch(genericContext(Fn->Params.size()));
+  if (Ver && Ver->code())
+    Fr->Linker->onPublish(Fn, Ver);
+}
+
+} // namespace
+
+extern "C" {
+
+/// Direct-linked CallValLow/CallStaticLow: when the site's cached callee
+/// matches and its version is linked, transfer via vmLinkedCall (which
+/// performs exactly full dispatch's per-call bookkeeping); otherwise fall
+/// back to the interpreter handler — the same instruction, re-executed
+/// from scratch. The argument-range aliasing check (callee slot inside
+/// [B, B+Imm)) matters because the handler moves the arguments out
+/// *before* reading the callee slot; falling back reproduces that exact
+/// moved-from behavior instead of duplicating it here.
+static int64_t rjit_nat_call_linked(NativeFrame *Fr, int32_t SiteIdx) {
+  LinkSite &Site = Fr->Sites[SiteIdx];
+  const LowInstr &I = Fr->F->Code[Site.Pc];
+  FnVersion *Ver = Site.Target.load(std::memory_order_acquire);
+  if (Ver && Fr->S[I.A].tag() == Tag::Clos) {
+    ClosObj *C = Fr->S[I.A].closObj();
+    ExecutableCode *Code;
+    if (C->Fn == Site.CacheFn && (Code = Ver->code()) != nullptr &&
+        static_cast<int32_t>(Site.CacheFn->Params.size()) == I.Imm &&
+        !(I.A >= I.B &&
+          static_cast<int32_t>(I.A) < static_cast<int32_t>(I.B) + I.Imm)) {
+      try {
+        std::vector<Value> Args;
+        Args.reserve(static_cast<size_t>(I.Imm));
+        for (int32_t K = 0; K < I.Imm; ++K)
+          Args.push_back(std::move(Fr->S[I.B + K]));
+        Fr->S[I.Dst] = vmLinkedCall(C, Ver, Code, std::move(Args));
+        return 0;
+      } catch (...) {
+        Fr->Exc = std::current_exception();
+        return -1;
+      }
+    }
+  }
+  maybeRegisterSite(Fr, Site, I);
+  return rjit_nat_step(Fr, Site.Pc);
+}
+
+} // extern "C"
+
+namespace {
+
 /// The guard-failure protocol of the interpreter's GuardCond case: count
 /// the failure and (tail-)call the installed deopt hook — its result is
 /// the result of this activation. Always ends the activation.
@@ -237,19 +358,69 @@ static int64_t rjit_nat_guard_tick(NativeFrame *Fr, int32_t Pc) {
 
 namespace {
 
+/// True for the arithmetic operators the real/int templates inline (the
+/// rest — compares that box, %%, %/%, ^, complex — take the handler).
+bool inlineableRealArith(BinOp Op) {
+  return Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::Mul ||
+         Op == BinOp::Div;
+}
+bool inlineableIntArith(BinOp Op) {
+  return Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::Mul;
+}
+bool isCompareOp(BinOp Op) {
+  return Op == BinOp::Eq || Op == BinOp::Ne || Op == BinOp::Lt ||
+         Op == BinOp::Le || Op == BinOp::Gt || Op == BinOp::Ge;
+}
+
 class Stitcher {
 public:
-  explicit Stitcher(const LowFunction &F) : F(F) {}
+  Stitcher(const LowFunction &F, const NativeTierOptions &Opts)
+      : F(F), Opts(Opts) {
+    if (Opts.Regalloc) {
+      // Pins require the inline typed-extract fast path: without the
+      // probed vector layout every extract is a main-path helper call,
+      // which would clobber caller-saved pin registers mid-loop.
+      bool AllowPins =
+          vecInternals<double>().Valid && vecInternals<int32_t>().Valid;
+      RA = allocateRegisters(F, AllowPins);
+      // Must stay in lockstep with the allocator's own intConstSlots
+      // call: slots it skipped as candidates fold to immediates here.
+      IC = intConstSlots(F);
+    }
+  }
 
-  /// Compiles F into \p Out. Returns false when the function has no code
-  /// (callers fall back to the interpreter executable).
-  bool compile(std::vector<uint8_t> &Out) {
+  /// Compiles F into \p Out, appending the LowCode pc of every emitted
+  /// link site to \p SitePcs (index order = the call helper's site index).
+  /// Returns false when the function has no code (callers fall back to
+  /// the interpreter executable).
+  bool compile(std::vector<uint8_t> &Out, std::vector<int32_t> &SitePcs) {
     if (F.Code.empty())
       return false;
 
+    // Fusion must not swallow an instruction some branch jumps to.
+    JumpTarget.assign(F.Code.size(), false);
+    for (const LowInstr &I : F.Code)
+      if (I.Op == LowOp::JumpLow || I.Op == LowOp::BranchFalseLow ||
+          I.Op == LowOp::BranchTrueLow || I.Op == LowOp::CmpBranch)
+        if (I.Imm >= 0 && I.Imm < static_cast<int32_t>(F.Code.size()))
+          JumpTarget[I.Imm] = true;
+
     emitPrologue();
     for (int32_t Pc = 0; Pc < static_cast<int32_t>(F.Code.size()); ++Pc) {
+      // Pin hoists precede the header's own offset: the backedge (which
+      // targets InstrOff[Pc]) skips them, the fallthrough entry runs
+      // them — once per loop entry, not per iteration.
+      for (const PinInfo &P : RA.Pins)
+        if (P.HeaderPc == Pc)
+          emitPinHoist(P);
       InstrOff.push_back(A.size());
+      if (Opts.Fusion && tryFuse(Pc)) {
+        // Keep InstrOff pc-indexed; the swallowed slot is never a jump
+        // target (tryFuse checked), so the offset is never consulted.
+        InstrOff.push_back(A.size());
+        ++Pc;
+        continue;
+      }
       emitInstr(Pc, F.Code[Pc]);
     }
     A.ud2(); // falling off the end is malformed LowCode
@@ -263,15 +434,25 @@ public:
       A.patchRel32(Site, InstrOff[Pc]);
 
     Out = std::move(A.Buf);
+    SitePcs = std::move(LinkSitePcs);
     return true;
   }
 
+  uint32_t fusedOps() const { return Fused; }
+  uint32_t regSpills() const { return RA.Spills; }
+
 private:
   const LowFunction &F;
+  NativeTierOptions Opts;
+  RegAllocation RA;
+  IntConstMap IC;
   X64Emitter A;
   std::vector<size_t> InstrOff;
   std::vector<std::pair<size_t, int32_t>> PcFix; ///< rel32 -> LowCode pc
   std::vector<size_t> EpiFix;                    ///< rel32 -> epilogue
+  std::vector<bool> JumpTarget;
+  std::vector<int32_t> LinkSitePcs;
+  uint32_t Fused = 0;
 
   struct Stub {
     enum Kind {
@@ -283,6 +464,12 @@ private:
     Kind K;
     std::vector<size_t> Sites; ///< rel32 fields jumping to this stub
     size_t Resume = 0;         ///< body offset to resume at (tick/slow)
+    /// Fused extract+arith resumption: the arith half consumes the
+    /// element from the scratch register, so after the slow-path helper
+    /// re-executes the extract the stub re-materializes the scratch from
+    /// the extract's destination slot before resuming.
+    int32_t ScratchRealSlot = -1;
+    int32_t ScratchIntSlot = -1;
   };
   std::vector<Stub> Stubs;
 
@@ -298,6 +485,148 @@ private:
     return static_cast<int32_t>(Slot) * 4;
   }
 
+  //===-- Register homes --------------------------------------------------//
+
+  /// Reads a raw-int slot: its home register, a folded immediate in
+  /// \p Scratch for known-constant slots, or a load into \p Scratch.
+  uint8_t intSrc(uint16_t Slot, uint8_t Scratch) {
+    int16_t H = RA.intHome(Slot);
+    if (H >= 0)
+      return static_cast<uint8_t>(H);
+    if (IC.known(Slot)) {
+      A.movRegImm32(Scratch, static_cast<uint32_t>(IC.val(Slot)));
+      return Scratch;
+    }
+    A.movRegMem32(Scratch, R14, iOff(Slot));
+    return Scratch;
+  }
+
+  /// Writes a raw-int slot from \p Src (register): to its home, or to the
+  /// slot array. A homed slot's array entry is NOT kept current — that is
+  /// what flushHomes is for.
+  void intStore(uint16_t Slot, uint8_t Src) {
+    int16_t H = RA.intHome(Slot);
+    if (H >= 0) {
+      if (H != Src)
+        A.movRegReg32(static_cast<uint8_t>(H), Src);
+    } else {
+      A.movMemReg32(R14, iOff(Slot), Src);
+    }
+  }
+
+  uint8_t realSrc(uint16_t Slot, uint8_t Scratch) {
+    int16_t H = RA.realHome(Slot);
+    if (H >= 0)
+      return static_cast<uint8_t>(H);
+    A.movsdXmmMem(Scratch, R13, dOff(Slot));
+    return Scratch;
+  }
+
+  void realStore(uint16_t Slot, uint8_t Src) {
+    int16_t H = RA.realHome(Slot);
+    if (H >= 0) {
+      if (H != Src)
+        A.movapsXmmXmm(static_cast<uint8_t>(H), Src);
+    } else {
+      A.movsdMemXmm(R13, dOff(Slot), Src);
+    }
+  }
+
+  /// Stores homed slots back to their slot arrays. \p All=false syncs only
+  /// the caller-saved homes (every XMM, plus r8-r11) — enough to preserve
+  /// their *values* across a C call; \p All=true also syncs the
+  /// callee-saved homes so a helper that *reads the raw arrays* sees
+  /// current values.
+  void flushHomes(bool All) {
+    for (size_t Slot = 0; Slot < RA.IntHome.size(); ++Slot) {
+      int16_t H = RA.IntHome[Slot];
+      if (H >= 0 && (All || !natGprCalleeSaved(static_cast<uint8_t>(H))))
+        A.movMemReg32(R14, iOff(static_cast<uint16_t>(Slot)),
+                      static_cast<uint8_t>(H));
+    }
+    for (size_t Slot = 0; Slot < RA.RealHome.size(); ++Slot) {
+      int16_t H = RA.RealHome[Slot];
+      if (H >= 0)
+        A.movsdMemXmm(R13, dOff(static_cast<uint16_t>(Slot)),
+                      static_cast<uint8_t>(H));
+    }
+  }
+
+  /// Loads homed slots from their slot arrays: after a C call clobbered
+  /// the caller-saved homes, or (\p All) after a helper may have written
+  /// the raw arrays. Pure moves — never disturbs EFLAGS, so a reload may
+  /// sit between a test and its jcc.
+  void reloadHomes(bool All) {
+    for (size_t Slot = 0; Slot < RA.IntHome.size(); ++Slot) {
+      int16_t H = RA.IntHome[Slot];
+      if (H >= 0 && (All || !natGprCalleeSaved(static_cast<uint8_t>(H))))
+        A.movRegMem32(static_cast<uint8_t>(H), R14,
+                      iOff(static_cast<uint16_t>(Slot)));
+    }
+    for (size_t Slot = 0; Slot < RA.RealHome.size(); ++Slot) {
+      int16_t H = RA.RealHome[Slot];
+      if (H >= 0)
+        A.movsdXmmMem(static_cast<uint8_t>(H), R13,
+                      dOff(static_cast<uint16_t>(Slot)));
+    }
+  }
+
+  //===-- Loop-invariant vector pins --------------------------------------//
+
+  static int32_t pinLenOff(uint8_t Cell) {
+    return static_cast<int32_t>(offsetof(NativeFrame, PinLen)) + Cell * 8;
+  }
+
+  /// The pin covering (\p Pc, vector slot \p VecSlot, element kind \p K),
+  /// or null.
+  const PinInfo *pinFor(int32_t Pc, uint16_t VecSlot, Tag K) const {
+    for (const PinInfo &P : RA.Pins)
+      if (P.VecSlot == VecSlot && P.ElemTag == static_cast<uint8_t>(K) &&
+          Pc >= P.HeaderPc && Pc <= P.EndPc)
+        return &P;
+    return nullptr;
+  }
+
+  /// Loads the pinned vector's element pointer into its register and its
+  /// element count into its PinLen cell. Tag mismatch (the speculated
+  /// vector kind is wrong this entry) stores count 0: every pinned bounds
+  /// check then fails into the slow stub, which is slower but never
+  /// wrong. Clobbers rax/rdx; emitted at loop headers (before the
+  /// header's label) and re-emitted after any in-loop stub helper call,
+  /// which may have clobbered a caller-saved pin register.
+  void emitPinHoist(const PinInfo &P) {
+    Tag K = static_cast<Tag>(P.ElemTag);
+    const VecInternals &VI = K == Tag::Real ? vecInternals<double>()
+                                            : vecInternals<int32_t>();
+    int32_t DMember =
+        K == Tag::Real
+            ? static_cast<int32_t>(offsetof(RealVecObj, D))
+            : static_cast<int32_t>(offsetof(IntVecObj, D));
+    Tag VecTag = K == Tag::Real ? Tag::RealVec : Tag::IntVec;
+    uint8_t ScaleLog = K == Tag::Real ? 3 : 2;
+    A.cmpMem8Imm8(R12, sOff(P.VecSlot, ValueLayout::Tag),
+                  static_cast<uint8_t>(VecTag));
+    size_t Miss = A.jcc32(CcNe);
+    A.movRegMem64(RAX, R12, sOff(P.VecSlot, ValueLayout::Payload));
+    A.movRegMem64(P.Gpr, RAX, DMember + VI.BeginOff);
+    A.movRegMem64(RDX, RAX, DMember + VI.EndOff);
+    A.subRegReg64(RDX, P.Gpr);
+    A.shrRegImm8(RDX, ScaleLog); // element count
+    size_t Done = A.jmp32();
+    A.patchRel32(Miss, A.size());
+    A.movRegImm32(RDX, 0); // disabled; the pin register stays dead
+    A.patchRel32(Done, A.size());
+    A.movMemReg64(RBX, pinLenOff(P.Cell), RDX);
+  }
+
+  /// Re-establishes every pin whose interval covers \p Pc — after a stub
+  /// helper call that resumes inside the loop.
+  void emitPinReloads(int32_t Pc) {
+    for (const PinInfo &P : RA.Pins)
+      if (Pc >= P.HeaderPc && Pc <= P.EndPc)
+        emitPinHoist(P);
+  }
+
   //===-- Common sequences ------------------------------------------------//
 
   template <typename Fn> void helperCall(Fn *Target, int32_t Arg) {
@@ -309,29 +638,43 @@ private:
   }
 
   /// Fallback template: run the op via the interpreter handler, bail to
-  /// the epilogue on a parked exception.
+  /// the epilogue on a parked exception. The handler may read or write
+  /// any raw slot, so homes round-trip the arrays completely.
   void emitStep(int32_t Pc) {
+    flushHomes(true);
     helperCall(rjit_nat_step, Pc);
     A.testRegReg64(RAX, RAX);
     EpiFix.push_back(A.jcc32(CcS));
+    reloadHomes(true);
   }
 
   void emitPrologue() {
     // 5 callee-saved pushes + the return address = 48 bytes: rsp stays
-    // 16-byte aligned at every helper call site.
+    // 16-byte aligned at every helper call site. When regalloc claims
+    // rbp, a sixth push plus 8 pad bytes keep the same alignment.
     A.pushReg(RBX);
     A.pushReg(R12);
     A.pushReg(R13);
     A.pushReg(R14);
     A.pushReg(R15);
+    if (RA.UsesRbp) {
+      A.pushReg(RBP);
+      A.subRegImm8(RSP, 8);
+    }
     A.movRegReg64(RBX, RDI);
     A.movRegMem64(R12, RBX, offsetof(NativeFrame, S));
     A.movRegMem64(R13, RBX, offsetof(NativeFrame, D));
     A.movRegMem64(R14, RBX, offsetof(NativeFrame, Iv));
+    // Establish the home invariant from the freshly spilled entry state.
+    reloadHomes(true);
   }
 
   size_t emitEpilogue() {
     size_t At = A.size();
+    if (RA.UsesRbp) {
+      A.addRegImm8(RSP, 8);
+      A.popReg(RBP);
+    }
     A.popReg(R15);
     A.popReg(R14);
     A.popReg(R13);
@@ -348,23 +691,427 @@ private:
         A.patchRel32(Site, Here);
       switch (St.K) {
       case Stub::GuardFail:
+        // Deopt reads only the boxed slot vector (DeoptMeta maps boxed
+        // slots exclusively), and the activation ends here — no flush.
         helperCall(rjit_nat_guard_fail, St.Pc);
         EpiFix.push_back(A.jmp32());
         break;
       case Stub::GuardTick:
+        flushHomes(false);
         helperCall(rjit_nat_guard_tick, St.Pc);
         A.testRegReg64(RAX, RAX);
         EpiFix.push_back(A.jcc32(CcNe)); // 1 = activation ended
+        reloadHomes(false);
+        emitPinReloads(St.Pc); // the helper clobbered caller-saved pins
         A.patchRel32(A.jmp32(), St.Resume);
         break;
       case Stub::StepSlow:
-        helperCall(rjit_nat_step, St.Pc);
-        A.testRegReg64(RAX, RAX);
-        EpiFix.push_back(A.jcc32(CcS)); // -1 = exception parked
+        emitStep(St.Pc);
+        // Pins first (the hoist uses rax), then the fused-pair scratch.
+        emitPinReloads(St.Pc);
+        if (St.ScratchRealSlot >= 0) {
+          int16_t H =
+              RA.realHome(static_cast<uint16_t>(St.ScratchRealSlot));
+          if (H >= 0)
+            A.movapsXmmXmm(0, static_cast<uint8_t>(H));
+          else
+            A.movsdXmmMem(
+                0, R13, dOff(static_cast<uint16_t>(St.ScratchRealSlot)));
+        }
+        if (St.ScratchIntSlot >= 0) {
+          int16_t H =
+              RA.intHome(static_cast<uint16_t>(St.ScratchIntSlot));
+          if (H >= 0)
+            A.movRegReg32(RAX, static_cast<uint8_t>(H));
+          else
+            A.movRegMem32(
+                RAX, R14, iOff(static_cast<uint16_t>(St.ScratchIntSlot)));
+        }
         A.patchRel32(A.jmp32(), St.Resume);
         break;
       }
     }
+  }
+
+  //===-- Inline arithmetic (home-aware) ----------------------------------//
+
+  void realOpXmm(BinOp Op, uint8_t Dst, uint8_t Src) {
+    switch (Op) {
+    case BinOp::Add:
+      A.addsdXmmXmm(Dst, Src);
+      break;
+    case BinOp::Sub:
+      A.subsdXmmXmm(Dst, Src);
+      break;
+    case BinOp::Mul:
+      A.mulsdXmmXmm(Dst, Src);
+      break;
+    default:
+      A.divsdXmmXmm(Dst, Src);
+      break;
+    }
+  }
+
+  /// Applies `X op= slot B` (B from its home or memory).
+  void realRhs(BinOp Op, uint8_t X, uint16_t BSlot) {
+    int16_t H = RA.realHome(BSlot);
+    if (H >= 0) {
+      realOpXmm(Op, X, static_cast<uint8_t>(H));
+      return;
+    }
+    switch (Op) {
+    case BinOp::Add:
+      A.addsdXmmMem(X, R13, dOff(BSlot));
+      break;
+    case BinOp::Sub:
+      A.subsdXmmMem(X, R13, dOff(BSlot));
+      break;
+    case BinOp::Mul:
+      A.mulsdXmmMem(X, R13, dOff(BSlot));
+      break;
+    default:
+      A.divsdXmmMem(X, R13, dOff(BSlot));
+      break;
+    }
+  }
+
+  /// Computes `A op B` into xmm0 (copies A out of its home first — an
+  /// operand's home is never clobbered).
+  void realArithToScratch(BinOp Op, uint16_t ASlot, uint16_t BSlot) {
+    uint8_t Ax = realSrc(ASlot, 0);
+    if (Ax != 0)
+      A.movapsXmmXmm(0, Ax);
+    realRhs(Op, 0, BSlot);
+  }
+
+  void intOpReg(BinOp Op, uint8_t Dst, uint8_t Src) {
+    switch (Op) {
+    case BinOp::Add:
+      A.addRegReg32(Dst, Src);
+      break;
+    case BinOp::Sub:
+      A.subRegReg32(Dst, Src);
+      break;
+    default:
+      A.imulRegReg32(Dst, Src);
+      break;
+    }
+  }
+
+  void intRhs(BinOp Op, uint8_t R, uint16_t BSlot) {
+    int16_t H = RA.intHome(BSlot);
+    if (H >= 0) {
+      intOpReg(Op, R, static_cast<uint8_t>(H));
+      return;
+    }
+    if (IC.known(BSlot)) {
+      uint32_t Imm = static_cast<uint32_t>(IC.val(BSlot));
+      switch (Op) {
+      case BinOp::Add:
+        A.addRegImm32(R, Imm);
+        break;
+      case BinOp::Sub:
+        A.subRegImm32(R, Imm);
+        break;
+      default:
+        A.imulRegRegImm32(R, R, Imm);
+        break;
+      }
+      return;
+    }
+    switch (Op) {
+    case BinOp::Add:
+      A.addRegMem32(R, R14, iOff(BSlot));
+      break;
+    case BinOp::Sub:
+      A.subRegMem32(R, R14, iOff(BSlot));
+      break;
+    default:
+      A.imulRegMem32(R, R14, iOff(BSlot));
+      break;
+    }
+  }
+
+  /// Computes `A op B` into eax. x86 two's-complement wraparound = the
+  /// handler's unsigned-wrap semantics.
+  void intArithToScratch(BinOp Op, uint16_t ASlot, uint16_t BSlot) {
+    uint8_t Ar = intSrc(ASlot, RAX);
+    if (Ar != RAX)
+      A.movRegReg32(RAX, Ar);
+    intRhs(Op, RAX, BSlot);
+  }
+
+  /// Emits `Dst <- A op B` directly in Dst's home register, skipping the
+  /// scratch round-trip. Returns false when Dst has no home or the form
+  /// would clobber an operand (Dst == B for a non-commutative op) —
+  /// the caller falls back to the scratch sequence.
+  bool realArithInPlace(BinOp Op, uint16_t DstSlot, uint16_t ASlot,
+                        uint16_t BSlot) {
+    int16_t DH = RA.realHome(DstSlot);
+    if (DH < 0)
+      return false;
+    uint8_t D = static_cast<uint8_t>(DH);
+    int16_t AH = RA.realHome(ASlot);
+    if (AH == DH) {
+      realRhs(Op, D, BSlot);
+      return true;
+    }
+    if (RA.realHome(BSlot) == DH) {
+      if (Op != BinOp::Add && Op != BinOp::Mul)
+        return false; // Dst aliases the right operand of Sub/Div
+      realRhs(Op, D, ASlot);
+      return true;
+    }
+    if (AH >= 0)
+      A.movapsXmmXmm(D, static_cast<uint8_t>(AH));
+    else
+      A.movsdXmmMem(D, R13, dOff(ASlot));
+    realRhs(Op, D, BSlot);
+    return true;
+  }
+
+  bool intArithInPlace(BinOp Op, uint16_t DstSlot, uint16_t ASlot,
+                       uint16_t BSlot) {
+    int16_t DH = RA.intHome(DstSlot);
+    if (DH < 0)
+      return false;
+    uint8_t D = static_cast<uint8_t>(DH);
+    int16_t AH = RA.intHome(ASlot);
+    if (AH == DH) {
+      intRhs(Op, D, BSlot);
+      return true;
+    }
+    if (RA.intHome(BSlot) == DH) {
+      if (Op != BinOp::Add && Op != BinOp::Mul)
+        return false;
+      intRhs(Op, D, ASlot);
+      return true;
+    }
+    uint8_t Ar = intSrc(ASlot, D);
+    if (Ar != D)
+      A.movRegReg32(D, Ar);
+    intRhs(Op, D, BSlot);
+    return true;
+  }
+
+  //===-- Superinstruction fusion -----------------------------------------//
+
+  /// True when no instruction other than the fused pair (and no deopt
+  /// metadata) reads boxed slot \p Slot. Class-aware: slot numbers are
+  /// per-class namespaces, so only *boxed* operand positions count.
+  /// Writes are not observers — a skipped store merely leaves a stale
+  /// value whose lifetime is not transcript-observable.
+  bool boxedSlotDead(uint16_t Slot, int32_t SkipA, int32_t SkipB) const {
+    for (size_t K = 0; K < F.ParamClasses.size(); ++K)
+      if (F.ParamClasses[K] == SlotClass::Boxed &&
+          K < F.ParamSlots.size() && F.ParamSlots[K] == Slot)
+        return false;
+    for (const DeoptMeta &M : F.Deopts) {
+      if (deoptFrameUses(M.StackSlots, M.EnvSlots, Slot))
+        return false;
+      if (M.HasValueSlot && M.ValueSlot == Slot)
+        return false;
+      for (const DeoptFrame &C : M.Callers)
+        if (deoptFrameUses(C.StackSlots, C.EnvSlots, Slot))
+          return false;
+    }
+    for (int32_t Pc = 0; Pc < static_cast<int32_t>(F.Code.size()); ++Pc) {
+      if (Pc == SkipA || Pc == SkipB)
+        continue;
+      if (boxedReads(F.Code[Pc], Slot))
+        return false;
+    }
+    return true;
+  }
+
+  static bool deoptFrameUses(
+      const std::vector<uint16_t> &Stack,
+      const std::vector<std::pair<Symbol, uint16_t>> &Env, uint16_t Slot) {
+    for (uint16_t S : Stack)
+      if (S == Slot)
+        return true;
+    for (const auto &P : Env)
+      if (P.second == Slot)
+        return true;
+    return false;
+  }
+
+  /// Does \p I read boxed slot \p Slot? Per-op boxed operand positions;
+  /// unknown ops conservatively read everything.
+  static bool boxedReads(const LowInstr &I, uint16_t Slot) {
+    auto InArgRange = [&I, Slot] {
+      return Slot >= I.B &&
+             static_cast<int32_t>(Slot) < static_cast<int32_t>(I.B) + I.Imm;
+    };
+    switch (I.Op) {
+    case LowOp::Move:
+      return static_cast<SlotClass>(I.B) == SlotClass::Boxed && I.A == Slot;
+    case LowOp::Unbox:
+      return I.A == Slot;
+    case LowOp::Coerce:
+      return static_cast<SlotClass>(I.C >> 8) == SlotClass::Boxed &&
+             I.A == Slot;
+    case LowOp::StEnv:
+    case LowOp::StEnvSuper:
+      return I.A == Slot;
+    case LowOp::CallValLow:
+    case LowOp::CallStaticLow:
+      return I.A == Slot || InArgRange();
+    case LowOp::CallBiLow:
+      return InArgRange();
+    case LowOp::ArithTyped:
+      return (I.C & 3) == 0 && (I.A == Slot || I.B == Slot);
+    case LowOp::BinGenLow:
+      return I.A == Slot || I.B == Slot;
+    case LowOp::NegLow:
+    case LowOp::NotLow:
+    case LowOp::AsCondLow:
+    case LowOp::LengthLow:
+    case LowOp::Extract2Typed:
+      return I.A == Slot;
+    case LowOp::Extract2Low:
+    case LowOp::Extract1Low:
+      return I.A == Slot || I.B == Slot;
+    case LowOp::SetElem2Low:
+      return I.A == Slot || I.B == Slot ||
+             (I.Imm >= 0 && static_cast<uint16_t>(I.Imm) == Slot);
+    case LowOp::SetElem2Typed: {
+      // The stored element (Imm) is boxed for non-real/int kinds;
+      // conservatively treat it as boxed for any kind.
+      return I.A == Slot ||
+             (I.Imm >= 0 && static_cast<uint16_t>(I.Imm) == Slot);
+    }
+    case LowOp::SetIdx2EnvLow:
+    case LowOp::SetIdx1EnvLow:
+      return I.A == Slot || I.B == Slot;
+    case LowOp::GuardCond:
+    case LowOp::BranchFalseLow:
+    case LowOp::BranchTrueLow:
+    case LowOp::RetLow:
+      return I.A == Slot;
+    case LowOp::CmpBranch:
+      return ((I.C & 0x7FFF) & 3) == 0 && (I.A == Slot || I.B == Slot);
+    case LowOp::LoadConst:
+    case LowOp::Box:
+    case LowOp::LdEnv:
+    case LowOp::MkClosLow:
+    case LowOp::JumpLow:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  /// Attempts to emit the pair at (\p Pc, Pc+1) as one superinstruction.
+  /// Returns true when both were consumed.
+  bool tryFuse(int32_t Pc) {
+    int32_t Next = Pc + 1;
+    if (Next >= static_cast<int32_t>(F.Code.size()) || JumpTarget[Next])
+      return false;
+    const LowInstr &I = F.Code[Pc];
+    const LowInstr &J = F.Code[Next];
+
+    if (I.Op == LowOp::ArithTyped) {
+      BinOp Op = static_cast<BinOp>(I.C >> 2);
+      int Rank = I.C & 3;
+
+      // (A) arith + raw move of its result: compute once into scratch,
+      // store both destinations — the intermediate store/reload dies.
+      // Correct under any aliasing: both stores happen, in order.
+      if (J.Op == LowOp::Move && J.A == I.Dst) {
+        SlotClass MK = static_cast<SlotClass>(J.B);
+        if (Rank == 2 && MK == SlotClass::RawReal &&
+            inlineableRealArith(Op)) {
+          realArithToScratch(Op, I.A, I.B);
+          realStore(I.Dst, 0);
+          realStore(J.Dst, 0);
+          ++Fused;
+          return true;
+        }
+        if (Rank == 1 && MK == SlotClass::RawInt &&
+            inlineableIntArith(Op)) {
+          intArithToScratch(Op, I.A, I.B);
+          intStore(I.Dst, RAX);
+          intStore(J.Dst, RAX);
+          ++Fused;
+          return true;
+        }
+      }
+
+      // (C) raw compare + branch on its (otherwise dead) boxed result:
+      // re-synthesize the CmpBranch the lowerer emits for single-use
+      // compares. Rank 1/2 only — emitCmpBranch's complex-rank path calls
+      // the helper, which would re-decode F.Code[Pc] as the *original*
+      // ArithTyped.
+      if ((J.Op == LowOp::BranchTrueLow || J.Op == LowOp::BranchFalseLow) &&
+          (Rank == 1 || Rank == 2) && isCompareOp(Op) && J.A == I.Dst &&
+          boxedSlotDead(I.Dst, Pc, Next)) {
+        LowInstr CB;
+        CB.Op = LowOp::CmpBranch;
+        CB.A = I.A;
+        CB.B = I.B;
+        CB.C = static_cast<uint16_t>(
+            I.C | (J.Op == LowOp::BranchTrueLow ? 0x8000u : 0u));
+        CB.Imm = J.Imm;
+        emitCmpBranch(Pc, CB);
+        ++Fused;
+        return true;
+      }
+      return false;
+    }
+
+    // (B) typed extract + arith consuming the element: the element stays
+    // in the scratch register across the pair instead of round-tripping
+    // the slot array. The extract still stores its destination (another
+    // op — or the slow path — may read it); only the *reload* dies.
+    if (I.Op == LowOp::Extract2Typed && J.Op == LowOp::ArithTyped) {
+      Tag K = static_cast<Tag>(I.C);
+      BinOp Op = static_cast<BinOp>(J.C >> 2);
+      int Rank = J.C & 3;
+      bool UseA = J.A == I.Dst, UseB = J.B == I.Dst;
+      if (K == Tag::Real && Rank == 2 && inlineableRealArith(Op) &&
+          (UseA || UseB)) {
+        if (!emitExtract2Typed(Pc, I, /*KeepScratch=*/true))
+          return false; // no inline fast path; emit both separately
+        if (UseA) {
+          if (!UseB)
+            realRhs(Op, 0, J.B);
+          else
+            realOpXmm(Op, 0, 0); // elem op elem
+          realStore(J.Dst, 0);
+        } else {
+          // A op elem: operand order matters for Sub/Div — build in xmm1.
+          uint8_t Ax = realSrc(J.A, 1);
+          if (Ax != 1)
+            A.movapsXmmXmm(1, Ax);
+          realOpXmm(Op, 1, 0);
+          realStore(J.Dst, 1);
+        }
+        ++Fused;
+        return true;
+      }
+      if (K == Tag::Int && Rank == 1 && inlineableIntArith(Op) &&
+          (UseA || UseB)) {
+        if (!emitExtract2Typed(Pc, I, /*KeepScratch=*/true))
+          return false;
+        if (UseA) {
+          if (!UseB)
+            intRhs(Op, RAX, J.B);
+          else
+            intOpReg(Op, RAX, RAX);
+          intStore(J.Dst, RAX);
+        } else {
+          uint8_t Ar = intSrc(J.A, RDX);
+          if (Ar != RDX)
+            A.movRegReg32(RDX, Ar);
+          intOpReg(Op, RDX, RAX);
+          intStore(J.Dst, RDX);
+        }
+        ++Fused;
+        return true;
+      }
+    }
+    return false;
   }
 
   //===-- Per-op templates ------------------------------------------------//
@@ -378,11 +1125,19 @@ private:
         uint64_t Bits;
         std::memcpy(&Bits, &V, 8);
         A.movRegImm64(RAX, Bits);
-        A.movMemReg64(R13, dOff(I.Dst), RAX);
+        int16_t H = RA.realHome(I.Dst);
+        if (H >= 0)
+          A.movqXmmReg64(static_cast<uint8_t>(H), RAX);
+        else
+          A.movMemReg64(R13, dOff(I.Dst), RAX);
       } else if (K == SlotClass::RawInt) {
-        A.movMem32Imm32(R14, iOff(I.Dst),
-                        static_cast<uint32_t>(
-                            F.Consts[I.Imm].asIntUnchecked()));
+        uint32_t Imm = static_cast<uint32_t>(
+            F.Consts[I.Imm].asIntUnchecked());
+        int16_t H = RA.intHome(I.Dst);
+        if (H >= 0)
+          A.movRegImm32(static_cast<uint8_t>(H), Imm);
+        else
+          A.movMem32Imm32(R14, iOff(I.Dst), Imm);
       } else {
         emitStep(Pc); // boxed: refcounted store
       }
@@ -391,11 +1146,9 @@ private:
     case LowOp::Move: {
       SlotClass K = static_cast<SlotClass>(I.B);
       if (K == SlotClass::RawReal) {
-        A.movRegMem64(RAX, R13, dOff(I.A));
-        A.movMemReg64(R13, dOff(I.Dst), RAX);
+        realStore(I.Dst, realSrc(I.A, 0));
       } else if (K == SlotClass::RawInt) {
-        A.movRegMem32(RAX, R14, iOff(I.A));
-        A.movMemReg32(R14, iOff(I.Dst), RAX);
+        intStore(I.Dst, intSrc(I.A, RAX));
       } else {
         emitStep(Pc); // boxed: refcounted copy/steal
       }
@@ -406,29 +1159,54 @@ private:
       // raw home (the tag was guaranteed by the guard that dominates
       // every Unbox).
       if (static_cast<SlotClass>(I.C) == SlotClass::RawReal) {
-        A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
-        A.movMemReg64(R13, dOff(I.Dst), RAX);
+        int16_t H = RA.realHome(I.Dst);
+        if (H >= 0) {
+          A.movsdXmmMem(static_cast<uint8_t>(H), R12,
+                        sOff(I.A, ValueLayout::Payload));
+        } else {
+          A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
+          A.movMemReg64(R13, dOff(I.Dst), RAX);
+        }
       } else {
-        A.movRegMem32(RAX, R12, sOff(I.A, ValueLayout::Payload));
-        A.movMemReg32(R14, iOff(I.Dst), RAX);
+        int16_t H = RA.intHome(I.Dst);
+        if (H >= 0) {
+          A.movRegMem32(static_cast<uint8_t>(H), R12,
+                        sOff(I.A, ValueLayout::Payload));
+        } else {
+          A.movRegMem32(RAX, R12, sOff(I.A, ValueLayout::Payload));
+          A.movMemReg32(R14, iOff(I.Dst), RAX);
+        }
       }
       return;
     case LowOp::Coerce: {
       SlotClass SrcK = static_cast<SlotClass>(I.C >> 8);
       SlotClass DstK = static_cast<SlotClass>(I.B);
       if (DstK == SlotClass::RawReal && SrcK == SlotClass::RawReal) {
-        A.movRegMem64(RAX, R13, dOff(I.A));
-        A.movMemReg64(R13, dOff(I.Dst), RAX);
+        realStore(I.Dst, realSrc(I.A, 0));
       } else if (DstK == SlotClass::RawReal && SrcK == SlotClass::RawInt) {
-        A.cvtsi2sdXmmMem32(0, R14, iOff(I.A));
-        A.movsdMemXmm(R13, dOff(I.Dst), 0);
+        int16_t DH = RA.realHome(I.Dst);
+        uint8_t X = DH >= 0 ? static_cast<uint8_t>(DH) : 0;
+        int16_t AH = RA.intHome(I.A);
+        if (AH >= 0)
+          A.cvtsi2sdXmmReg32(X, static_cast<uint8_t>(AH));
+        else
+          A.cvtsi2sdXmmMem32(X, R14, iOff(I.A));
+        if (DH < 0)
+          A.movsdMemXmm(R13, dOff(I.Dst), 0);
       } else if (DstK == SlotClass::RawInt && SrcK == SlotClass::RawInt) {
-        A.movRegMem32(RAX, R14, iOff(I.A));
-        A.movMemReg32(R14, iOff(I.Dst), RAX);
+        intStore(I.Dst, intSrc(I.A, RAX));
       } else if (DstK == SlotClass::RawInt && SrcK == SlotClass::RawReal) {
         // cvttsd2si truncates toward zero = the handler's static_cast.
-        A.cvttsd2siRegMem(RAX, R13, dOff(I.A));
-        A.movMemReg32(R14, iOff(I.Dst), RAX);
+        int16_t DH = RA.intHome(I.Dst);
+        uint8_t R =
+            DH >= 0 ? static_cast<uint8_t>(DH) : static_cast<uint8_t>(RAX);
+        int16_t AH = RA.realHome(I.A);
+        if (AH >= 0)
+          A.cvttsd2siRegXmm(R, static_cast<uint8_t>(AH));
+        else
+          A.cvttsd2siRegMem(R, R13, dOff(I.A));
+        if (DH < 0)
+          A.movMemReg32(R14, iOff(I.Dst), RAX);
       } else {
         emitStep(Pc); // boxed source or destination
       }
@@ -437,41 +1215,16 @@ private:
     case LowOp::ArithTyped: {
       BinOp Op = static_cast<BinOp>(I.C >> 2);
       int Rank = I.C & 3;
-      if (Rank == 2 && (Op == BinOp::Add || Op == BinOp::Sub ||
-                        Op == BinOp::Mul || Op == BinOp::Div)) {
-        A.movsdXmmMem(0, R13, dOff(I.A));
-        switch (Op) {
-        case BinOp::Add:
-          A.addsdXmmMem(0, R13, dOff(I.B));
-          break;
-        case BinOp::Sub:
-          A.subsdXmmMem(0, R13, dOff(I.B));
-          break;
-        case BinOp::Mul:
-          A.mulsdXmmMem(0, R13, dOff(I.B));
-          break;
-        default:
-          A.divsdXmmMem(0, R13, dOff(I.B));
-          break;
+      if (Rank == 2 && inlineableRealArith(Op)) {
+        if (!realArithInPlace(Op, I.Dst, I.A, I.B)) {
+          realArithToScratch(Op, I.A, I.B);
+          realStore(I.Dst, 0);
         }
-        A.movsdMemXmm(R13, dOff(I.Dst), 0);
-      } else if (Rank == 1 && (Op == BinOp::Add || Op == BinOp::Sub ||
-                               Op == BinOp::Mul)) {
-        // x86 two's-complement wraparound = the handler's unsigned-wrap
-        // semantics.
-        A.movRegMem32(RAX, R14, iOff(I.A));
-        switch (Op) {
-        case BinOp::Add:
-          A.addRegMem32(RAX, R14, iOff(I.B));
-          break;
-        case BinOp::Sub:
-          A.subRegMem32(RAX, R14, iOff(I.B));
-          break;
-        default:
-          A.imulRegMem32(RAX, R14, iOff(I.B));
-          break;
+      } else if (Rank == 1 && inlineableIntArith(Op)) {
+        if (!intArithInPlace(Op, I.Dst, I.A, I.B)) {
+          intArithToScratch(Op, I.A, I.B);
+          intStore(I.Dst, RAX);
         }
-        A.movMemReg32(R14, iOff(I.Dst), RAX);
       } else {
         // Compares box their result; %%, %/%, ^ and complex arithmetic
         // have error paths / libm calls — all through the handler.
@@ -480,7 +1233,8 @@ private:
       return;
     }
     case LowOp::Extract2Typed:
-      emitExtract2Typed(Pc, I);
+      if (!emitExtract2Typed(Pc, I, /*KeepScratch=*/false))
+        emitStep(Pc);
       return;
     case LowOp::GuardCond:
       emitGuard(Pc, I);
@@ -490,16 +1244,28 @@ private:
       return;
     case LowOp::BranchFalseLow:
     case LowOp::BranchTrueLow:
+      flushHomes(false);
       helperCall(rjit_nat_cond, I.A);
       A.testRegReg64(RAX, RAX);
       EpiFix.push_back(A.jcc32(CcS)); // -1: exception parked
+      reloadHomes(false);             // moves: EFLAGS survive
       PcFix.push_back(
           {A.jcc32(I.Op == LowOp::BranchFalseLow ? CcE : CcNe), I.Imm});
       return;
     case LowOp::CmpBranch:
       emitCmpBranch(Pc, I);
       return;
+    case LowOp::CallValLow:
+    case LowOp::CallStaticLow:
+      if (Opts.Linking) {
+        emitLinkedCall(Pc);
+        return;
+      }
+      emitStep(Pc);
+      return;
     case LowOp::RetLow:
+      // The activation ends: nothing reads the raw arrays or the homes
+      // again, so no flush.
       helperCall(rjit_nat_ret, I.A);
       EpiFix.push_back(A.jmp32());
       return;
@@ -507,6 +1273,22 @@ private:
       emitStep(Pc);
       return;
     }
+  }
+
+  /// A CallValLow/CallStaticLow under direct linking: allocate a LinkSite
+  /// and route through the link helper (fast path: vmLinkedCall; miss:
+  /// the interpreter handler + site bookkeeping). The callee runs
+  /// arbitrary code, so caller-saved homes round-trip memory; raw arrays
+  /// are untouched by any call machinery (arguments and results are
+  /// boxed), so callee-saved homes stay valid.
+  void emitLinkedCall(int32_t Pc) {
+    int32_t Idx = static_cast<int32_t>(LinkSitePcs.size());
+    LinkSitePcs.push_back(Pc);
+    flushHomes(false);
+    helperCall(rjit_nat_call_linked, Idx);
+    A.testRegReg64(RAX, RAX);
+    EpiFix.push_back(A.jcc32(CcS));
+    reloadHomes(false);
   }
 
   /// Signed-integer condition code for a compare operator.
@@ -527,6 +1309,14 @@ private:
     }
   }
 
+  void ucomisdRhs(uint8_t X, uint16_t BSlot) {
+    int16_t H = RA.realHome(BSlot);
+    if (H >= 0)
+      A.ucomisdXmmXmm(X, static_cast<uint8_t>(H));
+    else
+      A.ucomisdXmmMem(X, R13, dOff(BSlot));
+  }
+
   void emitCmpBranch(int32_t Pc, const LowInstr &I) {
     bool Sense = I.C & 0x8000;
     uint16_t Packed = I.C & 0x7FFF;
@@ -534,8 +1324,14 @@ private:
     int Rank = Packed & 3;
 
     if (Rank == 1) {
-      A.movRegMem32(RAX, R14, iOff(I.A));
-      A.cmpRegMem32(RAX, R14, iOff(I.B));
+      uint8_t Ar = intSrc(I.A, RAX);
+      int16_t BH = RA.intHome(I.B);
+      if (BH >= 0)
+        A.cmpRegReg32(Ar, static_cast<uint8_t>(BH));
+      else if (IC.known(I.B))
+        A.cmpRegImm32(Ar, static_cast<uint32_t>(IC.val(I.B)));
+      else
+        A.cmpRegMem32(Ar, R14, iOff(I.B));
       Cc C = intCc(Op);
       PcFix.push_back({A.jcc32(Sense ? C : ccNot(C)), I.Imm});
       return;
@@ -546,10 +1342,11 @@ private:
       // "condition true" codes below are never taken on NaN, and their
       // ccNot twins (CF-based) always are — exactly the C++ negation.
       // Lt/Le compare with the operands swapped (a<b == b>a) so the
-      // above-style codes apply in every direction.
+      // above-style codes apply in every direction. ucomisd never writes
+      // its first operand, so a home may be compared in place.
       if (Op == BinOp::Eq || Op == BinOp::Ne) {
-        A.movsdXmmMem(0, R13, dOff(I.A));
-        A.ucomisdXmmMem(0, R13, dOff(I.B));
+        uint8_t Ax = realSrc(I.A, 0);
+        ucomisdRhs(Ax, I.B);
         bool BranchOnEq = (Op == BinOp::Eq) == Sense;
         if (BranchOnEq) {
           // Taken iff ordered-equal: parity (unordered) skips.
@@ -565,15 +1362,20 @@ private:
       }
       bool Swap = Op == BinOp::Lt || Op == BinOp::Le;
       Cc C = (Op == BinOp::Lt || Op == BinOp::Gt) ? CcA : CcAe;
-      A.movsdXmmMem(0, R13, dOff(Swap ? I.B : I.A));
-      A.ucomisdXmmMem(0, R13, dOff(Swap ? I.A : I.B));
+      uint8_t Ax = realSrc(Swap ? I.B : I.A, 0);
+      ucomisdRhs(Ax, Swap ? I.A : I.B);
       PcFix.push_back({A.jcc32(Sense ? C : ccNot(C)), I.Imm});
       return;
     }
-    // Complex rank: the handler computes taken-ness.
+    // Complex rank: the handler computes taken-ness from the raw/boxed
+    // arrays — flush everything. It never writes, so only caller-saved
+    // homes need reloading, and those reloads (moves) preserve the flags
+    // the branch below consumes.
+    flushHomes(true);
     helperCall(rjit_nat_cmpbranch, Pc);
     A.testRegReg64(RAX, RAX);
     EpiFix.push_back(A.jcc32(CcS));
+    reloadHomes(false);
     PcFix.push_back({A.jcc32(CcNe), I.Imm});
   }
 
@@ -581,15 +1383,17 @@ private:
   /// (tag test, storage pointers, unsigned bounds check, indexed load);
   /// everything else — the widened length-one-scalar case, out-of-bounds
   /// errors, complex/logical kinds — takes the out-of-line interpreter
-  /// handler, which re-executes the op from scratch.
-  void emitExtract2Typed(int32_t Pc, const LowInstr &I) {
+  /// handler, which re-executes the op from scratch. Returns false when
+  /// no inline path exists (caller emits the plain fallback). With
+  /// \p KeepScratch the loaded element is left in xmm0/eax for a fused
+  /// consumer, and the slow-path stub re-materializes that scratch from
+  /// the destination slot.
+  bool emitExtract2Typed(int32_t Pc, const LowInstr &I, bool KeepScratch) {
     Tag K = static_cast<Tag>(I.C);
     const VecInternals &VI = K == Tag::Real ? vecInternals<double>()
                                             : vecInternals<int32_t>();
-    if ((K != Tag::Real && K != Tag::Int) || !VI.Valid) {
-      emitStep(Pc);
-      return;
-    }
+    if ((K != Tag::Real && K != Tag::Int) || !VI.Valid)
+      return false;
     int32_t DMember =
         K == Tag::Real
             ? static_cast<int32_t>(offsetof(RealVecObj, D))
@@ -597,28 +1401,80 @@ private:
     Tag VecTag = K == Tag::Real ? Tag::RealVec : Tag::IntVec;
     uint8_t ScaleLog = K == Tag::Real ? 3 : 2;
 
-    Stub Slow{Pc, Stub::StepSlow, {}, 0};
+    Stub Slow{Pc, Stub::StepSlow, {}, 0, -1, -1};
+    if (const PinInfo *P = pinFor(Pc, I.A, K)) {
+      // Pinned: the loop header already verified the tag and hoisted the
+      // element pointer; what remains is the bounds check against the
+      // PinLen cell and the load itself. A disabled pin (cell = 0) sends
+      // every execution to the stub, which re-runs the op generically.
+      int16_t BH = RA.intHome(I.B);
+      if (BH >= 0)
+        A.movsxdRegReg32(RSI, static_cast<uint8_t>(BH));
+      else
+        A.movsxdRegMem32(RSI, R14, iOff(I.B));
+      A.subRegImm8(RSI, 1); // 1-based -> 0-based
+      A.cmpMemReg64(RBX, pinLenOff(P->Cell), RSI); // flags: count - idx
+      Slow.Sites.push_back(A.jcc32(CcBe)); // count <= idx (unsigned)
+      if (K == Tag::Real) {
+        int16_t DH = KeepScratch ? -1 : RA.realHome(I.Dst);
+        uint8_t X = DH >= 0 ? static_cast<uint8_t>(DH) : 0;
+        A.movsdXmmMemIndex(X, P->Gpr, RSI, ScaleLog);
+        if (DH < 0)
+          realStore(I.Dst, 0);
+        if (KeepScratch)
+          Slow.ScratchRealSlot = I.Dst;
+      } else {
+        int16_t DH = KeepScratch ? -1 : RA.intHome(I.Dst);
+        uint8_t R = DH >= 0 ? static_cast<uint8_t>(DH)
+                            : static_cast<uint8_t>(RAX);
+        A.movRegMemIndex32(R, P->Gpr, RSI, ScaleLog);
+        if (DH < 0)
+          intStore(I.Dst, RAX);
+        if (KeepScratch)
+          Slow.ScratchIntSlot = I.Dst;
+      }
+      Slow.Resume = A.size();
+      Stubs.push_back(std::move(Slow));
+      return true;
+    }
     A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
                   static_cast<uint8_t>(VecTag));
     Slow.Sites.push_back(A.jcc32(CcNe));
+    // rax: object pointer, then (its last use spent) the data pointer.
     A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
-    A.movRegMem64(RCX, RAX, DMember + VI.BeginOff);
     A.movRegMem64(RDX, RAX, DMember + VI.EndOff);
-    A.subRegReg64(RDX, RCX);
+    A.movRegMem64(RAX, RAX, DMember + VI.BeginOff);
+    A.subRegReg64(RDX, RAX);
     A.shrRegImm8(RDX, ScaleLog); // element count
-    A.movsxdRegMem32(RSI, R14, iOff(I.B));
+    int16_t BH = RA.intHome(I.B);
+    if (BH >= 0)
+      A.movsxdRegReg32(RSI, static_cast<uint8_t>(BH));
+    else
+      A.movsxdRegMem32(RSI, R14, iOff(I.B));
     A.subRegImm8(RSI, 1); // 1-based -> 0-based
     A.cmpRegReg64(RSI, RDX);
     Slow.Sites.push_back(A.jcc32(CcAe)); // unsigned: catches idx < 1 too
     if (K == Tag::Real) {
-      A.movsdXmmMemIndex(0, RCX, RSI, ScaleLog);
-      A.movsdMemXmm(R13, dOff(I.Dst), 0);
+      int16_t DH = KeepScratch ? -1 : RA.realHome(I.Dst);
+      uint8_t X = DH >= 0 ? static_cast<uint8_t>(DH) : 0;
+      A.movsdXmmMemIndex(X, RAX, RSI, ScaleLog);
+      if (DH < 0)
+        realStore(I.Dst, 0);
+      if (KeepScratch)
+        Slow.ScratchRealSlot = I.Dst;
     } else {
-      A.movRegMemIndex32(RAX, RCX, RSI, ScaleLog);
-      A.movMemReg32(R14, iOff(I.Dst), RAX);
+      int16_t DH = KeepScratch ? -1 : RA.intHome(I.Dst);
+      uint8_t R = DH >= 0 ? static_cast<uint8_t>(DH)
+                          : static_cast<uint8_t>(RAX);
+      A.movRegMemIndex32(R, RAX, RSI, ScaleLog);
+      if (DH < 0)
+        intStore(I.Dst, RAX);
+      if (KeepScratch)
+        Slow.ScratchIntSlot = I.Dst;
     }
     Slow.Resume = A.size();
     Stubs.push_back(std::move(Slow));
+    return true;
   }
 
   void emitGuard(int32_t Pc, const LowInstr &I) {
@@ -630,7 +1486,7 @@ private:
                   reinterpret_cast<uint64_t>(&stats().AssumeChecks));
     A.lockIncMem64(RAX, 0);
 
-    Stub Fail{Pc, Stub::GuardFail, {}, 0};
+    Stub Fail{Pc, Stub::GuardFail, {}, 0, -1, -1};
     switch (I.C) {
     case 0: // tag speculation
       A.cmpMem8Imm8(R12, sOff(I.A, ValueLayout::Tag),
@@ -642,9 +1498,9 @@ private:
                     static_cast<uint8_t>(Tag::Clos));
       Fail.Sites.push_back(A.jcc32(CcNe));
       A.movRegMem64(RAX, R12, sOff(I.A, ValueLayout::Payload));
-      A.movRegImm64(RCX, reinterpret_cast<uint64_t>(M.ExpectedFun));
+      A.movRegImm64(RDX, reinterpret_cast<uint64_t>(M.ExpectedFun));
       A.cmpMemReg64(RAX, static_cast<int32_t>(offsetof(ClosObj, Fn)),
-                    RCX);
+                    RDX);
       Fail.Sites.push_back(A.jcc32(CcNe));
       break;
     case 2: // builtin stability
@@ -669,7 +1525,7 @@ private:
     // model watchpoint-invalidated global assumptions, see exec.cpp).
     // The fast path is one load + one compare when the mode is off.
     if (I.C != 2) {
-      Stub Tick{Pc, Stub::GuardTick, {}, 0};
+      Stub Tick{Pc, Stub::GuardTick, {}, 0, -1, -1};
       A.movRegMem64(RAX, RBX, offsetof(NativeFrame, Hooks));
       A.cmpMem64Imm32(
           RAX, static_cast<int32_t>(offsetof(LowHooks,
@@ -689,10 +1545,17 @@ private:
 class NativeExecutable final : public ExecutableCode {
 public:
   NativeExecutable(std::unique_ptr<LowFunction> L, CodeArena &Arena,
-                   const void *Entry)
+                   const void *Entry, std::vector<int32_t> SitePcs,
+                   NativeLinker *Linker)
       : ExecutableCode(std::move(L)), Arena(&Arena),
-        Entry(reinterpret_cast<NativeEntry>(
-            const_cast<void *>(Entry))) {}
+        Entry(reinterpret_cast<NativeEntry>(const_cast<void *>(Entry))),
+        Linker(Linker), NumSites(SitePcs.size()) {
+    if (NumSites) {
+      Sites = std::make_unique<LinkSite[]>(NumSites);
+      for (size_t K = 0; K < NumSites; ++K)
+        Sites[K].Pc = SitePcs[K];
+    }
+  }
 
   /// Reclaiming the executable returns its W^X pages. Safe wherever
   /// destroying the wrapper is safe (graveyard safepoint after the retire
@@ -701,7 +1564,11 @@ public:
   /// block and no dispatch can re-read the entry. The arena strictly
   /// outlives its executables (Vm member order), and its mutex makes the
   /// compiler-thread discard path race-free against concurrent installs.
+  /// Link sites deregister first so no later publication patches a cell
+  /// inside a freed executable.
   ~NativeExecutable() override {
+    if (Linker && Sites)
+      Linker->dropSites(Sites.get(), Sites.get() + NumSites);
     Arena->release(reinterpret_cast<const void *>(Entry));
   }
 
@@ -726,6 +1593,8 @@ protected:
     Fr.ParentEnv = ParentEnv;
     Fr.ReadEnv = CurEnv ? CurEnv : ParentEnv;
     Fr.Hooks = &lowHooks();
+    Fr.Sites = Sites.get();
+    Fr.Linker = Linker;
 
     ++stats().NativeEnters;
     if (obs::traceOn())
@@ -739,28 +1608,58 @@ protected:
 private:
   CodeArena *Arena;
   NativeEntry Entry;
+  NativeLinker *Linker;
+  size_t NumSites;
+  std::unique_ptr<LinkSite[]> Sites;
 };
 
 class NativeBackend final : public ExecBackend {
 public:
+  explicit NativeBackend(const NativeTierOptions &O) : Opts(O) {}
+
   const char *name() const override { return "native-x64"; }
 
   std::unique_ptr<ExecutableCode>
   prepare(std::unique_ptr<LowFunction> Low) override {
     std::vector<uint8_t> Code;
-    Stitcher St(*Low);
-    if (!St.compile(Code))
+    std::vector<int32_t> SitePcs;
+    Stitcher St(*Low, Opts);
+    if (!St.compile(Code, SitePcs))
       return interpBackend().prepare(std::move(Low));
     const void *Entry = Arena.install(Code);
     if (!Entry) // mapping denied (hardened host): portable fallback
       return interpBackend().prepare(std::move(Low));
     ++stats().NativeCompiles;
-    return std::make_unique<NativeExecutable>(std::move(Low), Arena, Entry);
+    stats().NativeFusedOps += St.fusedOps();
+    stats().NativeRegSpills += St.regSpills();
+    return std::make_unique<NativeExecutable>(
+        std::move(Low), Arena, Entry, std::move(SitePcs),
+        Opts.Linking ? &Linker : nullptr);
   }
 
   size_t liveCodeBlocks() const override { return Arena.blockCount(); }
 
+  void notifyPublish(Function *Fn, FnVersion *Ver) override {
+    if (Opts.Linking)
+      Linker.onPublish(Fn, Ver);
+  }
+
+  /// Called by Vm::toGraveyard *before* the dying code is even stamped
+  /// with a retire epoch: every linked predecessor is patched back to the
+  /// dispatch fallback strictly before the graveyard can reclaim (unmap)
+  /// the block. This ordering is the linker's entire soundness argument.
+  void notifyRetire(ExecutableCode *Code) override {
+    if (Opts.Linking)
+      Linker.onRetire(Code);
+  }
+
+  size_t linkedPredecessors(const ExecutableCode *Code) const override {
+    return Opts.Linking ? Linker.linkedPredecessors(Code) : 0;
+  }
+
 private:
+  NativeTierOptions Opts;
+  NativeLinker Linker;
   CodeArena Arena;
 };
 
@@ -785,9 +1684,14 @@ bool rjit::nativeBackendSupported() {
 }
 
 std::unique_ptr<ExecBackend> rjit::makeNativeBackend() {
+  return makeNativeBackend(NativeTierOptions());
+}
+
+std::unique_ptr<ExecBackend>
+rjit::makeNativeBackend(const NativeTierOptions &O) {
   if (!nativeBackendSupported())
     return nullptr;
-  return std::make_unique<NativeBackend>();
+  return std::make_unique<NativeBackend>(O);
 }
 
 #else // !RJIT_NATIVE_X64
@@ -795,6 +1699,11 @@ std::unique_ptr<ExecBackend> rjit::makeNativeBackend() {
 bool rjit::nativeBackendSupported() { return false; }
 
 std::unique_ptr<rjit::ExecBackend> rjit::makeNativeBackend() {
+  return nullptr;
+}
+
+std::unique_ptr<rjit::ExecBackend>
+rjit::makeNativeBackend(const rjit::NativeTierOptions &) {
   return nullptr;
 }
 

@@ -34,6 +34,7 @@
 
 #include "exec/backend.h"
 
+#include <cstdlib>
 #include <memory>
 
 namespace rjit {
@@ -43,9 +44,44 @@ namespace rjit {
 /// the Vm::Config::NativeTier gate.
 bool nativeBackendSupported();
 
+/// The process default for the v2 feature switches: on unless the
+/// RJIT_NATIVE_V2 environment variable is set to 0. CI's off-switch job
+/// uses it to keep the template-only tier compiled and tested alongside
+/// the v2 matrix entries.
+inline bool nativeTierV2Default() {
+  static const bool D = [] {
+    const char *E = std::getenv("RJIT_NATIVE_V2");
+    return !E || *E != '0';
+  }();
+  return D;
+}
+
+/// Per-feature switches for the v2 native tier (Vm::Config::NativeV2 and
+/// the differential fuzzer's feature axis). All default from
+/// RJIT_NATIVE_V2; all-off reproduces the PR-5 template-only stitcher
+/// byte-for-byte in behavior (transcripts are gate-identical across every
+/// combination — the fuzzer asserts it).
+struct NativeTierOptions {
+  /// Linear-scan register allocation over the raw slot classes
+  /// (native/regalloc.*): hot unboxed slots live in GPRs/XMMs instead of
+  /// the slot arrays.
+  bool Regalloc = nativeTierV2Default();
+  /// Superinstruction fusion: recurring template pairs (arith+move,
+  /// extract+arith, cmp+branch) emit as one fused template, killing the
+  /// intermediate store/reload.
+  bool Fusion = nativeTierV2Default();
+  /// Direct call linking (native/linker.*): hot monomorphic
+  /// version->version transfers bypass full VM dispatch via LinkSites
+  /// patched at publication and unlinked at retire.
+  bool Linking = nativeTierV2Default();
+};
+
 /// Creates a native backend instance (owning its code arena), or null on
 /// unsupported hosts — callers fall back to the interpreter backend.
 std::unique_ptr<ExecBackend> makeNativeBackend();
+
+/// As above with explicit v2 feature switches.
+std::unique_ptr<ExecBackend> makeNativeBackend(const NativeTierOptions &O);
 
 } // namespace rjit
 

@@ -78,6 +78,9 @@ constexpr CounterDesc Counters[] = {
     {"warmup_pauses_avoided", &VmStats::WarmupPausesAvoided},
     {"native_compiles", &VmStats::NativeCompiles},
     {"native_enters", &VmStats::NativeEnters},
+    {"native_linked_transfers", &VmStats::NativeLinkedTransfers},
+    {"native_fused_ops", &VmStats::NativeFusedOps},
+    {"native_reg_spills", &VmStats::NativeRegSpills},
     {"gc_collections", &VmStats::GcCollections},
     {"gc_freed_bytes", &VmStats::GcFreedBytes},
 };

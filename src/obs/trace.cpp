@@ -89,6 +89,7 @@ const EvDesc &descOf(TraceEv K) {
       {"native-side-exit", "native"},  // NativeSideExit
       {"invalidate", "deopt"},         // Invalidate
       {"gc-collect", "gc"},            // GcCollect
+      {"native-link-patch", "native"}, // NativeLinkPatch
   };
   return Desc[static_cast<size_t>(K)];
 }

@@ -76,6 +76,9 @@ enum class TraceEv : uint8_t {
   GcCollect,       ///< heap cycle collection at the safepoint (or the
                    ///< teardown fallback); Dur = stop-the-world pause,
                    ///< A = bytes freed, B = objects collected
+  NativeLinkPatch, ///< a native call site was direct-linked to (B = 1)
+                   ///< or unlinked from (B = 0) a version's code; A =
+                   ///< the target version's ObsId
   kCount
 };
 

@@ -42,6 +42,9 @@ VmStats VmStats::operator-(const VmStats &O) const {
   R.WarmupPausesAvoided = WarmupPausesAvoided - O.WarmupPausesAvoided;
   R.NativeCompiles = NativeCompiles - O.NativeCompiles;
   R.NativeEnters = NativeEnters - O.NativeEnters;
+  R.NativeLinkedTransfers = NativeLinkedTransfers - O.NativeLinkedTransfers;
+  R.NativeFusedOps = NativeFusedOps - O.NativeFusedOps;
+  R.NativeRegSpills = NativeRegSpills - O.NativeRegSpills;
   // Like CompileQueueDepth: a gauge — the difference carries the later
   // snapshot's population and high-water, not a meaningless subtraction.
   R.GraveyardSize = GraveyardSize;

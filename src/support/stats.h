@@ -70,6 +70,16 @@ struct VmStats {
                                       ///< template-JIT backend
   RelaxedCounter NativeEnters;        ///< activations entered through
                                       ///< native (template-JIT) code
+  RelaxedCounter NativeLinkedTransfers; ///< calls transferred native-to-
+                                      ///< native through a direct-linked
+                                      ///< call site (bypassing full VM
+                                      ///< dispatch)
+  RelaxedCounter NativeFusedOps;      ///< LowCode instruction pairs the
+                                      ///< v2 tier emitted as one fused
+                                      ///< superinstruction (compile time)
+  RelaxedCounter NativeRegSpills;     ///< raw-slot live ranges with uses
+                                      ///< that were denied a register
+                                      ///< home (pool exhausted)
   RelaxedGauge GraveyardSize;         ///< retired executables awaiting
                                       ///< safepoint reclamation; the
                                       ///< owning Vm re-syncs the level

@@ -105,20 +105,7 @@ namespace rjit {
 Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
   Vm *V = Vm::current();
   assert(V && "dispatch without an active Vm");
-  // Graveyard safepoint: the dispatch boundary, *before* this call pins a
-  // new code activation. Reclaims retired code whose retire epoch every
-  // live activation postdates; with an empty graveyard this is one branch.
-  V->safepoint();
-  // Cross-thread storm injection (Vm::injectInvalidation): consume at
-  // most one pending request per dispatch by arming the executor-local
-  // countdown, so the next dynamic guard check this thread executes
-  // fails injected. Producers only ever touched the relaxed counter; the
-  // countdown itself — read by inline JIT code — is written here, on the
-  // executor, never cross-thread.
-  if (V->PendingInjected.load() > 0) {
-    V->PendingInjected -= 1;
-    lowHooks().InvalidationCountdown = 1;
-  }
+  V->dispatchBoundary();
   Function *Fn = Clos->Fn;
   ++Fn->CallCount;
   DepthGuard Depth;
@@ -200,6 +187,41 @@ Value vmDispatchCall(ClosObj *Clos, std::vector<Value> &&Args) {
     return Code->run(std::move(Args), /*CurEnv=*/nullptr, Clos->Enclosing);
 
   // FullEnv: build the environment like the baseline would.
+  Env *E = new Env(Clos->Enclosing);
+  E->retain();
+  for (size_t K = 0; K < Args.size(); ++K)
+    E->set(Fn->Params[K], std::move(Args[K]));
+  Value Result;
+  try {
+    Result = Code->run({}, E, Clos->Enclosing);
+  } catch (...) {
+    E->release();
+    throw;
+  }
+  E->release();
+  return Result;
+}
+
+Value vmLinkedCall(ClosObj *Clos, FnVersion *Ver, ExecutableCode *Code,
+                   std::vector<Value> &&Args) {
+  Vm *V = Vm::current();
+  assert(V && "linked call without an active Vm");
+  // The per-call bookkeeping full dispatch performs, in the same order:
+  // safepoint/injection boundary, warmth, recursion depth, version hit.
+  // The linking eligibility rules (native/jit.cpp maybeRegisterSite)
+  // guarantee dispatch's skipped middle — strategy branches, version-
+  // table lookup, context computation, threshold logic — would have been
+  // inert and selected exactly Ver/Code, so transcripts are identical.
+  V->dispatchBoundary();
+  Function *Fn = Clos->Fn;
+  ++Fn->CallCount;
+  DepthGuard Depth;
+  ++Ver->Hits;
+  ++stats().NativeLinkedTransfers;
+
+  if (Code->low().Conv == CallConv::FullElided)
+    return Code->run(std::move(Args), /*CurEnv=*/nullptr, Clos->Enclosing);
+
   Env *E = new Env(Clos->Enclosing);
   E->retain();
   for (size_t K = 0; K < Args.size(); ++K)
@@ -338,7 +360,7 @@ Vm::Vm(Config C) : Cfg(C) {
   // threaded interpreter as the portable fallback.
   ActiveBackend = Cfg.Backend;
   if (!ActiveBackend && Cfg.NativeTier) {
-    OwnBackend = makeNativeBackend();
+    OwnBackend = makeNativeBackend(Cfg.NativeV2);
     ActiveBackend = OwnBackend.get();
   }
   if (!ActiveBackend)
@@ -441,6 +463,11 @@ uint64_t Vm::collectHeap() {
 void Vm::toGraveyard(std::unique_ptr<ExecutableCode> Code) {
   if (!Code)
     return;
+  // Unlink direct-linked native call sites pointing into this code
+  // *before* it can ever be reclaimed: from here on, predecessors fall
+  // back to full VM dispatch. Ordering is the linker's entire soundness
+  // argument (the retire-while-linked regression test pins it).
+  ActiveBackend->notifyRetire(Code.get());
   if (obs::traceOn())
     obs::traceEvent(obs::TraceEv::Retire, 0, Code->obsId());
   // Retires only happen on the executor thread (deopt listener, reopt
@@ -488,6 +515,24 @@ void Vm::drainCompiles() {
 }
 
 Vm *Vm::current() { return CurrentVm; }
+
+void Vm::dispatchBoundary() {
+  // Graveyard/heap safepoint: the dispatch boundary, *before* this call
+  // pins a new code activation. Reclaims retired code whose retire epoch
+  // every live activation postdates; with an empty graveyard this is one
+  // branch.
+  safepoint();
+  // Cross-thread storm injection (Vm::injectInvalidation): consume at
+  // most one pending request per dispatch by arming the executor-local
+  // countdown, so the next dynamic guard check this thread executes
+  // fails injected. Producers only ever touched the relaxed counter; the
+  // countdown itself — read by inline JIT code — is written here, on the
+  // executor, never cross-thread.
+  if (PendingInjected.load() > 0) {
+    PendingInjected -= 1;
+    lowHooks().InvalidationCountdown = 1;
+  }
+}
 
 TierState &Vm::stateFor(Function *Fn) {
   return States.stateFor(Fn, Cfg.MaxVersions);

@@ -38,6 +38,7 @@
 #include "dispatch/version.h"
 #include "exec/backend.h"
 #include "lowcode/lowcode.h"
+#include "native/native.h"
 #include "obs/trace.h"
 #include "osr/deoptless.h"
 #include "runtime/env.h"
@@ -153,6 +154,16 @@ public:
     /// from the RJIT_NATIVE_TIER environment variable (CI runs the full
     /// suite both ways); unset means off.
     bool NativeTier = nativeTierDefault();
+
+    /// Per-feature switches for the v2 native tier (register allocation,
+    /// superinstruction fusion, direct call linking). Only consulted when
+    /// NativeTier is on and the Vm constructs its own native backend; all
+    /// default from the RJIT_NATIVE_V2 environment variable (unset = on),
+    /// so CI's off-switch job exercises the template-only tier without
+    /// touching construction sites. All-off reproduces the template-only
+    /// stitcher's behavior exactly — the differential fuzzer asserts
+    /// transcripts are byte-identical across every combination.
+    NativeTierOptions NativeV2;
 
     /// Graveyard safepoint interval (orthogonal to Strategy): retired
     /// ExecutableCode is reclaimed at the executor's dispatch boundary
@@ -297,6 +308,15 @@ public:
   /// The active Vm of the calling thread (hooks are thread-local).
   static Vm *current();
 
+  /// The per-dispatch boundary work every closure call performs exactly
+  /// once, whether it arrives through full VM dispatch or a direct-linked
+  /// native call site: the graveyard/heap safepoint poll plus consumption
+  /// of at most one cross-thread injected-invalidation request. Keeping
+  /// both paths on this single function is what makes linked transfers
+  /// observably equivalent to dispatched calls (the fuzzer's linking axis
+  /// relies on it).
+  void dispatchBoundary();
+
 private:
   friend Value vmDispatchCall(ClosObj *, std::vector<Value> &&);
   friend void vmDeoptListener(Function *, const LowFunction &,
@@ -377,6 +397,17 @@ private:
       collectHeap();
   }
 };
+
+/// The direct-linked native call transfer (native/jit.cpp's link helper
+/// calls this after its own monomorphic fast-path checks): performs the
+/// per-call bookkeeping full dispatch would (dispatch boundary, call
+/// count, recursion guard, version hit) and runs \p Code — bypassing
+/// dispatch's version-table lookup, threshold logic and context
+/// computation, which the linking eligibility rules guarantee would have
+/// selected exactly \p Ver. Defined in vm.cpp next to vmDispatchCall so
+/// the two stay one semantics.
+Value vmLinkedCall(ClosObj *Clos, FnVersion *Ver, ExecutableCode *Code,
+                   std::vector<Value> &&Args);
 
 } // namespace rjit
 

@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dispatch/context.h"
+#include "dispatch/version.h"
 #include "native/native.h"
 #include "support/stats.h"
 #include "vm/vm.h"
@@ -255,6 +257,171 @@ TEST(NativeJit, InjectedInvalidationKeepsResults) {
     EXPECT_GT(stats().InjectedFailures, 0u)
         << "the countdown slow path must have fired in native guards";
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Native tier v2: register allocation, fusion, direct linking
+
+/// All three v2 features forced on, independent of the RJIT_NATIVE_V2
+/// environment (CI's off-switch job must not turn these tests into
+/// no-ops).
+Vm::Config v2cfg(TierStrategy S) {
+  Vm::Config C = cfg(S, true);
+  C.NativeV2.Regalloc = true;
+  C.NativeV2.Fusion = true;
+  C.NativeV2.Linking = true;
+  return C;
+}
+
+TEST(NativeV2, RegisterAllocationSpillsDeterministically) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  // Hand-built LowCode with more live raw-int slots (10) than the GPR
+  // pool holds (6): the allocator must home the pool's worth, spill the
+  // rest, and the generated code must still sum all ten correctly —
+  // homed and spilled slots mixing in one arithmetic chain.
+  auto F = std::make_unique<LowFunction>();
+  F->NumSlots = 1;
+  F->NumSlotsI = 10;
+  for (int K = 0; K < 10; ++K) {
+    F->Consts.push_back(Value::integer(K + 1));
+    LowInstr Ld;
+    Ld.Op = LowOp::LoadConst;
+    Ld.Dst = static_cast<uint16_t>(K);
+    Ld.B = static_cast<uint16_t>(SlotClass::RawInt);
+    Ld.Imm = K;
+    F->Code.push_back(Ld);
+  }
+  // A second definition per slot (a self-move) keeps the slots out of
+  // the constant-folding analysis — the point here is live registers
+  // competing for the pool, not immediates.
+  for (int K = 0; K < 10; ++K) {
+    LowInstr Mv;
+    Mv.Op = LowOp::Move;
+    Mv.Dst = static_cast<uint16_t>(K);
+    Mv.A = static_cast<uint16_t>(K);
+    Mv.B = static_cast<uint16_t>(SlotClass::RawInt);
+    F->Code.push_back(Mv);
+  }
+  for (int K = 1; K < 10; ++K) {
+    LowInstr Add;
+    Add.Op = LowOp::ArithTyped;
+    Add.Dst = 0;
+    Add.A = 0;
+    Add.B = static_cast<uint16_t>(K);
+    Add.C = static_cast<uint16_t>(
+        (static_cast<uint16_t>(BinOp::Add) << 2) | 1);
+    F->Code.push_back(Add);
+  }
+  LowInstr Box;
+  Box.Op = LowOp::Box;
+  Box.Dst = 0;
+  Box.A = 0;
+  Box.C = static_cast<uint16_t>(SlotClass::RawInt);
+  F->Code.push_back(Box);
+  LowInstr Ret;
+  Ret.Op = LowOp::RetLow;
+  Ret.A = 0;
+  F->Code.push_back(Ret);
+
+  NativeTierOptions O;
+  O.Regalloc = true;
+  O.Fusion = true;
+  O.Linking = false;
+  std::unique_ptr<ExecBackend> B = makeNativeBackend(O);
+  ASSERT_NE(B, nullptr);
+  resetStats();
+  std::unique_ptr<ExecutableCode> X = B->prepare(std::move(F));
+  ASSERT_NE(X, nullptr);
+  EXPECT_GT(stats().NativeRegSpills, 0u)
+      << "10 live int slots must overflow the 6-register GPR pool";
+  EXPECT_EQ(X->run({}, nullptr, nullptr).asIntUnchecked(), 55);
+}
+
+TEST(NativeV2, FusionFiresAndPreservesResults) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  // A typed reduction whose inner loop is exactly the fusion targets:
+  // extract feeding arithmetic, and arithmetic results moved between raw
+  // slots. Parity against the interpreter backend plus a counter proof
+  // that superinstructions were actually emitted.
+  const char *Setup = R"(
+    dot <- function(v, n) {
+      s <- 0
+      for (i in 1:n) s <- s + v[[i]] * 1.5
+      s
+    }
+  )";
+  std::string Interp = runUnder(cfg(TierStrategy::Normal, false),
+                                Setup + std::string("v <- as.numeric(1:64)"),
+                                "dot(v, 64L)");
+  resetStats();
+  std::string Native = runUnder(v2cfg(TierStrategy::Normal),
+                                Setup + std::string("v <- as.numeric(1:64)"),
+                                "dot(v, 64L)");
+  EXPECT_EQ(Interp, Native);
+  EXPECT_GT(stats().NativeCompiles, 0u);
+  EXPECT_GT(stats().NativeFusedOps, 0u)
+      << "the extract+arith / arith+move pairs must have fused";
+}
+
+TEST(NativeV2, RetireWhileLinkedPatchesBackBeforeReclaim) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "no native backend on this host";
+  // The linking soundness invariant: when a linked callee version is
+  // retired, every predecessor's direct transfer is severed at retire
+  // time — strictly before the graveyard safepoint can unmap the target
+  // block — and the site falls back to full dispatch, then relinks once
+  // a replacement version is published.
+  Vm::Config C = v2cfg(TierStrategy::Normal);
+  C.Inlining = false; // keep g an out-of-line call so the site links
+  C.SafepointInterval = 1;
+  Vm V(C);
+  V.eval(R"(
+    g <- function(x) x + 1L
+    h <- function(n) {
+      s <- 0L
+      for (i in 1:n) s <- s + g(i)
+      s
+    }
+  )");
+  for (int K = 0; K < 6; ++K)
+    ASSERT_EQ(V.eval("h(50L)").asIntUnchecked(), 1325);
+  ASSERT_GT(stats().NativeEnters, 0u);
+  ASSERT_GT(stats().NativeLinkedTransfers, 0u)
+      << "h's call site must have linked to g's published version";
+
+  Function *GFn = V.eval("g").closObj()->Fn;
+  FnVersion *Ver = V.stateFor(GFn).Versions.dispatch(genericContext(1));
+  ASSERT_NE(Ver, nullptr);
+  ExecutableCode *GCode = Ver->code();
+  ASSERT_NE(GCode, nullptr);
+  ASSERT_GE(V.backend()->linkedPredecessors(GCode), 1u)
+      << "the link registry must know h's site points into g's code";
+
+  // Type change: g's int-speculated version deopts and is retired. The
+  // eval finishes in the baseline with no further closure dispatch, so
+  // the safepoint has NOT run yet: the dead code is graveyarded but not
+  // reclaimed — and the predecessor count must already be zero. That
+  // ordering (unlink at retire, reclaim at the later safepoint) is what
+  // keeps a linked jump from ever targeting unmapped memory.
+  uint64_t Retired = stats().GraveyardSize;
+  V.eval("g(1.5)");
+  EXPECT_GT(stats().Deopts, 0u);
+  EXPECT_GT(stats().GraveyardSize, Retired)
+      << "the deopted version must be graveyarded, not freed";
+  EXPECT_EQ(V.backend()->linkedPredecessors(GCode), 0u)
+      << "retire must sever every predecessor link before reclamation";
+
+  // The severed site must fall back to dispatch (correctness) and relink
+  // once g republishes: linked transfers resume growing.
+  for (int K = 0; K < 6; ++K)
+    ASSERT_EQ(V.eval("h(50L)").asIntUnchecked(), 1325);
+  uint64_t AfterRepublish = stats().NativeLinkedTransfers;
+  for (int K = 0; K < 4; ++K)
+    ASSERT_EQ(V.eval("h(50L)").asIntUnchecked(), 1325);
+  EXPECT_GT(stats().NativeLinkedTransfers, AfterRepublish)
+      << "the site must relink to the republished version";
 }
 
 TEST(NativeJit, BackgroundCompilePublishesNativeCode) {

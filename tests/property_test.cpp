@@ -509,6 +509,8 @@ struct FuzzCoverage {
   RelaxedCounter EliminatedGuards;
   RelaxedCounter NativeEnters;
   RelaxedCounter NativeCompiles;
+  RelaxedCounter NativeFusedOps;
+  RelaxedCounter NativeLinkedTransfers;
   RelaxedCounter GcCollections;
   RelaxedCounter GcFreedBytes;
   RelaxedCounter Programs;
@@ -535,6 +537,8 @@ void absorbStats() {
   C.EliminatedGuards += S.EliminatedGuards;
   C.NativeEnters += S.NativeEnters;
   C.NativeCompiles += S.NativeCompiles;
+  C.NativeFusedOps += S.NativeFusedOps;
+  C.NativeLinkedTransfers += S.NativeLinkedTransfers;
   C.GcCollections += S.GcCollections;
   C.GcFreedBytes += S.GcFreedBytes;
 }
@@ -587,6 +591,30 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
                   << P.Setup << "drivers:\n" << driversOf(P);
             }
 
+    // The native-v2 feature lattice: every {regalloc, fusion, linking}
+    // on/off combination must produce the byte-identical transcript —
+    // the features are pure strength reductions with no observable
+    // semantics of their own. Strategy alternates with (program, mask)
+    // so each feature value runs under both Normal and Deoptless across
+    // the corpus; dispatch stays contextual-free and inlining off so
+    // call sites remain out-of-line and the linking axis actually has
+    // sites to link.
+    if (nativeBackendSupported())
+      for (unsigned Mask = 0; Mask < 8; ++Mask) {
+        Vm::Config C = cfg((K + Mask) % 2 ? TierStrategy::Deoptless
+                                          : TierStrategy::Normal);
+        C.NativeTier = true;
+        C.NativeV2.Regalloc = (Mask & 1) != 0;
+        C.NativeV2.Fusion = (Mask & 2) != 0;
+        C.NativeV2.Linking = (Mask & 4) != 0;
+        ASSERT_EQ(Base, runProgram(P, C))
+            << "seed " << Seed << " native-v2 mask " << Mask
+            << " (regalloc=" << C.NativeV2.Regalloc
+            << " fusion=" << C.NativeV2.Fusion
+            << " linking=" << C.NativeV2.Linking << ")\nprogram:\n"
+            << P.Setup << "drivers:\n" << driversOf(P);
+      }
+
     // Random invalidation on top of inlining: injected guard failures
     // land inside spliced callees too, forcing the multi-frame OSR-out
     // and deoptless-continuation paths without changing any result. The
@@ -624,8 +652,9 @@ TEST_P(DiffFuzz, AllConfigurationsAgree) {
 }
 
 // 10 shards x 50 programs = 500 random programs, each checked under 29
-// configurations (57 when the native axis is available; shards
-// parallelize under `ctest -j`).
+// configurations (65 when the native axis is available, including the
+// eight-point native-v2 feature lattice; shards parallelize under
+// `ctest -j`).
 INSTANTIATE_TEST_SUITE_P(Shards, DiffFuzz,
                          ::testing::Range(0, static_cast<int>(FuzzShards)));
 
@@ -716,6 +745,14 @@ TEST_P(ConcurrentDiffFuzz, BackgroundTranscriptsMatchSyncBaseline) {
             nativeBackendSupported() &&
             (((K >> 1) + (S == TierStrategy::Deoptless ? 1 : 0)) % 2) ==
                 0;
+        // Native-v2 feature mask from the program index: over K mod 8
+        // every {regalloc, fusion, linking} combination races the shared
+        // pool — including link patching (publication from a compiler
+        // thread writing a LinkSite an executor is reading) and unlink
+        // on retire under concurrent reclamation.
+        C.NativeV2.Regalloc = (K & 1) != 0;
+        C.NativeV2.Fusion = (K & 2) != 0;
+        C.NativeV2.Linking = (K & 4) != 0;
         // Event tracing on half the corpus: executor threads record into
         // per-thread rings while compiler threads trace job/publish
         // events — the tracer itself races the sweep under TSan. Small
@@ -808,6 +845,12 @@ public:
       EXPECT_GT(C.NativeEnters, 0u)
           << "the NativeTier axis never entered native code — the "
              "sweep's transcripts did not actually cover the JIT";
+      EXPECT_GT(C.NativeFusedOps, 0u)
+          << "the native-v2 lattice never fused a superinstruction — "
+             "the corpus's typed loops must produce fusible pairs";
+      EXPECT_GT(C.NativeLinkedTransfers, 0u)
+          << "the native-v2 lattice never took a direct-linked call — "
+             "the kD/kE/kH call shapes must link under the linking axis";
     }
     EXPECT_GT(C.GcCollections, 0u)
         << "the HeapGc axis never collected — the kG corpus shape must "
